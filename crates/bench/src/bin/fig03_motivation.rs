@@ -1,0 +1,162 @@
+//! Figure 3 — the motivation study (§2.2).
+//!
+//! (a) Compute/memory ratio (OP/B) of vertex-centric and edge-centric
+//!     execution for three neural operation types (Addition = GCN,
+//!     MHA = GAT, MLP = RGCN), against the operation's optimal ratio.
+//!     "Achieved" uses the original DFG's per-edge accounting (no data
+//!     reuse: edge-wise kernels re-read shared operands per edge);
+//!     "Optimal" uses the transformed DFG (full reuse of deduplicated
+//!     data).
+//! (b) Execution-time breakdown of the tensor-centric approach: neural
+//!     operations vs. everything else (indexing data movement).
+//!
+//! Expected shape: graph-centric ratios match optimal for Addition but
+//! fall far below it for MHA/MLP (the paper measures graph-centric MLP at
+//! 1% of peak); tensor-centric spends < 40% of its time in neural ops.
+
+use wisegraph_baselines::single::LayerDims;
+use wisegraph_bench::{build_dataset, print_table};
+use wisegraph_dfg::{analysis, transform, Binding, Dim};
+use wisegraph_graph::DatasetKind;
+
+use wisegraph_models::ModelKind;
+use wisegraph_sim::DeviceSpec;
+
+fn main() {
+    let (g, spec) = build_dataset(DatasetKind::Arxiv);
+    let binding = Binding::from_graph(&g);
+    let dev = DeviceSpec::a100_pcie();
+    let dims = LayerDims::paper_single(spec.feature_dim, spec.num_classes);
+    let (fi, fo) = dims.layer_io(1);
+    let e = g.num_edges() as f64;
+    let v = g.num_vertices() as f64;
+
+    // Graph-centric MHA executes the projection per edge (the vertex
+    // program recomputes z for every incoming message) — the un-hoisted
+    // DFG form. The transformation search recovers the hoisted form as
+    // the optimum.
+    let gat_edgewise = {
+        use wisegraph_graph::AttrKind;
+        let mut d = wisegraph_dfg::Dfg::new();
+        let h = d.input("h", vec![Dim::Vertices, Dim::Lit(fi)]);
+        let w = d.input("w", vec![Dim::Lit(fi), Dim::Lit(fo)]);
+        let a_src = d.input("a_src", vec![Dim::Lit(fo), Dim::Lit(1)]);
+        let src = d.edge_attr(AttrKind::SrcId);
+        let dst = d.edge_attr(AttrKind::DstId);
+        let hsrc = d.index(h, src);
+        let z_e = d.linear(hsrc, w);
+        let s_e = d.linear(z_e, a_src);
+        let act = d.leaky_relu(s_e);
+        let scores = d.squeeze_col(act);
+        let alpha = d.segment_softmax(scores, dst);
+        let weighted = d.scale_rows(z_e, alpha);
+        let out = d.index_add(weighted, dst, Dim::Vertices);
+        d.mark_output(out);
+        d
+    };
+
+    // --- (a) compute/memory ratio ------------------------------------
+    let mut rows_a = Vec::new();
+    for (label, model) in [
+        ("Addition", Some(ModelKind::Gcn)),
+        ("MHA", None),
+        ("MLP", Some(ModelKind::Rgcn)),
+    ] {
+        let dfg = match model {
+            Some(m) => m.layer_dfg(fi, fo),
+            None => gat_edgewise.clone(),
+        };
+        let w_orig = analysis::workload(&dfg, &binding);
+        // Optimal: the least-workload equivalent DFG (deduplicated
+        // operands, full reuse) — its FLOPs are the *useful* computation.
+        let (_, w_opt) = transform::optimize(&dfg, &binding);
+        let optimal = w_opt.flops() / w_opt.bytes();
+        // Achieved = useful FLOPs over the bytes the edge-wise execution
+        // actually moves (shared operands re-read per edge, redundant
+        // recomputation not credited).
+        let vertex = w_opt.flops() / w_orig.bytes();
+        // Edge-centric: additionally writes each edge's partial result.
+        let edge_bytes = w_orig.bytes() + 4.0 * (e - v).max(0.0) * fo as f64;
+        let edge = w_opt.flops() / edge_bytes;
+        rows_a.push(vec![
+            label.to_string(),
+            format!("{vertex:.2}"),
+            format!("{edge:.2}"),
+            format!("{optimal:.2}"),
+        ]);
+    }
+    print_table(
+        "Figure 3(a): compute/memory ratio (OP/B) of graph-centric execution",
+        &["Neural op", "Vertex-centric", "Edge-centric", "Optimal"],
+        &rows_a,
+    );
+
+    // --- (b) tensor-centric time breakdown ----------------------------
+    let mut rows_b = Vec::new();
+    for (label, model) in [
+        ("Addition", ModelKind::Gcn),
+        ("MHA", ModelKind::Gat),
+        ("MLP", ModelKind::Rgcn),
+    ] {
+        // Tensor-centric execution: dense GEMMs in library kernels
+        // ("Neural"), per-edge gather / scatter message kernels that move
+        // data through global memory ("Other"). The GEMM scale differs by
+        // model: GCN/GAT project per vertex, RGCN encodes per edge.
+        use wisegraph_sim::{ComputeClass, KernelCost};
+        let mm_rows = if model == ModelKind::Rgcn { e } else { v };
+        let mm = KernelCost {
+            flops: 2.0 * mm_rows * (fi * fo) as f64,
+            bytes: (mm_rows * (fi + fo) as f64
+                + (g.num_edge_types() * fi * fo) as f64)
+                * 4.0,
+            parallel_tasks: mm_rows / 64.0,
+            class: ComputeClass::DenseMatmul,
+        };
+        let gather = KernelCost {
+            flops: 0.0,
+            bytes: e * fi as f64 * 8.0,
+            parallel_tasks: e / 64.0,
+            class: ComputeClass::Memory { coalesced: false },
+        };
+        let scatter = KernelCost {
+            flops: e * fo as f64,
+            bytes: e * fo as f64 * 8.0,
+            parallel_tasks: e / 64.0,
+            class: ComputeClass::Memory { coalesced: false },
+        };
+        // GAT moves an extra score/softmax stream per edge.
+        let extra_streams = if model == ModelKind::Gat { 3.0 } else { 0.0 };
+        let softmax = KernelCost {
+            flops: 5.0 * e,
+            bytes: extra_streams * e * 8.0,
+            parallel_tasks: e / 64.0,
+            class: ComputeClass::Elementwise,
+        };
+        let neural = dev.kernel_time(&mm);
+        let mut other = dev.kernel_time(&gather) + dev.kernel_time(&scatter);
+        if extra_streams > 0.0 {
+            other += dev.kernel_time(&softmax);
+        }
+        let total = neural + other;
+        rows_b.push(vec![
+            label.to_string(),
+            format!("{:.1}%", 100.0 * neural / total),
+            format!("{:.1}%", 100.0 * other / total),
+        ]);
+    }
+    print_table(
+        "Figure 3(b): tensor-centric execution time breakdown",
+        &["Neural op", "Neural", "Other (indexing)"],
+        &rows_b,
+    );
+    // Peak-performance footnote: edge-wise MLP vs. dense peak.
+    let mlp_frac =
+        dev.effective_flops(wisegraph_sim::ComputeClass::EdgeWise) / dev.tensor_flops;
+    println!(
+        "\nGraph-centric MLP compute efficiency: {:.1}% of peak (paper \
+         footnote: 1%). Paper shape: Addition near optimal, MHA/MLP far \
+         below; tensor-centric neural share < 40%.",
+        100.0 * mlp_frac
+    );
+    let _ = Dim::Vertices; // silence unused-import pedantry in some configs
+}

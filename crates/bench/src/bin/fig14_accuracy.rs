@@ -1,0 +1,128 @@
+//! Figure 14 — accuracy comparison between the DGL-style baseline and
+//! WiseGraph.
+//!
+//! WiseGraph's DFG transformations are equivalence-preserving (§5.2), so
+//! the two systems compute the same numbers; both trainers here run the
+//! *same* real CPU training, differing only in execution order (edge order
+//! follows each system's partition plan — which does not change results up
+//! to floating-point associativity). We report (a) final test accuracy for
+//! GAT and SAGE on three datasets and (b) the SAGE accuracy curve over 100
+//! epochs on AR.
+//!
+//! Expected shape: accuracy difference between systems within 1%; curves
+//! overlap.
+
+use wisegraph_bench::print_table;
+use wisegraph_core::trainer::{final_accuracy, train_full_graph};
+use wisegraph_graph::generate::{labeled_graph, LabeledGraph, LabeledParams};
+use wisegraph_models::{Gat, Sage};
+
+/// Small labeled analogues of AR / PR / PA with learnable structure. Sizes
+/// are reduced so real CPU training finishes in seconds; the learning
+/// dynamics (homophily + class-correlated features) are what matters.
+fn dataset(name: &str) -> LabeledGraph {
+    let (num_vertices, classes, dim, seed) = match name {
+        "AR" => (900, 8, 32, 1),
+        "PR" => (1400, 10, 24, 2),
+        "PA" => (1100, 12, 32, 3),
+        other => panic!("unknown dataset {other}"),
+    };
+    labeled_graph(&LabeledParams {
+        num_vertices,
+        num_classes: classes,
+        feature_dim: dim,
+        avg_degree: 6,
+        homophily: 0.62,
+        noise: 2.6,
+        num_edge_types: 4,
+        seed,
+    })
+}
+
+/// Rebuilds the dataset with edges re-ordered by a WiseGraph partition
+/// plan: the numerically honest version of "WiseGraph changes execution
+/// order, not results" — accumulation order differs, so accuracies may
+/// drift by floating-point noise only.
+fn plan_ordered(data: &LabeledGraph) -> LabeledGraph {
+    use wisegraph_gtask::{partition, PartitionTable};
+    let plan = partition(&data.graph, &PartitionTable::src_batch_per_type(64));
+    let order: Vec<usize> = plan.tasks.iter().flat_map(|t| t.edges.iter().copied()).collect();
+    let g = &data.graph;
+    let src: Vec<u32> = order.iter().map(|&e| g.src()[e]).collect();
+    let dst: Vec<u32> = order.iter().map(|&e| g.dst()[e]).collect();
+    let ety: Vec<u32> = order.iter().map(|&e| g.etype()[e]).collect();
+    let mut out = data.clone();
+    out.graph = wisegraph_graph::Graph::new(
+        g.num_vertices(),
+        g.num_edge_types(),
+        src,
+        dst,
+        ety,
+    );
+    out
+}
+
+fn main() {
+    let epochs = 60;
+    let lr = 0.01;
+    let mut rows = Vec::new();
+    for model_name in ["GAT", "SAGE"] {
+        for ds in ["AR", "PR", "PA"] {
+            let data = dataset(ds);
+            let dims = [data.feature_dim, 32, data.num_classes];
+            // "DGL": baseline execution order; "WiseGraph": plan-driven
+            // order. Same computation, same seeds.
+            let reordered = plan_ordered(&data);
+            let (acc_dgl, acc_ours) = match model_name {
+                "GAT" => {
+                    let mut a = Gat::new(&dims, 11);
+                    let mut b = Gat::new(&dims, 11);
+                    (
+                        final_accuracy(&mut a, &data, epochs, lr),
+                        final_accuracy(&mut b, &reordered, epochs, lr),
+                    )
+                }
+                _ => {
+                    let mut a = Sage::new(&dims, 11);
+                    let mut b = Sage::new(&dims, 11);
+                    (
+                        final_accuracy(&mut a, &data, epochs, lr),
+                        final_accuracy(&mut b, &reordered, epochs, lr),
+                    )
+                }
+            };
+            rows.push(vec![
+                model_name.to_string(),
+                ds.to_string(),
+                format!("{:.1}%", 100.0 * acc_dgl),
+                format!("{:.1}%", 100.0 * acc_ours),
+                format!("{:.2}pp", 100.0 * (acc_dgl - acc_ours).abs()),
+            ]);
+        }
+    }
+    print_table(
+        "Figure 14(a): test accuracy, DGL vs WiseGraph",
+        &["Model", "Dataset", "DGL", "WiseGraph", "|diff|"],
+        &rows,
+    );
+
+    // (b) SAGE accuracy curve on AR over 100 epochs.
+    let data = dataset("AR");
+    let mut model = Sage::new(&[data.feature_dim, 32, data.num_classes], 11);
+    let stats = train_full_graph(&mut model, &data, 100, lr);
+    println!("\n## Figure 14(b): SAGE accuracy curve on AR (100 epochs)\n");
+    println!("| Epoch | Loss | Test accuracy |");
+    println!("|---|---|---|");
+    for s in stats.iter().step_by(10).chain(stats.last()) {
+        println!(
+            "| {} | {:.4} | {:.1}% |",
+            s.epoch,
+            s.loss,
+            100.0 * s.test_accuracy
+        );
+    }
+    println!(
+        "\nPaper shape: WiseGraph and DGL match within 1% on every cell; the \
+         accuracy curve rises and plateaus."
+    );
+}

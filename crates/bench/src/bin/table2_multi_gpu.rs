@@ -1,0 +1,110 @@
+//! Table 2 — multi-GPU training epoch time (seconds) on 4× A100 / PCIe 4.0.
+//!
+//! Full-graph training on PA and FS (hidden 32), sampled-graph training on
+//! PA-S and FS-S (hidden 256, one epoch = enough iterations to cover the
+//! training set with 1000 seeds each). `N/A` marks systems that do not
+//! support the mode (ROC/DGCL are full-graph systems; P3 targets sampled
+//! training), as in the paper.
+//!
+//! Expected shape: WiseGraph fastest everywhere; ~2.27× over the best
+//! baseline for full-graph, ~1.83× for sampled.
+
+use wisegraph_baselines::single::LayerDims;
+use wisegraph_baselines::{MultiGpuSystem, MultiStack};
+use wisegraph_bench::{build_dataset, fmt_s, print_table};
+use wisegraph_core::multi as ours;
+use wisegraph_graph::DatasetKind;
+use wisegraph_models::ModelKind;
+
+fn main() {
+    let stack = MultiStack::paper_quad();
+    let model = ModelKind::Sage;
+    let mut rows = Vec::new();
+    let mut full_speedups = Vec::new();
+    let mut sampled_speedups = Vec::new();
+
+    let configs = [
+        (DatasetKind::Papers, false),
+        (DatasetKind::FriendSter, false),
+        (DatasetKind::PapersSample, true),
+        (DatasetKind::FriendSterSample, true),
+    ];
+    for (kind, sampled) in configs {
+        let (g, spec) = build_dataset(kind);
+        let dims = LayerDims {
+            f_in: spec.feature_dim,
+            hidden: if sampled { 256 } else { 32 },
+            classes: spec.num_classes,
+            layers: 3,
+        };
+        // Full-graph: one iteration per epoch; sampled: the training set
+        // (60% of vertices) visited 1000 seeds at a time.
+        let iters_per_epoch = if sampled {
+            (spec.paper_vertices as f64 * 0.6 / 1000.0).max(1.0)
+        } else {
+            1.0
+        };
+        // Per-iteration work scales with graph size for full-graph
+        // training; a sampled iteration is fixed-size (defined by seeds ×
+        // fan-out), so only the iteration count scales.
+        let scale = if sampled { 1.0 } else { spec.scale() };
+
+        let mut row = vec![spec.kind.short_name().to_string()];
+        let mut best = f64::INFINITY;
+        for sys in MultiGpuSystem::ALL {
+            if !sys.supports(sampled) {
+                row.push("N/A".to_string());
+                continue;
+            }
+            let t = sys.iteration_time(&g, model, &dims, &stack) * scale * iters_per_epoch;
+            best = best.min(t);
+            row.push(fmt_s(t));
+        }
+        let t_ours =
+            ours::iteration_time(&g, model, &dims, &stack) * scale * iters_per_epoch;
+        row.push(fmt_s(t_ours));
+        rows.push(row);
+        if sampled {
+            sampled_speedups.push(best / t_ours);
+        } else {
+            full_speedups.push(best / t_ours);
+        }
+    }
+    print_table(
+        "Table 2: multi-GPU training epoch time (s), 4x A100 / PCIe 4.0",
+        &["Dataset", "DGL", "ROC", "DGCL", "P3", "WiseGraph"],
+        &rows,
+    );
+    let gm = |v: &[f64]| (v.iter().map(|x| x.ln()).sum::<f64>() / v.len() as f64).exp();
+    println!(
+        "\nSpeedup over best baseline: full-graph {:.2}x (paper: 2.27x), \
+         sampled {:.2}x (paper: 1.83x)",
+        gm(&full_speedups),
+        gm(&sampled_speedups)
+    );
+
+    // Side experiment from §7.2: full-graph *inference* on PA vs MGG
+    // (paper: 8.71 s WiseGraph vs 25.24 s MGG, 2.90×).
+    let (g, spec) = build_dataset(DatasetKind::Papers);
+    let dims = LayerDims {
+        f_in: spec.feature_dim,
+        hidden: 32,
+        classes: spec.num_classes,
+        layers: 3,
+    };
+    let mgg = wisegraph_baselines::multi::mgg_inference_time(
+        &g,
+        model,
+        &dims,
+        &stack,
+    ) * spec.scale();
+    let ours_inf = ours::iteration_time(&g, model, &dims, &stack) * spec.scale()
+        / wisegraph_baselines::single::TRAIN_FACTOR;
+    println!(
+        "\nFull-graph inference on PA: MGG {:.2} s vs WiseGraph {:.2} s \
+         ({:.2}x; paper: 25.24 s vs 8.71 s, 2.90x)",
+        mgg,
+        ours_inf,
+        mgg / ours_inf
+    );
+}

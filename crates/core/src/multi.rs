@@ -1,0 +1,148 @@
+//! Multi-device operation placement (paper §5.4).
+//!
+//! Communication operations either move or reduce data, so their order
+//! with respect to computation can be swapped. WiseGraph picks, per layer,
+//! whichever side of the computation has the smaller data volume — the
+//! *changing data volume* pattern: if an operation shrinks data along the
+//! vertex or embedding dimension, communicate its output; otherwise its
+//! input.
+
+use wisegraph_baselines::multi::{max_remote_unique_src, MultiStack};
+use wisegraph_baselines::single::{layer_compute_time, LayerDims, TRAIN_FACTOR};
+use wisegraph_graph::Graph;
+use wisegraph_models::ModelKind;
+
+/// WiseGraph's per-device compute gain relative to the DGL-style kernels,
+/// from the single-GPU plan optimization (batched fused kernels): the
+/// measured single-GPU speedups are ~2.6× for complex models and ~1.13×
+/// for simple ones (§7.2).
+fn compute_gain(model: ModelKind) -> f64 {
+    if model.is_complex() {
+        1.0 / 2.6
+    } else {
+        1.0 / 1.13
+    }
+}
+
+/// Communication time for one layer under the best placement.
+///
+/// Candidates (Figure 11 — the execution order of communication and
+/// computation can be swapped because collectives move or reduce data):
+/// - data parallel, communicate-then-compute: all-to-all of the unique
+///   remote *input* embeddings (`remote × f_in`);
+/// - project-then-communicate (MLP placed on the remote device, Fig. 11c):
+///   all-to-all of the projected embeddings (`remote × f_out`) — wins when
+///   the volume shrinks at the embedding dimension;
+/// - compute-then-reduce (index-add placed on all devices, Fig. 11d):
+///   partial aggregates reduced at the *output* volume (`V × f_out`
+///   reduce-scatter) — wins when the volume shrinks at the vertex
+///   dimension.
+pub fn best_placement_comm(
+    g: &Graph,
+    stack: &MultiStack,
+    f_in: usize,
+    f_out: usize,
+) -> f64 {
+    let remote = max_remote_unique_src(g, stack.fabric.num_devices) as f64;
+    let v = g.num_vertices() as f64;
+    let input_side = stack.fabric.all_to_all(remote * f_in as f64 * 4.0);
+    let projected_side = stack.fabric.all_to_all(remote * f_out as f64 * 4.0);
+    let output_side = stack.fabric.reduce_scatter(v * f_out as f64 * 4.0);
+    input_side.min(projected_side).min(output_side)
+}
+
+/// Per-iteration multi-device training time for WiseGraph.
+pub fn iteration_time(
+    g: &Graph,
+    model: ModelKind,
+    dims: &LayerDims,
+    stack: &MultiStack,
+) -> f64 {
+    let d = stack.fabric.num_devices as f64;
+    let gain = compute_gain(model);
+    let mut total = 0.0;
+    for l in 0..dims.layers {
+        let (fi, fo) = dims.layer_io(l);
+        let comp = layer_compute_time(g, model, fi, fo, &stack.device) * gain / d;
+        let comm = best_placement_comm(g, stack, fi, fo);
+        // gTask-level pipelining: communication for one set of gTasks
+        // overlaps computation of another (§5.4 placement at gTask
+        // granularity), so a layer costs the longer of the two streams.
+        total += comp.max(comm) * TRAIN_FACTOR;
+    }
+    total
+}
+
+/// First-GCN-layer time (the Figure 20 sweep) for WiseGraph.
+pub fn first_layer_time(g: &Graph, f_in: usize, hidden: usize, stack: &MultiStack) -> f64 {
+    let d = stack.fabric.num_devices as f64;
+    let comp = layer_compute_time(g, ModelKind::Gcn, f_in, hidden, &stack.device)
+        * compute_gain(ModelKind::Gcn)
+        / d;
+    let comm = best_placement_comm(g, stack, f_in, hidden);
+    comp.max(comm)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wisegraph_baselines::MultiGpuSystem;
+    use wisegraph_graph::DatasetKind;
+
+    #[test]
+    fn ours_beats_dgl_and_p3_across_hidden_dims() {
+        // Figure 20: WiseGraph "consistently achieves the shortest
+        // execution time" while DGL and P3 each lose in some regime.
+        let g = DatasetKind::FriendSterSample.spec().build();
+        let stack = MultiStack::paper_quad();
+        let f_in = 384;
+        for hidden in [32usize, 64, 128, 256, 512, 1024] {
+            let ours = first_layer_time(&g, f_in, hidden, &stack);
+            let dgl = MultiGpuSystem::Dgl.first_layer_time(&g, f_in, hidden, &stack);
+            let p3 = MultiGpuSystem::P3.first_layer_time(&g, f_in, hidden, &stack);
+            assert!(
+                ours <= dgl * 1.001 && ours <= p3 * 1.001,
+                "hidden {hidden}: ours {ours}, dgl {dgl}, p3 {p3}"
+            );
+        }
+    }
+
+    #[test]
+    fn placement_picks_smaller_volume() {
+        let g = DatasetKind::PapersSample.spec().build();
+        let stack = MultiStack::paper_quad();
+        // Huge input features, tiny output: communicating after the
+        // projection (volume shrinks at the embedding dimension) wins —
+        // and is far below the input-side volume.
+        let comm_small_out = best_placement_comm(&g, &stack, 1024, 8);
+        let remote = max_remote_unique_src(&g, 4) as f64;
+        let projected = stack.fabric.all_to_all(remote * 8.0 * 4.0);
+        let out_side = stack.fabric.reduce_scatter(g.num_vertices() as f64 * 8.0 * 4.0);
+        assert!((comm_small_out - projected.min(out_side)).abs() <= f64::EPSILON);
+        let in_side = stack.fabric.all_to_all(remote * 1024.0 * 4.0);
+        assert!(comm_small_out < in_side / 10.0);
+        // Tiny input, huge output: input-side wins.
+        let comm_small_in = best_placement_comm(&g, &stack, 8, 1024);
+        let remote = max_remote_unique_src(&g, 4) as f64;
+        let in_side = stack.fabric.all_to_all(remote * 8.0 * 4.0);
+        assert!((comm_small_in - in_side).abs() / in_side < 1e-9);
+    }
+
+    #[test]
+    fn full_epoch_beats_table2_baselines() {
+        // Table 2 shape: WiseGraph fastest on full-graph multi-GPU.
+        let g = DatasetKind::Papers.spec().build();
+        let stack = MultiStack::paper_quad();
+        let dims = LayerDims {
+            f_in: 128,
+            hidden: 32,
+            classes: 172,
+            layers: 3,
+        };
+        let ours = iteration_time(&g, ModelKind::Sage, &dims, &stack);
+        for sys in [MultiGpuSystem::Dgl, MultiGpuSystem::Roc, MultiGpuSystem::Dgcl] {
+            let t = sys.iteration_time(&g, ModelKind::Sage, &dims, &stack);
+            assert!(ours < t, "{}: ours {ours} vs {t}", sys.name());
+        }
+    }
+}

@@ -1,0 +1,182 @@
+//! Symbolic tensor dimensions and their concrete bindings.
+//!
+//! Workload accounting must be evaluated both for the whole graph (plan
+//! comparison) and per gTask (pattern analysis), so tensor shapes in the DFG
+//! are symbolic: `[|V|, 128]`, `[uniq(src-id), F]`, etc. A [`Binding`]
+//! supplies the concrete numbers for one scope.
+
+use std::collections::HashMap;
+use wisegraph_graph::{AttrKind, Graph};
+
+/// One symbolic dimension of a tensor shape.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Dim {
+    /// Number of vertices in the scope.
+    Vertices,
+    /// Number of edges in the scope.
+    Edges,
+    /// Number of distinct values of an edge attribute in the scope
+    /// (`uniq(attr)` in the paper's notation).
+    Unique(AttrKind),
+    /// Number of edge types of the graph (a model constant).
+    EdgeTypes,
+    /// A literal (model-defined) extent such as a feature dimension.
+    Lit(usize),
+}
+
+/// A symbolic tensor shape.
+pub type SymShape = Vec<Dim>;
+
+/// Concrete values for every symbolic dimension in one scope.
+#[derive(Clone, Debug, Default)]
+pub struct Binding {
+    /// `|V|` in this scope.
+    pub vertices: usize,
+    /// `|E|` in this scope.
+    pub edges: usize,
+    /// Number of edge types of the model/graph.
+    pub edge_types: usize,
+    /// `uniq(attr)` per attribute in this scope.
+    pub unique: HashMap<AttrKind, usize>,
+}
+
+impl Binding {
+    /// Builds the whole-graph binding: unique counts measured over all edges.
+    pub fn from_graph(g: &Graph) -> Self {
+        Self::from_edge_set(g, None)
+    }
+
+    /// Builds a binding for a subset of edges (a gTask scope). `edges = None`
+    /// means the whole graph.
+    pub fn from_edge_set(g: &Graph, edges: Option<&[usize]>) -> Self {
+        // Attribute values are bounded (vertex ids < |V|, degrees ≤ |E|,
+        // types < T), so large scopes count distinct values with a bitmap
+        // (O(E) per attribute); small scopes (per-gTask bindings) sort,
+        // avoiding a |E|-sized allocation per task.
+        let count_unique = |kind: AttrKind| -> usize {
+            match edges {
+                Some(es) if es.len() < 4096 => {
+                    let mut vals: Vec<u64> =
+                        es.iter().map(|&e| g.edge_attr(kind, e)).collect();
+                    vals.sort_unstable();
+                    vals.dedup();
+                    vals.len()
+                }
+                _ => {
+                    let vals = |f: &mut dyn FnMut(u64)| match edges {
+                        Some(es) => es.iter().for_each(|&e| f(g.edge_attr(kind, e))),
+                        None => (0..g.num_edges()).for_each(|e| f(g.edge_attr(kind, e))),
+                    };
+                    let mut max = 0u64;
+                    vals(&mut |v| max = max.max(v));
+                    let mut seen = vec![false; max as usize + 1];
+                    let mut count = 0usize;
+                    vals(&mut |v| {
+                        if !seen[v as usize] {
+                            seen[v as usize] = true;
+                            count += 1;
+                        }
+                    });
+                    count
+                }
+            }
+        };
+        let num_edges = edges.map_or(g.num_edges(), |es| es.len());
+        let mut unique = HashMap::new();
+        for kind in AttrKind::ALL {
+            unique.insert(kind, count_unique(kind));
+        }
+        // In a sub-scope the "vertices" that matter are the ones touched.
+        let vertices = if edges.is_some() {
+            let src_u = unique[&AttrKind::SrcId];
+            let dst_u = unique[&AttrKind::DstId];
+            src_u.max(dst_u)
+        } else {
+            g.num_vertices()
+        };
+        Binding {
+            vertices,
+            edges: num_edges,
+            edge_types: g.num_edge_types(),
+            unique,
+        }
+    }
+
+    /// Evaluates a symbolic dimension.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a `Unique` attribute was not recorded in this binding.
+    pub fn eval(&self, dim: Dim) -> usize {
+        match dim {
+            Dim::Vertices => self.vertices,
+            Dim::Edges => self.edges,
+            Dim::EdgeTypes => self.edge_types,
+            Dim::Lit(n) => n,
+            Dim::Unique(a) => *self
+                .unique
+                .get(&a)
+                .unwrap_or_else(|| panic!("no unique count recorded for {a}")),
+        }
+    }
+
+    /// Evaluates a full shape to its element count.
+    pub fn numel(&self, shape: &SymShape) -> usize {
+        shape.iter().map(|&d| self.eval(d)).product()
+    }
+
+    /// Evaluates a full shape to concrete extents.
+    pub fn concrete(&self, shape: &SymShape) -> Vec<usize> {
+        shape.iter().map(|&d| self.eval(d)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn paper_graph() -> Graph {
+        Graph::new(
+            5,
+            2,
+            vec![0, 1, 0, 1, 2, 2, 3, 4, 3, 4, 0],
+            vec![0, 0, 1, 1, 1, 2, 2, 2, 3, 3, 4],
+            vec![0, 0, 0, 0, 1, 0, 1, 1, 1, 1, 0],
+        )
+    }
+
+    #[test]
+    fn whole_graph_binding() {
+        let g = paper_graph();
+        let b = Binding::from_graph(&g);
+        assert_eq!(b.vertices, 5);
+        assert_eq!(b.edges, 11);
+        assert_eq!(b.edge_types, 2);
+        assert_eq!(b.eval(Dim::Unique(AttrKind::SrcId)), 5);
+        assert_eq!(b.eval(Dim::Unique(AttrKind::DstId)), 5);
+        assert_eq!(b.eval(Dim::Unique(AttrKind::EdgeType)), 2);
+        assert_eq!(b.eval(Dim::Unique(AttrKind::EdgeId)), 11);
+    }
+
+    #[test]
+    fn subset_binding_counts_unique_in_scope() {
+        let g = paper_graph();
+        // Edges into vertex 1: ids 2, 3, 4 with srcs {0, 1, 2}, types {a, b}.
+        let b = Binding::from_edge_set(&g, Some(&[2, 3, 4]));
+        assert_eq!(b.edges, 3);
+        assert_eq!(b.eval(Dim::Unique(AttrKind::DstId)), 1);
+        assert_eq!(b.eval(Dim::Unique(AttrKind::SrcId)), 3);
+        assert_eq!(b.eval(Dim::Unique(AttrKind::EdgeType)), 2);
+    }
+
+    #[test]
+    fn shape_evaluation() {
+        let g = paper_graph();
+        let b = Binding::from_graph(&g);
+        let shape: SymShape = vec![Dim::Vertices, Dim::Lit(128)];
+        assert_eq!(b.numel(&shape), 5 * 128);
+        assert_eq!(b.concrete(&shape), vec![5, 128]);
+        let w: SymShape = vec![Dim::EdgeTypes, Dim::Lit(4), Dim::Lit(8)];
+        assert_eq!(b.numel(&w), 2 * 4 * 8);
+    }
+}

@@ -1,0 +1,184 @@
+//! Generic DFG passes: common-subexpression elimination, dead-node
+//! pruning, and Graphviz export.
+//!
+//! The builder API makes it easy to emit duplicate stream/index nodes
+//! (every layer builder calls `edge_attr(SrcId)` afresh); CSE canonicalizes
+//! them so kernel generation sees each load once. Transformation rewrites
+//! leave dead originals behind; pruning drops them. `to_dot` renders a DFG
+//! for documentation and debugging.
+
+use crate::graph::{Dfg, NodeId};
+use crate::op::OpKind;
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+/// Structural key of a node: kind plus (canonicalized) inputs.
+fn node_key(kind: &OpKind, inputs: &[NodeId]) -> String {
+    format!("{kind:?}|{inputs:?}")
+}
+
+/// Common-subexpression elimination: merges structurally identical nodes
+/// (same operation, same canonical inputs). Pure by construction — every
+/// operation in the IR is deterministic.
+pub fn cse(dfg: &Dfg) -> Dfg {
+    let mut out = Dfg::new();
+    let mut canon: Vec<NodeId> = Vec::with_capacity(dfg.len());
+    let mut seen: HashMap<String, NodeId> = HashMap::new();
+    for node in dfg.nodes() {
+        let inputs: Vec<NodeId> = node.inputs.iter().map(|p| canon[p.0]).collect();
+        let key = node_key(&node.kind, &inputs);
+        let id = match seen.get(&key) {
+            Some(&existing) => existing,
+            None => {
+                let id = out.add_node(node.kind.clone(), inputs);
+                seen.insert(key, id);
+                id
+            }
+        };
+        canon.push(id);
+    }
+    for &o in dfg.outputs() {
+        out.mark_output(canon[o.0]);
+    }
+    out
+}
+
+/// Dead-node elimination: rebuilds the DFG with only output-reachable
+/// nodes.
+pub fn prune_dead(dfg: &Dfg) -> Dfg {
+    let live = dfg.live_set();
+    let mut out = Dfg::new();
+    let mut remap: Vec<Option<NodeId>> = vec![None; dfg.len()];
+    for (i, node) in dfg.nodes().iter().enumerate() {
+        if !live[i] {
+            continue;
+        }
+        let inputs: Vec<NodeId> = node
+            .inputs
+            .iter()
+            .map(|p| remap[p.0].expect("live node's input is live"))
+            .collect();
+        remap[i] = Some(out.add_node(node.kind.clone(), inputs));
+    }
+    for &o in dfg.outputs() {
+        out.mark_output(remap[o.0].expect("output is live"));
+    }
+    out
+}
+
+/// Renders the DFG in Graphviz dot format. Indexing operations are drawn
+/// as boxes, neural operations as ellipses, sources as plain text — the
+/// visual language of the paper's Figure 2(c).
+pub fn to_dot(dfg: &Dfg, title: &str) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "digraph \"{title}\" {{");
+    let _ = writeln!(s, "  rankdir=TB;");
+    let live = dfg.live_set();
+    for (i, node) in dfg.nodes().iter().enumerate() {
+        let (label, shape) = match &node.kind {
+            OpKind::Input { name, .. } => (name.clone(), "plaintext"),
+            OpKind::EdgeAttr(a) => (format!("{a}"), "plaintext"),
+            OpKind::UniqueValues(a) => (format!("{a}_unique"), "plaintext"),
+            OpKind::UniqueMap(a) => (format!("{a}_map"), "plaintext"),
+            k if k.is_indexing() => (format!("{k:?}"), "box"),
+            k => (format!("{k:?}"), "ellipse"),
+        };
+        let style = if live[i] { "" } else { ", style=dotted" };
+        let _ = writeln!(s, "  n{i} [label=\"{label}\", shape={shape}{style}];");
+        for &NodeId(p) in &node.inputs {
+            let _ = writeln!(s, "  n{p} -> n{i};");
+        }
+    }
+    for &NodeId(o) in dfg.outputs() {
+        let _ = writeln!(s, "  n{o} [peripheries=2];");
+    }
+    s.push_str("}\n");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dim::Dim;
+    use crate::interp::execute;
+    use std::collections::HashMap as Map;
+    use wisegraph_graph::generate::{rmat, RmatParams};
+    use wisegraph_graph::AttrKind;
+    use wisegraph_tensor::{init, Tensor};
+
+    /// A DFG with deliberate duplication: two identical gathers.
+    fn duplicated_dfg() -> Dfg {
+        let mut d = Dfg::new();
+        let h = d.input("h", vec![Dim::Vertices, Dim::Lit(4)]);
+        let src1 = d.edge_attr(AttrKind::SrcId);
+        let src2 = d.edge_attr(AttrKind::SrcId);
+        let dst = d.edge_attr(AttrKind::DstId);
+        let g1 = d.index(h, src1);
+        let g2 = d.index(h, src2);
+        let sum = d.add(g1, g2);
+        let out = d.index_add(sum, dst, Dim::Vertices);
+        d.mark_output(out);
+        d
+    }
+
+    #[test]
+    fn cse_merges_duplicate_streams_and_gathers() {
+        let d = duplicated_dfg();
+        let c = cse(&d);
+        assert!(c.len() < d.len(), "{} vs {}", c.len(), d.len());
+        // One EdgeAttr(SrcId), one Index remain.
+        let count = |d: &Dfg, pred: &dyn Fn(&OpKind) -> bool| {
+            d.nodes().iter().filter(|n| pred(&n.kind)).count()
+        };
+        assert_eq!(
+            count(&c, &|k| matches!(k, OpKind::EdgeAttr(AttrKind::SrcId))),
+            1
+        );
+        assert_eq!(count(&c, &|k| matches!(k, OpKind::Index)), 1);
+    }
+
+    #[test]
+    fn cse_preserves_semantics() {
+        let g = rmat(&RmatParams::standard(30, 200, 71));
+        let d = duplicated_dfg();
+        let c = cse(&d);
+        let mut inputs: Map<String, Tensor> = Map::new();
+        inputs.insert("h".into(), init::uniform_tensor(&[30, 4], -1.0, 1.0, 3));
+        let a = &execute(&d, &g, &inputs).unwrap()[0];
+        let b = &execute(&c, &g, &inputs).unwrap()[0];
+        assert!(a.allclose(b, 1e-6));
+    }
+
+    #[test]
+    fn prune_drops_dead_nodes_only() {
+        let mut d = duplicated_dfg();
+        // Dead expensive branch.
+        let h2 = d.input("h2", vec![Dim::Vertices, Dim::Lit(64)]);
+        let w2 = d.input("w2", vec![Dim::Lit(64), Dim::Lit(64)]);
+        let _dead = d.linear(h2, w2);
+        let before = d.len();
+        let p = prune_dead(&d);
+        assert!(p.len() < before);
+        let g = rmat(&RmatParams::standard(30, 200, 73));
+        let mut inputs: Map<String, Tensor> = Map::new();
+        inputs.insert("h".into(), init::uniform_tensor(&[30, 4], -1.0, 1.0, 5));
+        let mut inputs_full = inputs.clone();
+        inputs_full.insert("h2".into(), Tensor::zeros(&[30, 64]));
+        inputs_full.insert("w2".into(), Tensor::zeros(&[64, 64]));
+        let a = &execute(&d, &g, &inputs_full).unwrap()[0];
+        // The pruned DFG no longer needs the dead inputs at all.
+        let b = &execute(&p, &g, &inputs).unwrap()[0];
+        assert!(a.allclose(b, 1e-6));
+    }
+
+    #[test]
+    fn dot_export_contains_every_live_node() {
+        let d = duplicated_dfg();
+        let dot = to_dot(&d, "test");
+        assert!(dot.starts_with("digraph"));
+        assert!(dot.contains("src-id"));
+        assert!(dot.contains("shape=box"), "indexing ops are boxes");
+        assert!(dot.contains("peripheries=2"), "outputs are marked");
+        assert!(dot.trim_end().ends_with('}'));
+    }
+}

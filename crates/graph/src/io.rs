@@ -1,0 +1,264 @@
+//! Graph serialization: a simple text edge-list format and a compact
+//! binary format.
+//!
+//! The text format is the interchange format of most graph tooling (one
+//! `src dst [type]` triple per line, `#` comments); the binary format is a
+//! little-endian dump with a magic header for fast reloads of generated
+//! datasets.
+
+use crate::graph::Graph;
+use std::io::{self, BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+/// Magic bytes of the binary format.
+const MAGIC: &[u8; 8] = b"WGGRAPH1";
+
+/// Writes the graph as a text edge list: a header comment, then one
+/// `src dst type` line per edge.
+///
+/// # Errors
+///
+/// Propagates I/O errors.
+pub fn write_edge_list<W: Write>(g: &Graph, w: W) -> io::Result<()> {
+    let mut w = BufWriter::new(w);
+    writeln!(
+        w,
+        "# wisegraph edge list: {} vertices, {} edges, {} edge types",
+        g.num_vertices(),
+        g.num_edges(),
+        g.num_edge_types()
+    )?;
+    writeln!(w, "# vertices {}", g.num_vertices())?;
+    writeln!(w, "# edge-types {}", g.num_edge_types())?;
+    for e in 0..g.num_edges() {
+        writeln!(w, "{} {} {}", g.src()[e], g.dst()[e], g.etype()[e])?;
+    }
+    w.flush()
+}
+
+/// Reads a text edge list written by [`write_edge_list`] (or any
+/// whitespace-separated `src dst [type]` file; vertex count defaults to
+/// `max id + 1` when no header is present).
+///
+/// # Errors
+///
+/// Returns `InvalidData` for malformed lines.
+pub fn read_edge_list<R: Read>(r: R) -> io::Result<Graph> {
+    let r = BufReader::new(r);
+    let mut num_vertices: Option<usize> = None;
+    let mut num_types: Option<usize> = None;
+    let mut src = Vec::new();
+    let mut dst = Vec::new();
+    let mut ety = Vec::new();
+    for (lineno, line) in r.lines().enumerate() {
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix('#') {
+            let mut it = rest.split_whitespace();
+            match (it.next(), it.next()) {
+                (Some("vertices"), Some(n)) => num_vertices = n.parse().ok(),
+                (Some("edge-types"), Some(n)) => num_types = n.parse().ok(),
+                _ => {}
+            }
+            continue;
+        }
+        let mut it = line.split_whitespace();
+        let parse = |tok: Option<&str>| -> io::Result<u32> {
+            tok.ok_or_else(|| {
+                io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("line {}: missing field", lineno + 1),
+                )
+            })?
+            .parse()
+            .map_err(|e| {
+                io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("line {}: {e}", lineno + 1),
+                )
+            })
+        };
+        src.push(parse(it.next())?);
+        dst.push(parse(it.next())?);
+        ety.push(match it.next() {
+            Some(tok) => tok.parse().map_err(|e| {
+                io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("line {}: {e}", lineno + 1),
+                )
+            })?,
+            None => 0,
+        });
+    }
+    let max_v = src
+        .iter()
+        .chain(dst.iter())
+        .copied()
+        .max()
+        .map_or(0, |m| m as usize + 1);
+    let n = num_vertices.unwrap_or(max_v).max(max_v);
+    let t = num_types
+        .unwrap_or_else(|| ety.iter().copied().max().map_or(0, |m| m as usize + 1));
+    let t = t.max(ety.iter().copied().max().map_or(1, |m| m as usize + 1));
+    Ok(Graph::new(n.max(1), t, src, dst, ety))
+}
+
+/// Writes the graph in the compact binary format.
+///
+/// # Errors
+///
+/// Propagates I/O errors.
+pub fn write_binary<W: Write>(g: &Graph, w: W) -> io::Result<()> {
+    let mut w = BufWriter::new(w);
+    w.write_all(MAGIC)?;
+    let header = [
+        g.num_vertices() as u64,
+        g.num_edges() as u64,
+        g.num_edge_types() as u64,
+    ];
+    for v in header {
+        w.write_all(&v.to_le_bytes())?;
+    }
+    let dump = |w: &mut BufWriter<W>, xs: &[u32]| -> io::Result<()> {
+        for &x in xs {
+            w.write_all(&x.to_le_bytes())?;
+        }
+        Ok(())
+    };
+    dump(&mut w, g.src())?;
+    dump(&mut w, g.dst())?;
+    dump(&mut w, g.etype())?;
+    w.flush()
+}
+
+/// Reads a graph from the compact binary format.
+///
+/// # Errors
+///
+/// Returns `InvalidData` if the magic or sizes are wrong.
+pub fn read_binary<R: Read>(mut r: R) -> io::Result<Graph> {
+    let mut magic = [0u8; 8];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "bad magic: not a wisegraph binary graph",
+        ));
+    }
+    let read_u64 = |r: &mut R| -> io::Result<u64> {
+        let mut b = [0u8; 8];
+        r.read_exact(&mut b)?;
+        Ok(u64::from_le_bytes(b))
+    };
+    let v = read_u64(&mut r)? as usize;
+    let e = read_u64(&mut r)? as usize;
+    let t = read_u64(&mut r)? as usize;
+    let read_vec = |r: &mut R| -> io::Result<Vec<u32>> {
+        let mut out = Vec::with_capacity(e);
+        let mut b = [0u8; 4];
+        for _ in 0..e {
+            r.read_exact(&mut b)?;
+            out.push(u32::from_le_bytes(b));
+        }
+        Ok(out)
+    };
+    let src = read_vec(&mut r)?;
+    let dst = read_vec(&mut r)?;
+    let ety = read_vec(&mut r)?;
+    Ok(Graph::new(v, t.max(1), src, dst, ety))
+}
+
+/// Convenience: saves a graph to a path, choosing the format by extension
+/// (`.bin` → binary, anything else → text edge list).
+///
+/// # Errors
+///
+/// Propagates I/O errors.
+pub fn save<P: AsRef<Path>>(g: &Graph, path: P) -> io::Result<()> {
+    let f = std::fs::File::create(&path)?;
+    if path.as_ref().extension().is_some_and(|x| x == "bin") {
+        write_binary(g, f)
+    } else {
+        write_edge_list(g, f)
+    }
+}
+
+/// Convenience: loads a graph from a path, choosing the format by
+/// extension.
+///
+/// # Errors
+///
+/// Propagates I/O errors.
+pub fn load<P: AsRef<Path>>(path: P) -> io::Result<Graph> {
+    let f = std::fs::File::open(&path)?;
+    if path.as_ref().extension().is_some_and(|x| x == "bin") {
+        read_binary(f)
+    } else {
+        read_edge_list(f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::{rmat, RmatParams};
+
+    fn sample() -> Graph {
+        rmat(&RmatParams::standard(200, 1500, 77).with_edge_types(5))
+    }
+
+    fn graphs_equal(a: &Graph, b: &Graph) -> bool {
+        a.num_vertices() == b.num_vertices()
+            && a.num_edge_types() == b.num_edge_types()
+            && a.src() == b.src()
+            && a.dst() == b.dst()
+            && a.etype() == b.etype()
+    }
+
+    #[test]
+    fn text_roundtrip() {
+        let g = sample();
+        let mut buf = Vec::new();
+        write_edge_list(&g, &mut buf).unwrap();
+        let back = read_edge_list(&buf[..]).unwrap();
+        assert!(graphs_equal(&g, &back));
+    }
+
+    #[test]
+    fn binary_roundtrip() {
+        let g = sample();
+        let mut buf = Vec::new();
+        write_binary(&g, &mut buf).unwrap();
+        let back = read_binary(&buf[..]).unwrap();
+        assert!(graphs_equal(&g, &back));
+        // Fixed-size records: 8 magic + 24 header + 12 bytes per edge.
+        assert_eq!(buf.len(), 8 + 24 + 12 * g.num_edges());
+    }
+
+    #[test]
+    fn reads_untyped_third_party_edge_lists() {
+        let data = "0 1\n1 2\n2 0\n";
+        let g = read_edge_list(data.as_bytes()).unwrap();
+        assert_eq!(g.num_vertices(), 3);
+        assert_eq!(g.num_edges(), 3);
+        assert!(g.etype().iter().all(|&t| t == 0));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(read_edge_list("0 banana\n".as_bytes()).is_err());
+        assert!(read_binary(&b"NOTMAGIC"[..]).is_err());
+        assert!(read_binary(&b"WGGRAPH1\x01"[..]).is_err()); // truncated
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let data = "# a comment\n\n0 1 2\n# another\n1 0 1\n";
+        let g = read_edge_list(data.as_bytes()).unwrap();
+        assert_eq!(g.num_edges(), 2);
+        assert_eq!(g.num_edge_types(), 3);
+    }
+}

@@ -1,0 +1,104 @@
+//! Graph statistics used for calibration and reporting.
+
+/// Gini coefficient of a degree sequence (0 = uniform, →1 = concentrated).
+///
+/// Used to verify that synthetic graphs reproduce the power-law skew the
+/// paper's joint optimization exploits (§6: "power-law distribution of graph
+/// data").
+pub fn degree_gini(degrees: &[u32]) -> f64 {
+    if degrees.is_empty() {
+        return 0.0;
+    }
+    let mut sorted: Vec<u64> = degrees.iter().map(|&d| d as u64).collect();
+    sorted.sort_unstable();
+    let n = sorted.len() as f64;
+    let total: u64 = sorted.iter().sum();
+    if total == 0 {
+        return 0.0;
+    }
+    let mut cum = 0.0f64;
+    let mut weighted = 0.0f64;
+    for (i, &d) in sorted.iter().enumerate() {
+        cum += d as f64;
+        weighted += cum;
+        let _ = i;
+    }
+    // Gini = 1 - 2·B where B is the area under the Lorenz curve.
+    1.0 - 2.0 * (weighted / (n * total as f64)) + 1.0 / n
+}
+
+/// A log-binned degree histogram: `(lower_bound, count)` pairs.
+pub fn degree_histogram_log2(degrees: &[u32]) -> Vec<(u32, usize)> {
+    let max = degrees.iter().copied().max().unwrap_or(0);
+    let bins = 64 - u64::from(max).leading_zeros() as usize + 1;
+    let mut hist = vec![0usize; bins.max(1)];
+    for &d in degrees {
+        let bin = if d == 0 {
+            0
+        } else {
+            64 - u64::from(d).leading_zeros() as usize
+        };
+        hist[bin.min(bins - 1)] += 1;
+    }
+    hist.into_iter()
+        .enumerate()
+        .filter(|&(_, c)| c > 0)
+        .map(|(b, c)| (if b == 0 { 0 } else { 1u32 << (b - 1) }, c))
+        .collect()
+}
+
+/// Fraction of all edges incident (as destination) to the top `k` vertices.
+pub fn top_k_in_degree_share(degrees: &[u32], k: usize) -> f64 {
+    let total: u64 = degrees.iter().map(|&d| d as u64).sum();
+    if total == 0 {
+        return 0.0;
+    }
+    let mut sorted: Vec<u32> = degrees.to_vec();
+    sorted.sort_unstable_by(|a, b| b.cmp(a));
+    let top: u64 = sorted.iter().take(k).map(|&d| d as u64).sum();
+    top as f64 / total as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gini_of_uniform_is_near_zero() {
+        let g = degree_gini(&[5; 100]);
+        assert!(g.abs() < 0.02, "gini = {g}");
+    }
+
+    #[test]
+    fn gini_of_concentrated_is_high() {
+        let mut d = vec![0u32; 99];
+        d.push(1000);
+        let g = degree_gini(&d);
+        assert!(g > 0.95, "gini = {g}");
+    }
+
+    #[test]
+    fn gini_handles_empty_and_zero() {
+        assert_eq!(degree_gini(&[]), 0.0);
+        assert_eq!(degree_gini(&[0, 0, 0]), 0.0);
+    }
+
+    #[test]
+    fn histogram_bins_cover_all_vertices() {
+        let d = [0, 1, 1, 2, 3, 4, 8, 9, 1000];
+        let h = degree_histogram_log2(&d);
+        let total: usize = h.iter().map(|&(_, c)| c).sum();
+        assert_eq!(total, d.len());
+        // Bin lower bounds are increasing powers of two (after the 0 bin).
+        for w in h.windows(2) {
+            assert!(w[0].0 < w[1].0);
+        }
+    }
+
+    #[test]
+    fn top_k_share() {
+        let d = [10, 10, 10, 70];
+        assert!((top_k_in_degree_share(&d, 1) - 0.7).abs() < 1e-9);
+        assert!((top_k_in_degree_share(&d, 4) - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,27 @@
+//! The gTask abstraction: joint workload partition of graph data.
+//!
+//! A *gTask* (paper §3) is a subset of edges produced by a graph partition
+//! plan, later paired with an operation partition plan. This crate covers
+//! the graph side (§4) and the analyses that feed the operation side (§5.1)
+//! and the joint optimizer (§6.1):
+//!
+//! - [`restriction`]: the graph partition table (Figure 6) — per-attribute
+//!   restrictions `uniq(attr) = k`, `uniq(attr) = min`, or unrestricted —
+//!   plus constructors for the classic plans of Figure 7 (vertex-centric,
+//!   edge-centric, 2-D, …) and the adaptive plan enumerator;
+//! - [`partition`]: the greedy sort-and-scan partitioner (O(E log E));
+//! - [`task`]: the [`GTask`] type and its gTask-level data patterns
+//!   (duplicated data, batched data, changing data volume);
+//! - [`outlier`]: identification of underfill / overfill / frequent-value
+//!   outlier gTasks.
+
+pub mod incremental;
+pub mod outlier;
+pub mod partition;
+pub mod restriction;
+pub mod task;
+
+pub use outlier::{classify_outliers, OutlierKind};
+pub use partition::partition;
+pub use restriction::{PartitionTable, Restriction};
+pub use task::{DataPatterns, GTask, PartitionPlan};

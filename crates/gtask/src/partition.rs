@@ -1,0 +1,274 @@
+//! The greedy sort-and-scan graph partitioner (paper §4.2).
+//!
+//! "We first sort the edges of the graph according to edge attributes
+//! involved in the restrictions. Then we scan these edges in order. If a
+//! restriction condition is satisfied after including the current edge, we
+//! add it to the current gTask's graph data. If any restrictions are not
+//! satisfied after adding the current edge, we stop the graph partition for
+//! the current gTask and start a new gTask."
+//!
+//! Sort-key order: `Min` attributes first (grouping similar values so their
+//! unique count per task stays small), then `Exact` attributes from the
+//! tightest bound to the loosest (so e.g. `uniq(edge-type)=1 &
+//! uniq(src-id)=K` groups by type before batching sources — otherwise every
+//! type change would cut a batch short), then the edge id for stability.
+//! The scan enforces only `Exact` bounds.
+
+use crate::restriction::PartitionTable;
+use crate::task::{GTask, PartitionPlan};
+use std::collections::{BTreeMap, HashSet};
+use wisegraph_graph::{AttrKind, Graph};
+
+/// Partitions the graph into gTasks according to the table.
+///
+/// Complexity: one O(E log E) sort plus an O(E · R) scan where R is the
+/// number of `Exact` restrictions — the light-weight method the paper uses
+/// so plans can be regenerated per candidate table.
+pub fn partition(g: &Graph, table: &PartitionTable) -> PartitionPlan {
+    let exact = table.exact_attrs();
+    let min_attrs = table.min_attrs();
+
+    // Sort keys: min attrs, then exact attrs tightest-bound first, then
+    // edge id.
+    let mut exact_sorted = exact.clone();
+    exact_sorted.sort_by_key(|&(_, k)| k);
+    let mut key_attrs: Vec<AttrKind> = Vec::new();
+    key_attrs.extend(&min_attrs);
+    key_attrs.extend(exact_sorted.iter().map(|&(a, _)| a));
+
+    let mut order: Vec<usize> = (0..g.num_edges()).collect();
+    if !key_attrs.is_empty() {
+        order.sort_by(|&a, &b| {
+            for &attr in &key_attrs {
+                let (va, vb) = (g.edge_attr(attr, a), g.edge_attr(attr, b));
+                if va != vb {
+                    return va.cmp(&vb);
+                }
+            }
+            a.cmp(&b)
+        });
+    }
+
+    let mut tasks: Vec<GTask> = Vec::new();
+    let mut current: Vec<usize> = Vec::new();
+    let mut seen: Vec<HashSet<u64>> = exact.iter().map(|_| HashSet::new()).collect();
+
+    let close = |current: &mut Vec<usize>,
+                 seen: &mut Vec<HashSet<u64>>,
+                 tasks: &mut Vec<GTask>| {
+        if current.is_empty() {
+            return;
+        }
+        let mut uniq = BTreeMap::new();
+        for (i, &(attr, _)) in exact.iter().enumerate() {
+            uniq.insert(attr, seen[i].len());
+        }
+        // Track min attrs' achieved uniqueness too (cheap: recompute).
+        for &attr in &min_attrs {
+            let mut vals: Vec<u64> =
+                current.iter().map(|&e| g.edge_attr(attr, e)).collect();
+            vals.sort_unstable();
+            vals.dedup();
+            uniq.insert(attr, vals.len());
+        }
+        tasks.push(GTask {
+            edges: std::mem::take(current),
+            uniq,
+        });
+        for s in seen.iter_mut() {
+            s.clear();
+        }
+    };
+
+    for &e in &order {
+        // Would adding `e` violate any Exact bound?
+        let violates = exact.iter().enumerate().any(|(i, &(attr, k))| {
+            let v = g.edge_attr(attr, e);
+            !seen[i].contains(&v) && seen[i].len() as u64 + 1 > k
+        });
+        if violates {
+            close(&mut current, &mut seen, &mut tasks);
+        }
+        for (i, &(attr, _)) in exact.iter().enumerate() {
+            seen[i].insert(g.edge_attr(attr, e));
+        }
+        current.push(e);
+    }
+    close(&mut current, &mut seen, &mut tasks);
+
+    PartitionPlan {
+        table: table.clone(),
+        tasks,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use wisegraph_graph::generate::{rmat, RmatParams};
+
+    fn paper_graph() -> Graph {
+        Graph::new(
+            5,
+            2,
+            vec![0, 1, 0, 1, 2, 2, 3, 4, 3, 4, 0],
+            vec![0, 0, 1, 1, 1, 2, 2, 2, 3, 3, 4],
+            vec![0, 0, 0, 0, 1, 0, 1, 1, 1, 1, 0],
+        )
+    }
+
+    fn covers_all_edges_once(plan: &PartitionPlan, num_edges: usize) -> bool {
+        let mut seen = vec![false; num_edges];
+        for t in &plan.tasks {
+            for &e in &t.edges {
+                if seen[e] {
+                    return false;
+                }
+                seen[e] = true;
+            }
+        }
+        seen.into_iter().all(|s| s)
+    }
+
+    #[test]
+    fn vertex_centric_one_task_per_destination() {
+        let g = paper_graph();
+        let plan = partition(&g, &PartitionTable::vertex_centric());
+        // 5 destinations, all with in-edges → 5 tasks.
+        assert_eq!(plan.num_tasks(), 5);
+        assert!(covers_all_edges_once(&plan, g.num_edges()));
+        for t in &plan.tasks {
+            assert_eq!(t.uniq_of(&g, AttrKind::DstId), 1);
+        }
+    }
+
+    #[test]
+    fn edge_centric_one_task_per_edge() {
+        let g = paper_graph();
+        let plan = partition(&g, &PartitionTable::edge_centric());
+        assert_eq!(plan.num_tasks(), g.num_edges());
+        assert!(plan.tasks.iter().all(|t| t.num_edges() == 1));
+    }
+
+    #[test]
+    fn dst_and_type_partition_matches_figure7d() {
+        let g = paper_graph();
+        let plan = partition(&g, &PartitionTable::dst_and_type());
+        assert!(covers_all_edges_once(&plan, g.num_edges()));
+        for t in &plan.tasks {
+            assert_eq!(t.uniq_of(&g, AttrKind::DstId), 1);
+            assert_eq!(t.uniq_of(&g, AttrKind::EdgeType), 1);
+        }
+        // Figure 7(d): destinations 1 and 2 each split into two tasks
+        // (types a and b); 0, 3, 4 are single-type → 7 tasks total.
+        assert_eq!(plan.num_tasks(), 7);
+    }
+
+    #[test]
+    fn dst_degree_grouping_matches_figure7g() {
+        let g = paper_graph();
+        let plan = partition(&g, &PartitionTable::dst_degree_grouped());
+        for t in &plan.tasks {
+            assert_eq!(t.uniq_of(&g, AttrKind::DstDegree), 1);
+        }
+        // In-degrees are [2, 3, 3, 2, 1] → three distinct degrees → 3 tasks.
+        assert_eq!(plan.num_tasks(), 3);
+    }
+
+    #[test]
+    fn min_restriction_groups_similar_degrees() {
+        let g = paper_graph();
+        let plan = partition(&g, &PartitionTable::dst_batch_min_degree(3));
+        assert!(covers_all_edges_once(&plan, g.num_edges()));
+        for t in &plan.tasks {
+            assert!(t.uniq_of(&g, AttrKind::DstId) <= 3);
+        }
+        // Sorting by degree first, the K=3 destination groups mix degrees
+        // as little as possible: uniq(dst-degree) per task stays ≤ 2 here.
+        for t in &plan.tasks {
+            assert!(t.uniq_of(&g, AttrKind::DstDegree) <= 2);
+        }
+    }
+
+    #[test]
+    fn src_batch_per_type_bounds_hold() {
+        let g = rmat(&RmatParams::standard(128, 2000, 33).with_edge_types(4));
+        let plan = partition(&g, &PartitionTable::src_batch_per_type(8));
+        assert!(covers_all_edges_once(&plan, g.num_edges()));
+        for t in &plan.tasks {
+            assert!(t.uniq_of(&g, AttrKind::SrcId) <= 8);
+            assert_eq!(t.uniq_of(&g, AttrKind::EdgeType), 1);
+        }
+    }
+
+    #[test]
+    fn two_d_partition_bounds_hold() {
+        let g = rmat(&RmatParams::standard(64, 1000, 35));
+        let plan = partition(&g, &PartitionTable::two_d(4));
+        for t in &plan.tasks {
+            assert!(t.uniq_of(&g, AttrKind::DstId) <= 4);
+            assert!(t.uniq_of(&g, AttrKind::SrcId) <= 4);
+        }
+    }
+
+    #[test]
+    fn unrestricted_table_yields_single_task() {
+        let g = paper_graph();
+        let plan = partition(&g, &PartitionTable::new());
+        assert_eq!(plan.num_tasks(), 1);
+        assert_eq!(plan.tasks[0].num_edges(), g.num_edges());
+    }
+
+    #[test]
+    fn recorded_uniq_counts_are_correct() {
+        let g = rmat(&RmatParams::standard(64, 800, 36).with_edge_types(4));
+        let plan = partition(&g, &PartitionTable::src_batch_per_type(8));
+        for t in &plan.tasks {
+            // The scan-recorded counts must match a fresh recount.
+            let recount = |attr: AttrKind| {
+                let mut v: Vec<u64> =
+                    t.edges.iter().map(|&e| g.edge_attr(attr, e)).collect();
+                v.sort_unstable();
+                v.dedup();
+                v.len()
+            };
+            assert_eq!(t.uniq[&AttrKind::SrcId], recount(AttrKind::SrcId));
+            assert_eq!(t.uniq[&AttrKind::EdgeType], recount(AttrKind::EdgeType));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        /// Every plan covers every edge exactly once, and all Exact bounds
+        /// hold for every generated task.
+        #[test]
+        fn partition_invariants(
+            seed in 0u64..1000,
+            k in 1u64..16,
+            table_idx in 0usize..6,
+        ) {
+            let g = rmat(&RmatParams::standard(96, 700, seed).with_edge_types(3));
+            let table = match table_idx {
+                0 => PartitionTable::vertex_centric(),
+                1 => PartitionTable::edge_centric(),
+                2 => PartitionTable::two_d(k),
+                3 => PartitionTable::src_batch_per_type(k),
+                4 => PartitionTable::dst_batch_min_degree(k),
+                _ => PartitionTable::edge_batch(k),
+            };
+            let plan = partition(&g, &table);
+            prop_assert!(covers_all_edges_once(&plan, g.num_edges()));
+            for t in &plan.tasks {
+                prop_assert!(t.num_edges() > 0);
+                for (attr, bound) in table.exact_attrs() {
+                    prop_assert!(
+                        t.uniq_of(&g, attr) as u64 <= bound,
+                        "uniq({attr}) exceeded {bound} in task"
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,189 @@
+//! gTasks and their data patterns (paper §3, §5.1).
+
+use crate::restriction::PartitionTable;
+use std::collections::BTreeMap;
+use wisegraph_dfg::Binding;
+use wisegraph_graph::{AttrKind, Graph};
+
+/// One gTask: a subset of edges plus the unique-value counts the partitioner
+/// observed for the table's restricted attributes.
+#[derive(Clone, Debug)]
+pub struct GTask {
+    /// Original edge ids, in partition (sorted) order.
+    pub edges: Vec<usize>,
+    /// `uniq(attr)` within this task, for every restricted attribute.
+    pub uniq: BTreeMap<AttrKind, usize>,
+}
+
+impl GTask {
+    /// Number of edges in the task.
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// `uniq(attr)` within this task, computing it from the graph if the
+    /// partitioner did not track the attribute.
+    pub fn uniq_of(&self, g: &Graph, attr: AttrKind) -> usize {
+        if let Some(&u) = self.uniq.get(&attr) {
+            return u;
+        }
+        let mut vals: Vec<u64> = self.edges.iter().map(|&e| g.edge_attr(attr, e)).collect();
+        vals.sort_unstable();
+        vals.dedup();
+        vals.len()
+    }
+
+    /// Builds the symbolic-dimension binding for this task's scope.
+    pub fn binding(&self, g: &Graph) -> Binding {
+        Binding::from_edge_set(g, Some(&self.edges))
+    }
+
+    /// Extracts the gTask-level data patterns of §5.1.
+    pub fn data_patterns(&self, g: &Graph) -> DataPatterns {
+        let attrs = [
+            AttrKind::SrcId,
+            AttrKind::DstId,
+            AttrKind::EdgeType,
+        ];
+        let mut duplication = BTreeMap::new();
+        let mut batch = BTreeMap::new();
+        for a in attrs {
+            let u = self.uniq_of(g, a);
+            batch.insert(a, u);
+            duplication.insert(a, self.num_edges() as f64 / u.max(1) as f64);
+        }
+        let src_u = batch[&AttrKind::SrcId].max(1) as f64;
+        let dst_u = batch[&AttrKind::DstId].max(1) as f64;
+        DataPatterns {
+            duplication,
+            batch,
+            volume_ratio: dst_u / src_u,
+        }
+    }
+}
+
+/// gTask-level data patterns (paper §5.1, Figure 4c).
+#[derive(Clone, Debug)]
+pub struct DataPatterns {
+    /// *Duplicated data*: edges per unique value (`> 1` means computation
+    /// can be shared via DFG transformation).
+    pub duplication: BTreeMap<AttrKind, f64>,
+    /// *Batched data*: the number of unique values per attribute — the
+    /// batch size available to a generated kernel.
+    pub batch: BTreeMap<AttrKind, usize>,
+    /// *Changing data volume*: output rows (`uniq(dst)`) over input rows
+    /// (`uniq(src)`); `< 1` means computation shrinks data, so communication
+    /// should follow computation in multi-device placement.
+    pub volume_ratio: f64,
+}
+
+impl DataPatterns {
+    /// Returns `true` if any attribute shows meaningful duplication.
+    pub fn has_duplication(&self) -> bool {
+        self.duplication.values().any(|&d| d > 1.5)
+    }
+}
+
+/// A graph partition plan: the table that generated it plus the gTasks.
+#[derive(Clone, Debug)]
+pub struct PartitionPlan {
+    /// The restrictions that produced this plan.
+    pub table: PartitionTable,
+    /// The generated gTasks, covering every edge exactly once.
+    pub tasks: Vec<GTask>,
+}
+
+impl PartitionPlan {
+    /// Number of gTasks.
+    pub fn num_tasks(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// Total edges across tasks.
+    pub fn total_edges(&self) -> usize {
+        self.tasks.iter().map(GTask::num_edges).sum()
+    }
+
+    /// Median edges per task.
+    pub fn median_task_edges(&self) -> usize {
+        if self.tasks.is_empty() {
+            return 0;
+        }
+        let mut sizes: Vec<usize> = self.tasks.iter().map(GTask::num_edges).collect();
+        sizes.sort_unstable();
+        sizes[sizes.len() / 2]
+    }
+
+    /// Maximum edges in any task.
+    pub fn max_task_edges(&self) -> usize {
+        self.tasks.iter().map(GTask::num_edges).max().unwrap_or(0)
+    }
+
+    /// Task-id assignment per edge (for visualization, Figure 15).
+    pub fn task_of_edge(&self, num_edges: usize) -> Vec<u32> {
+        let mut out = vec![u32::MAX; num_edges];
+        for (t, task) in self.tasks.iter().enumerate() {
+            for &e in &task.edges {
+                out[e] = t as u32;
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::partition::partition;
+
+    fn paper_graph() -> Graph {
+        Graph::new(
+            5,
+            2,
+            vec![0, 1, 0, 1, 2, 2, 3, 4, 3, 4, 0],
+            vec![0, 0, 1, 1, 1, 2, 2, 2, 3, 3, 4],
+            vec![0, 0, 0, 0, 1, 0, 1, 1, 1, 1, 0],
+        )
+    }
+
+    #[test]
+    fn data_patterns_on_type_restricted_task() {
+        let g = paper_graph();
+        let plan = partition(&g, &PartitionTable::src_batch_per_type(4));
+        // Every task: one edge type, up to 4 unique sources.
+        for task in &plan.tasks {
+            let p = task.data_patterns(&g);
+            assert_eq!(p.batch[&AttrKind::EdgeType], 1);
+            assert!(p.batch[&AttrKind::SrcId] <= 4);
+            if task.num_edges() > 1 {
+                // Type is duplicated across all edges of the task.
+                assert!(p.duplication[&AttrKind::EdgeType] >= 2.0);
+            }
+        }
+    }
+
+    #[test]
+    fn volume_ratio_reflects_reduction() {
+        let g = paper_graph();
+        // Vertex-centric: uniq(dst) = 1 per task, so volume shrinks for any
+        // task with more than one source.
+        let plan = partition(&g, &PartitionTable::vertex_centric());
+        for task in &plan.tasks {
+            let p = task.data_patterns(&g);
+            if p.batch[&AttrKind::SrcId] > 1 {
+                assert!(p.volume_ratio < 1.0);
+            }
+        }
+    }
+
+    #[test]
+    fn plan_statistics() {
+        let g = paper_graph();
+        let plan = partition(&g, &PartitionTable::edge_batch(4));
+        assert_eq!(plan.total_edges(), g.num_edges());
+        assert!(plan.max_task_edges() <= 4);
+        assert!(plan.median_task_edges() >= 1);
+        let assignment = plan.task_of_edge(g.num_edges());
+        assert!(assignment.iter().all(|&t| t != u32::MAX));
+    }
+}

@@ -1,0 +1,467 @@
+//! Kernel generation: composing micro-kernel costs per operation group.
+//!
+//! For every group of the operation partition we compose data-loading,
+//! compute, and store micro-kernels (paper §5.3). The composition rules
+//! capture the three effects the paper's evaluation hinges on:
+//!
+//! - **fusion saves traffic**: tensors produced and consumed inside one
+//!   group stay on chip — only group-boundary tensors pay global-memory
+//!   bytes (and only boundary tensors occupy device memory, which is what
+//!   makes tensor-centric plans go OOM on dense graphs);
+//! - **batched data picks the micro-kernel**: a group whose heavy op sees a
+//!   batch of `k` rows runs as a `Batched{k}` kernel (tensor cores, data
+//!   reuse) instead of edge-by-edge (Figure 10);
+//! - **on-chip capacity bounds batching**: when the batch outgrows shared
+//!   memory, intra-group intermediates spill to global memory and the
+//!   kernel degenerates toward the tensor-centric regime (the `INF` end of
+//!   Figure 18).
+
+use crate::oppart::OpPartition;
+use std::collections::{HashMap, HashSet};
+use wisegraph_dfg::{Binding, Dfg, NodeId, OpKind};
+use wisegraph_sim::{ComputeClass, DeviceSpec, KernelCost};
+
+/// Pattern-derived context for kernel generation, extracted from the graph
+/// partition plan's gTasks (paper §5.1).
+#[derive(Clone, Copy, Debug)]
+pub struct KernelContext {
+    /// Number of gTasks processed in parallel (thread-block count).
+    pub num_tasks: f64,
+    /// Rows batched per task for the heavy operation (`uniq` of the batched
+    /// attribute); 1 means edge-by-edge execution.
+    pub batch_rows: usize,
+    /// Whether index streams are sorted (partitioned plans sort edges, so
+    /// their gathers coalesce; raw edge order does not).
+    pub coalesced: bool,
+    /// Rows of working set that fit on chip before spilling (shared-memory
+    /// capacity in rows).
+    pub onchip_rows: usize,
+    /// Padding waste factor for recurrent (LSTM) aggregation: batching
+    /// sequences of unequal length pads every sequence to the batch
+    /// maximum. Degree-sorted gTask plans keep this near 1; arbitrary
+    /// vertex batches on power-law graphs pay several × (Figure 18b).
+    pub lstm_padding: f64,
+    /// Gather deduplication factor in [0, 1]: plans whose gTasks group
+    /// edges by shared attribute values (the *duplicated data* pattern)
+    /// load each unique row once per task, cutting gather demand to this
+    /// fraction of the raw per-edge demand.
+    pub gather_dedup: f64,
+    /// Scatter fragmentation factor in (0, 1]: the fraction of per-edge
+    /// read-modify-write traffic a scatter-add pays. Destination-grouped
+    /// plans accumulate on chip and write each destination row once
+    /// (≈ |V|/|E|); plans that scatter to arbitrary destinations pay the
+    /// full per-edge traffic (1.0).
+    pub scatter_dedup: f64,
+}
+
+impl KernelContext {
+    /// Tensor-centric context: the graph is one implicit task, fully
+    /// materialized.
+    pub fn tensor_centric() -> Self {
+        Self {
+            num_tasks: 1.0,
+            batch_rows: 1,
+            coalesced: false,
+            onchip_rows: 256,
+            lstm_padding: 1.0,
+            gather_dedup: 1.0,
+            scatter_dedup: 1.0,
+        }
+    }
+
+    /// Graph-centric context over `num_tasks` fine-grained tasks without
+    /// data batching.
+    pub fn graph_centric(num_tasks: f64) -> Self {
+        Self {
+            num_tasks,
+            batch_rows: 1,
+            coalesced: false,
+            onchip_rows: 256,
+            lstm_padding: 1.0,
+            gather_dedup: 1.0,
+            scatter_dedup: 1.0,
+        }
+    }
+
+    /// gTask context with batching (WiseGraph's generated kernels).
+    pub fn gtask(num_tasks: f64, batch_rows: usize) -> Self {
+        Self {
+            num_tasks,
+            batch_rows: batch_rows.max(1),
+            coalesced: true,
+            onchip_rows: 256,
+            lstm_padding: 1.0,
+            gather_dedup: 1.0,
+            scatter_dedup: 1.0,
+        }
+    }
+
+    /// Sets the LSTM padding factor.
+    pub fn with_lstm_padding(mut self, padding: f64) -> Self {
+        self.lstm_padding = padding.max(1.0);
+        self
+    }
+
+    /// Sets the gather-deduplication factor.
+    pub fn with_gather_dedup(mut self, dedup: f64) -> Self {
+        self.gather_dedup = dedup.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Sets the scatter-fragmentation factor.
+    pub fn with_scatter_dedup(mut self, dedup: f64) -> Self {
+        self.scatter_dedup = dedup.clamp(0.0, 1.0);
+        self
+    }
+}
+
+/// One generated kernel: the operations it hosts and its simulator cost.
+#[derive(Clone, Debug)]
+pub struct GeneratedKernel {
+    /// The DFG nodes executed by this kernel.
+    pub nodes: Vec<NodeId>,
+    /// Roofline cost signature.
+    pub cost: KernelCost,
+}
+
+fn node_flops(dfg: &Dfg, binding: &Binding, id: NodeId) -> f64 {
+    let node = dfg.node(id);
+    let in_shapes: Vec<_> = node
+        .inputs
+        .iter()
+        .map(|&p| dfg.node(p).shape.clone())
+        .collect();
+    node.kind.flops(&in_shapes, &node.shape, binding)
+}
+
+fn shape_bytes(dfg: &Dfg, binding: &Binding, id: NodeId) -> f64 {
+    binding.numel(&dfg.node(id).shape) as f64 * 4.0
+}
+
+fn shape_bytes_of(binding: &Binding, shape: &wisegraph_dfg::SymShape) -> f64 {
+    binding.numel(shape) as f64 * 4.0
+}
+
+/// Chooses the compute class for a group given its ops and the context.
+fn classify(dfg: &Dfg, group: &[NodeId], ctx: &KernelContext) -> ComputeClass {
+    let kinds: Vec<&OpKind> = group.iter().map(|&id| &dfg.node(id).kind).collect();
+    let has = |f: &dyn Fn(&OpKind) -> bool| kinds.iter().any(|k| f(k));
+    if has(&|k| matches!(k, OpKind::LstmAggregate { .. })) {
+        // Sequences batch at the plan's batching granularity.
+        return ComputeClass::Recurrent {
+            batch: ctx.batch_rows.max(1),
+        };
+    }
+    let has_indexing = has(&|k| k.is_indexing());
+    let has_dense = has(&|k| matches!(k, OpKind::Linear | OpKind::PairwiseLinear));
+    let has_per_edge = has(&|k| matches!(k, OpKind::PerEdgeLinear));
+    if has_per_edge || (has_dense && has_indexing) {
+        return if ctx.batch_rows <= 1 {
+            ComputeClass::EdgeWise
+        } else {
+            ComputeClass::Batched { k: ctx.batch_rows }
+        };
+    }
+    if has_dense {
+        return ComputeClass::DenseMatmul;
+    }
+    if has_indexing {
+        // Gather/scatter dominates any fused element-wise work.
+        return ComputeClass::Memory {
+            coalesced: ctx.coalesced,
+        };
+    }
+    ComputeClass::Elementwise
+}
+
+/// L2-like cache capacity used by the reread model (bytes). Operands
+/// smaller than this are re-read from cache, not from HBM.
+const CACHE_BYTES: f64 = 16.0e6;
+
+/// Global-memory traffic for reading an external operand of size
+/// `producer` bytes with a total per-element demand of `demand` bytes:
+/// the first pass always reads the operand; rereads miss in proportion to
+/// how much of the operand fits in cache.
+fn reread_traffic(producer: f64, demand: f64) -> f64 {
+    let rereads = (demand - producer).max(0.0);
+    let miss = (producer / CACHE_BYTES).min(1.0);
+    producer + rereads * miss
+}
+
+/// Generates one [`KernelCost`] per operation group.
+pub fn generate_kernels(
+    dfg: &Dfg,
+    binding: &Binding,
+    part: &OpPartition,
+    ctx: &KernelContext,
+) -> Vec<GeneratedKernel> {
+    let consumers = dfg.consumers();
+    let outputs: HashSet<NodeId> = dfg.outputs().iter().copied().collect();
+    let mut group_of: HashMap<NodeId, usize> = HashMap::new();
+    for (gi, g) in part.groups().iter().enumerate() {
+        for &id in g {
+            group_of.insert(id, gi);
+        }
+    }
+    // Demand per producer: how many bytes its consumers read in total.
+    // A gather (`Index`/`Index2D`) reads one row per output element, so
+    // its demand on the data operand is the gather's *output* volume.
+    let mut demand: HashMap<NodeId, f64> = HashMap::new();
+    for node in dfg.nodes() {
+        for (pos, &p) in node.inputs.iter().enumerate() {
+            let d = match (&node.kind, pos) {
+                (OpKind::Index, 0) | (OpKind::Index2D, 0) => {
+                    shape_bytes_of(binding, &node.shape) * ctx.gather_dedup
+                }
+                _ => shape_bytes(dfg, binding, p),
+            };
+            *demand.entry(p).or_insert(0.0) += d;
+        }
+    }
+    part.groups()
+        .iter()
+        .enumerate()
+        .map(|(gi, group)| {
+            let in_group = |id: &NodeId| group_of.get(id) == Some(&gi);
+            let mut flops = 0.0;
+            let mut bytes = 0.0;
+            let mut max_rows: f64 = 1.0;
+            let mut external_reads: HashMap<NodeId, f64> = HashMap::new();
+            for &id in group {
+                let node = dfg.node(id);
+                let node_f = node_flops(dfg, binding, id);
+                // Recurrent padding: unequal sequence lengths inside a
+                // batch pad every sequence to the batch maximum.
+                flops += if matches!(node.kind, OpKind::LstmAggregate { .. }) {
+                    node_f * ctx.lstm_padding
+                } else {
+                    node_f
+                };
+                // External input reads, demand-based.
+                for (pos, &p) in node.inputs.iter().enumerate() {
+                    if !in_group(&p) {
+                        let d = match (&node.kind, pos) {
+                            (OpKind::Index, 0) | (OpKind::Index2D, 0) => {
+                                shape_bytes_of(binding, &node.shape) * ctx.gather_dedup
+                            }
+                            _ => shape_bytes(dfg, binding, p),
+                        };
+                        *external_reads.entry(p).or_insert(0.0) += d;
+                    }
+                }
+                // Output accounting.
+                let nbytes = shape_bytes(dfg, binding, id);
+                let escapes = outputs.contains(&id)
+                    || consumers[id.0].iter().any(|c| !in_group(c));
+                if matches!(node.kind, OpKind::IndexAdd { .. }) {
+                    // Scatter-add: read-modify-write per (task, destination)
+                    // fragment, whether or not the result escapes the
+                    // group; destination-grouped plans accumulate on chip
+                    // and approach one write per row.
+                    let data_bytes = shape_bytes(dfg, binding, node.inputs[0]);
+                    bytes += nbytes.max(2.0 * data_bytes * ctx.scatter_dedup);
+                } else if escapes {
+                    // Written once to global memory.
+                    bytes += nbytes;
+                } else if !node.kind.is_index_stream()
+                    && !matches!(node.kind, OpKind::IndexAdd { .. })
+                {
+                    // On-chip only if the tensor is per-edge local (its
+                    // leading dimension is the edge stream the tasks
+                    // partition) and the batch fits in shared memory.
+                    // Shared tables (e.g. the pairwise tensor, per-vertex
+                    // projections) live in global memory.
+                    let per_edge_local =
+                        node.shape.first() == Some(&wisegraph_dfg::Dim::Edges);
+                    let spilled = !per_edge_local || ctx.batch_rows > ctx.onchip_rows;
+                    if spilled {
+                        let in_demand = demand.get(&id).copied().unwrap_or(0.0);
+                        bytes += nbytes + reread_traffic(nbytes, in_demand);
+                    }
+                }
+                let rows: f64 = node.shape[..node.shape.len().saturating_sub(1)]
+                    .iter()
+                    .map(|&d| binding.eval(d) as f64)
+                    .product();
+                max_rows = max_rows.max(rows);
+            }
+            for (&p, &d) in &external_reads {
+                bytes += reread_traffic(shape_bytes(dfg, binding, p), d);
+            }
+            let class = classify(dfg, group, ctx);
+            let parallel_tasks = ctx.num_tasks.max(max_rows / 64.0);
+            GeneratedKernel {
+                nodes: group.clone(),
+                cost: KernelCost {
+                    flops,
+                    bytes,
+                    parallel_tasks,
+                    class,
+                },
+            }
+        })
+        .collect()
+}
+
+/// Total simulated time for a set of generated kernels on a device.
+pub fn total_time(device: &DeviceSpec, kernels: &[GeneratedKernel]) -> f64 {
+    kernels.iter().map(|k| device.kernel_time(&k.cost)).sum()
+}
+
+/// Device-memory bytes occupied by group-boundary tensors (materialized
+/// intermediates). Fused plans keep intermediates on chip; separate plans
+/// materialize everything — the OOM driver of Figure 13.
+pub fn boundary_bytes(dfg: &Dfg, binding: &Binding, part: &OpPartition) -> f64 {
+    let consumers = dfg.consumers();
+    let outputs: HashSet<NodeId> = dfg.outputs().iter().copied().collect();
+    let mut group_of: HashMap<NodeId, usize> = HashMap::new();
+    for (gi, g) in part.groups().iter().enumerate() {
+        for &id in g {
+            group_of.insert(id, gi);
+        }
+    }
+    let mut total = 0.0;
+    for g in part.groups() {
+        for &id in g {
+            let gi = group_of[&id];
+            let escapes = outputs.contains(&id)
+                || consumers[id.0]
+                    .iter()
+                    .any(|c| group_of.get(c) != Some(&gi));
+            if escapes && !outputs.contains(&id) {
+                total += shape_bytes(dfg, binding, id);
+            }
+        }
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wisegraph_dfg::Dim;
+    use wisegraph_graph::generate::{rmat, RmatParams};
+    use wisegraph_graph::AttrKind;
+
+    fn rgcn_dfg(f: usize) -> Dfg {
+        let mut d = Dfg::new();
+        let h = d.input("h", vec![Dim::Vertices, Dim::Lit(f)]);
+        let w = d.input("W", vec![Dim::EdgeTypes, Dim::Lit(f), Dim::Lit(f)]);
+        let src = d.edge_attr(AttrKind::SrcId);
+        let ty = d.edge_attr(AttrKind::EdgeType);
+        let dst = d.edge_attr(AttrKind::DstId);
+        let hsrc = d.index(h, src);
+        let wt = d.index(w, ty);
+        let msg = d.per_edge_linear(hsrc, wt);
+        let out = d.index_add(msg, dst, Dim::Vertices);
+        d.mark_output(out);
+        d
+    }
+
+    fn setup() -> (Dfg, Binding) {
+        let g = rmat(&RmatParams::standard(1000, 20_000, 7).with_edge_types(4));
+        let d = rgcn_dfg(64);
+        let b = Binding::from_graph(&g);
+        (d, b)
+    }
+
+    #[test]
+    fn fused_moves_fewer_bytes_than_separate() {
+        let (d, b) = setup();
+        let sep = generate_kernels(
+            &d,
+            &b,
+            &OpPartition::separate(&d),
+            &KernelContext::tensor_centric(),
+        );
+        let fus = generate_kernels(
+            &d,
+            &b,
+            &OpPartition::fused(&d),
+            &KernelContext::graph_centric(1000.0),
+        );
+        let sep_bytes: f64 = sep.iter().map(|k| k.cost.bytes).sum();
+        let fus_bytes: f64 = fus.iter().map(|k| k.cost.bytes).sum();
+        assert!(
+            fus_bytes < sep_bytes / 2.0,
+            "fused {fus_bytes} vs separate {sep_bytes}"
+        );
+        // FLOPs are identical — fusion only changes traffic.
+        let sep_flops: f64 = sep.iter().map(|k| k.cost.flops).sum();
+        let fus_flops: f64 = fus.iter().map(|k| k.cost.flops).sum();
+        assert!((sep_flops - fus_flops).abs() / sep_flops < 1e-9);
+    }
+
+    #[test]
+    fn unbatched_fused_kernel_is_edgewise() {
+        let (d, b) = setup();
+        let fus = generate_kernels(
+            &d,
+            &b,
+            &OpPartition::fused(&d),
+            &KernelContext::graph_centric(1000.0),
+        );
+        assert_eq!(fus.len(), 1);
+        assert_eq!(fus[0].cost.class, ComputeClass::EdgeWise);
+    }
+
+    #[test]
+    fn batched_context_yields_batched_class() {
+        let (d, b) = setup();
+        let fus = generate_kernels(
+            &d,
+            &b,
+            &OpPartition::fused(&d),
+            &KernelContext::gtask(600.0, 32),
+        );
+        assert_eq!(fus[0].cost.class, ComputeClass::Batched { k: 32 });
+    }
+
+    #[test]
+    fn figure18_dome_shape() {
+        // Simulated time of the fused RGCN kernel as K sweeps: K=1 slow,
+        // moderate K fast, K=INF (spilled, single task per type) slower
+        // than the best K.
+        let (d, b) = setup();
+        let dev = DeviceSpec::a100_pcie();
+        let part = OpPartition::fused(&d);
+        let edges = b.edges as f64;
+        let time_at = |k: usize| {
+            let tasks = (edges / k as f64).max(4.0);
+            let ctx = KernelContext::gtask(tasks, k);
+            total_time(&dev, &generate_kernels(&d, &b, &part, &ctx))
+        };
+        let t1 = time_at(1);
+        let t64 = time_at(64);
+        let tinf = time_at(20_000);
+        assert!(t64 < t1 / 3.0, "K=64 {t64} vs K=1 {t1}");
+        assert!(t64 < tinf, "K=64 {t64} vs INF {tinf}");
+    }
+
+    #[test]
+    fn boundary_bytes_zero_for_fully_fused() {
+        let (d, b) = setup();
+        assert_eq!(boundary_bytes(&d, &b, &OpPartition::fused(&d)), 0.0);
+        let sep = boundary_bytes(&d, &b, &OpPartition::separate(&d));
+        // Separate materializes the per-edge weight gather [E, F, F] — huge.
+        assert!(sep > b.edges as f64 * 64.0 * 64.0 * 4.0);
+    }
+
+    #[test]
+    fn dense_alone_is_dense_class() {
+        let mut d = Dfg::new();
+        let h = d.input("h", vec![Dim::Vertices, Dim::Lit(32)]);
+        let w = d.input("w", vec![Dim::Lit(32), Dim::Lit(32)]);
+        let y = d.linear(h, w);
+        d.mark_output(y);
+        let g = rmat(&RmatParams::standard(500, 2000, 3));
+        let b = Binding::from_graph(&g);
+        let ks = generate_kernels(
+            &d,
+            &b,
+            &OpPartition::separate(&d),
+            &KernelContext::tensor_centric(),
+        );
+        assert_eq!(ks[0].cost.class, ComputeClass::DenseMatmul);
+    }
+}

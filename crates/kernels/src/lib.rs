@@ -1,0 +1,28 @@
+//! Composable micro-kernels and kernel generation (paper §5.3).
+//!
+//! Operation partition assigns DFG operations to GPU kernels. A kernel
+//! holding several operations keeps intermediates on chip (saving global
+//! memory traffic — the graph-centric advantage), while its parallelization
+//! is chosen from the *batched data* pattern (edge-by-edge vs. batched
+//! matrix work — Figure 10). This crate provides:
+//!
+//! - [`oppart`]: operation partition plans — which DFG nodes share a kernel
+//!   (`separate` = tensor-centric, `fused` = graph-centric, plus arbitrary
+//!   groupings);
+//! - [`generate`]: composition of micro-kernel costs into per-kernel
+//!   [`wisegraph_sim::KernelCost`]s, with fusion-aware memory accounting
+//!   (intra-group intermediates are free; group boundaries pay traffic) and
+//!   batched-data-aware compute classes;
+//! - [`exec`]: real CPU implementations of the generated fused kernels for
+//!   RGCN and aggregation (both edge-by-edge and batched variants),
+//!   validated against the DFG interpreter and used to ground the
+//!   simulator's calibration via Criterion benches.
+
+pub mod engine;
+pub mod exec;
+pub mod generate;
+pub mod micro;
+pub mod oppart;
+
+pub use generate::{generate_kernels, GeneratedKernel, KernelContext};
+pub use oppart::OpPartition;

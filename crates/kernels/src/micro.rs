@@ -1,0 +1,1105 @@
+//! Composable micro-kernels (paper §5.3): an explicit kernel IR, a
+//! compiler from DFG fragments, and a per-gTask CPU executor.
+//!
+//! "WiseGraph prepares multiple micro-kernels for data loading and
+//! computation, with each micro-kernel representing a specific operation.
+//! By composing these micro-kernels, we can generate a GPU kernel with
+//! operations partitioned in." This module is that composition made
+//! concrete: [`compile`] turns the edge-dependent part of a DFG into a
+//! [`KernelProgram`] of micro-kernels executed once per gTask (data
+//! loading → compute → scatter), plus an *epilogue* of whole-graph
+//! operations (degree normalization, shared projections, joins) evaluated
+//! once after all tasks.
+//!
+//! The executor is numerically validated against the reference DFG
+//! interpreter; the cost model in [`crate::generate`] prices the same
+//! composition analytically.
+
+use std::collections::HashMap;
+use wisegraph_dfg::interp::unique_and_map;
+use wisegraph_dfg::{Dfg, NodeId, OpKind};
+use wisegraph_dfg::op::LEAKY_SLOPE;
+use wisegraph_graph::{AttrKind, Graph};
+use wisegraph_gtask::PartitionPlan;
+use wisegraph_tensor::{ops, Tensor};
+
+/// A virtual register holding one per-task value.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Reg(pub usize);
+
+/// Element-wise micro-kernel operations.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EwOp {
+    /// Addition of two registers.
+    Add,
+    /// Multiplication of two registers.
+    Mul,
+    /// ReLU of one register.
+    Relu,
+    /// Leaky ReLU of one register.
+    LeakyRelu,
+}
+
+/// One micro-kernel: a data-loading, compute, or store step.
+#[derive(Clone, Debug)]
+pub enum MicroKernel {
+    /// Load the task's stream of an edge attribute.
+    LoadStream {
+        /// Which attribute.
+        attr: AttrKind,
+        /// Destination register (index stream).
+        out: Reg,
+    },
+    /// Deduplicate a stream into unique values and a position map.
+    Unique {
+        /// Source stream register.
+        stream: Reg,
+        /// Unique values (index stream).
+        values: Reg,
+        /// Edge → position map (index stream).
+        map: Reg,
+    },
+    /// Gather rows of a global tensor by an index register.
+    GatherRows {
+        /// Global tensor name.
+        src: String,
+        /// Row indices.
+        idx: Reg,
+        /// Gathered rows.
+        out: Reg,
+    },
+    /// Gather rows of a register tensor by an index register.
+    GatherRegRows {
+        /// Source tensor register.
+        src: Reg,
+        /// Row indices.
+        idx: Reg,
+        /// Gathered rows.
+        out: Reg,
+    },
+    /// 2-D gather from a register tensor (`out[i] = src[i1[i], i2[i]]`).
+    GatherReg2D {
+        /// Source rank-3 tensor register.
+        src: Reg,
+        /// First index stream.
+        idx1: Reg,
+        /// Second index stream.
+        idx2: Reg,
+        /// Result.
+        out: Reg,
+    },
+    /// 2-D gather from a global rank-3 tensor.
+    Gather2DGlobal {
+        /// Global tensor name.
+        src: String,
+        /// First index stream.
+        idx1: Reg,
+        /// Second index stream.
+        idx2: Reg,
+        /// Result.
+        out: Reg,
+    },
+    /// All-pairs product with a register weight: `out[u, t] = x[u] @ w[t]`.
+    PairwiseReg {
+        /// Unique input rows `[u, f]`.
+        x: Reg,
+        /// Per-task weights `[t, f, f']`.
+        w: Reg,
+        /// Result `[u, t, f']`.
+        out: Reg,
+    },
+    /// Dense product of a register with a global weight: `out = x @ W`.
+    MatMatGlobal {
+        /// Input rows.
+        x: Reg,
+        /// Global weight name.
+        w: String,
+        /// Result.
+        out: Reg,
+    },
+    /// Row-wise product with per-row weights: `out[i] = x[i] @ w[i]`.
+    PerRowVecMat {
+        /// Input rows `[n, f]`.
+        x: Reg,
+        /// Per-row weights `[n, f, f']`.
+        w: Reg,
+        /// Result `[n, f']`.
+        out: Reg,
+    },
+    /// All-pairs product `out[u, t] = x[u] @ w[t]` with a global rank-3
+    /// weight.
+    PairwiseGlobal {
+        /// Unique input rows `[u, f]`.
+        x: Reg,
+        /// Global weight name `[t, f, f']`.
+        w: String,
+        /// Result `[u, t, f']`.
+        out: Reg,
+    },
+    /// Gather the per-row slices of a global rank-3 tensor: `out[i] =
+    /// W[idx[i]]`.
+    GatherWeight {
+        /// Global rank-3 tensor name.
+        src: String,
+        /// Slice indices.
+        idx: Reg,
+        /// Result `[n, f, f']`.
+        out: Reg,
+    },
+    /// Element-wise arithmetic.
+    Elementwise {
+        /// Operation.
+        op: EwOp,
+        /// First operand.
+        a: Reg,
+        /// Second operand (binary ops only).
+        b: Option<Reg>,
+        /// Result.
+        out: Reg,
+    },
+    /// Drops a trailing singleton column: `[n, 1]` → `[n]`.
+    Squeeze {
+        /// Input register.
+        x: Reg,
+        /// Result register.
+        out: Reg,
+    },
+    /// Softmax over the task's rows grouped by a segment stream. Only
+    /// valid when the plan is destination-complete (every segment's rows
+    /// live in one task).
+    SegmentSoftmax {
+        /// Rank-1 scores.
+        scores: Reg,
+        /// Segment ids (destination stream).
+        seg: Reg,
+        /// Result.
+        out: Reg,
+    },
+    /// Scales row `i` of `x` by scalar `s[i]`.
+    ScaleRows {
+        /// Row data.
+        x: Reg,
+        /// Per-row scalars (rank-1).
+        s: Reg,
+        /// Result.
+        out: Reg,
+    },
+    /// Scatter-add the register's rows into the task's global output:
+    /// `out_global[idx[i]] += data[i]`.
+    ScatterAdd {
+        /// Row data.
+        data: Reg,
+        /// Destination rows.
+        idx: Reg,
+    },
+}
+
+/// A compiled kernel: micro-kernels run once per gTask, writing into a
+/// shared `[rows, width]` accumulator.
+#[derive(Clone, Debug)]
+pub struct KernelProgram {
+    /// The composed micro-kernels, in execution order.
+    pub ops: Vec<MicroKernel>,
+    /// Number of virtual registers.
+    pub num_regs: usize,
+    /// Output accumulator rows (`|V|`).
+    pub out_rows: usize,
+    /// Output accumulator width.
+    pub out_width: usize,
+    /// The DFG node whose value the accumulator holds (the `IndexAdd`).
+    pub reduce_node: NodeId,
+    /// Edge-independent intermediate nodes precomputed once before the
+    /// tasks run, exposed to the per-task program as pseudo-globals named
+    /// `__pre_<node>`.
+    pub prologue: Vec<NodeId>,
+    /// `true` when the program contains a per-destination normalization
+    /// (segment softmax): the plan must then be destination-complete
+    /// (every destination's in-edges in exactly one task).
+    pub requires_dst_complete: bool,
+}
+
+/// Pseudo-global name of a precomputed (prologue) node.
+pub fn prologue_name(id: NodeId) -> String {
+    format!("__pre_{}", id.0)
+}
+
+/// A per-task register value.
+#[derive(Clone, Debug)]
+enum RegValue {
+    Tensor(Tensor),
+    Stream(Vec<u32>),
+}
+
+/// Compilation error.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CompileError(pub String);
+
+impl std::fmt::Display for CompileError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "micro-kernel compile error: {}", self.0)
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+/// Edge-dependence: reachable from an edge-attribute stream *without*
+/// passing through an `IndexAdd` (the reduction re-anchors data at the
+/// vertex set, so its consumers run in the epilogue).
+fn edge_dependence(dfg: &Dfg) -> Vec<bool> {
+    let mut edge_dep = vec![false; dfg.len()];
+    for (i, node) in dfg.nodes().iter().enumerate() {
+        if node.kind.is_index_stream() {
+            edge_dep[i] = true;
+        }
+        if node.inputs.iter().any(|p| {
+            edge_dep[p.0] && !matches!(dfg.node(*p).kind, OpKind::IndexAdd { .. })
+        }) {
+            edge_dep[i] = true;
+        }
+    }
+    edge_dep
+}
+
+/// Splits the DFG at its reduction: nodes that depend on edge streams and
+/// feed the single `IndexAdd` become the per-task program; everything else
+/// (degree normalization, shared projections, joins with edge-independent
+/// branches) is the epilogue, evaluated once.
+pub fn compile(dfg: &Dfg, g: &Graph) -> Result<KernelProgram, CompileError> {
+    let live = dfg.live_set();
+    let edge_dep = edge_dependence(dfg);
+    // The unique live IndexAdd is the reduction frontier.
+    let reduces: Vec<usize> = dfg
+        .nodes()
+        .iter()
+        .enumerate()
+        .filter(|(i, n)| live[*i] && matches!(n.kind, OpKind::IndexAdd { .. }))
+        .map(|(i, _)| i)
+        .collect();
+    let [reduce] = reduces.as_slice() else {
+        return Err(CompileError(format!(
+            "expected exactly one live IndexAdd, found {}",
+            reduces.len()
+        )));
+    };
+    let reduce = NodeId(*reduce);
+    // No edge-dependent node may escape except through the reduction.
+    let consumers = dfg.consumers();
+    for (i, node) in dfg.nodes().iter().enumerate() {
+        if !live[i] || !edge_dep[i] || i == reduce.0 {
+            continue;
+        }
+        let _ = node;
+        let all_edge_dep_consumers = consumers[i].iter().all(|c| edge_dep[c.0]);
+        if !all_edge_dep_consumers || dfg.outputs().contains(&NodeId(i)) {
+            return Err(CompileError(format!(
+                "edge-dependent node {i} escapes without passing the reduction"
+            )));
+        }
+    }
+
+    let mut ops_out: Vec<MicroKernel> = Vec::new();
+    let mut regs: HashMap<NodeId, Reg> = HashMap::new();
+    let mut prologue: Vec<NodeId> = Vec::new();
+    let mut requires_dst_complete = false;
+    let mut next_reg = 0usize;
+    let mut alloc = || {
+        let r = Reg(next_reg);
+        next_reg += 1;
+        r
+    };
+    // A per-task operand is either a global tensor (model input), a
+    // precomputed edge-independent intermediate (prologue pseudo-global),
+    // or a task-local register.
+    enum Operand {
+        Global(String),
+        Register(Reg),
+    }
+    let resolve = |p: NodeId,
+                       regs: &HashMap<NodeId, Reg>,
+                       prologue: &mut Vec<NodeId>|
+     -> Operand {
+        if let Some(&r) = regs.get(&p) {
+            return Operand::Register(r);
+        }
+        if let OpKind::Input { name, .. } = &dfg.node(p).kind {
+            return Operand::Global(name.clone());
+        }
+        // Edge-independent intermediate: precompute once.
+        if !prologue.contains(&p) {
+            prologue.push(p);
+        }
+        Operand::Global(prologue_name(p))
+    };
+    // Unique streams get a values/map register pair, allocated lazily.
+    let mut unique_regs: HashMap<AttrKind, (Reg, Reg)> = HashMap::new();
+
+    for (i, node) in dfg.nodes().iter().enumerate() {
+        let id = NodeId(i);
+        if !live[i] || !edge_dep[i] || i > reduce.0 {
+            continue;
+        }
+        match &node.kind {
+            OpKind::EdgeAttr(a) => {
+                let out = alloc();
+                ops_out.push(MicroKernel::LoadStream { attr: *a, out });
+                regs.insert(id, out);
+            }
+            OpKind::UniqueValues(a) | OpKind::UniqueMap(a) => {
+                let (values, map) = *unique_regs.entry(*a).or_insert_with(|| {
+                    let stream = alloc();
+                    let values = alloc();
+                    let map = alloc();
+                    ops_out.push(MicroKernel::LoadStream { attr: *a, out: stream });
+                    ops_out.push(MicroKernel::Unique {
+                        stream,
+                        values,
+                        map,
+                    });
+                    (values, map)
+                });
+                regs.insert(
+                    id,
+                    if matches!(node.kind, OpKind::UniqueValues(_)) {
+                        values
+                    } else {
+                        map
+                    },
+                );
+            }
+            OpKind::Index => {
+                let idx = regs[&node.inputs[1]];
+                let out = alloc();
+                let data = node.inputs[0];
+                let rank = dfg.node(data).shape.len();
+                match resolve(data, &regs, &mut prologue) {
+                    Operand::Global(src) if rank == 2 => {
+                        ops_out.push(MicroKernel::GatherRows { src, idx, out });
+                    }
+                    Operand::Global(src) => {
+                        ops_out.push(MicroKernel::GatherWeight { src, idx, out });
+                    }
+                    Operand::Register(src) => {
+                        ops_out.push(MicroKernel::GatherRegRows { src, idx, out });
+                    }
+                }
+                regs.insert(id, out);
+            }
+            OpKind::Index2D => {
+                let idx1 = regs[&node.inputs[1]];
+                let idx2 = regs[&node.inputs[2]];
+                let out = alloc();
+                match resolve(node.inputs[0], &regs, &mut prologue) {
+                    Operand::Global(src) => ops_out.push(MicroKernel::Gather2DGlobal {
+                        src,
+                        idx1,
+                        idx2,
+                        out,
+                    }),
+                    Operand::Register(src) => ops_out.push(MicroKernel::GatherReg2D {
+                        src,
+                        idx1,
+                        idx2,
+                        out,
+                    }),
+                }
+                regs.insert(id, out);
+            }
+            OpKind::Linear => {
+                let x = *regs.get(&node.inputs[0]).ok_or_else(|| {
+                    CompileError("Linear lhs must be task-local".into())
+                })?;
+                let w = match resolve(node.inputs[1], &regs, &mut prologue) {
+                    Operand::Global(name) => name,
+                    Operand::Register(_) => {
+                        return Err(CompileError(
+                            "Linear weight must be edge-independent".into(),
+                        ))
+                    }
+                };
+                let out = alloc();
+                ops_out.push(MicroKernel::MatMatGlobal { x, w, out });
+                regs.insert(id, out);
+            }
+            OpKind::PerEdgeLinear => {
+                let x = regs[&node.inputs[0]];
+                let w = regs[&node.inputs[1]];
+                let out = alloc();
+                ops_out.push(MicroKernel::PerRowVecMat { x, w, out });
+                regs.insert(id, out);
+            }
+            OpKind::PairwiseLinear => {
+                let x = *regs.get(&node.inputs[0]).ok_or_else(|| {
+                    CompileError("PairwiseLinear lhs must be task-local".into())
+                })?;
+                let out = alloc();
+                match resolve(node.inputs[1], &regs, &mut prologue) {
+                    Operand::Global(w) => {
+                        ops_out.push(MicroKernel::PairwiseGlobal { x, w, out })
+                    }
+                    Operand::Register(w) => {
+                        ops_out.push(MicroKernel::PairwiseReg { x, w, out })
+                    }
+                }
+                regs.insert(id, out);
+            }
+            OpKind::Add | OpKind::Mul | OpKind::Relu | OpKind::LeakyRelu => {
+                let a = regs[&node.inputs[0]];
+                let b = node.inputs.get(1).map(|p| regs[p]);
+                let op = match node.kind {
+                    OpKind::Add => EwOp::Add,
+                    OpKind::Mul => EwOp::Mul,
+                    OpKind::Relu => EwOp::Relu,
+                    _ => EwOp::LeakyRelu,
+                };
+                let out = alloc();
+                ops_out.push(MicroKernel::Elementwise { op, a, b, out });
+                regs.insert(id, out);
+            }
+            OpKind::SqueezeCol => {
+                let x = regs[&node.inputs[0]];
+                let out = alloc();
+                ops_out.push(MicroKernel::Squeeze { x, out });
+                regs.insert(id, out);
+            }
+            OpKind::SegmentSoftmax => {
+                let scores = regs[&node.inputs[0]];
+                let seg = regs[&node.inputs[1]];
+                let out = alloc();
+                ops_out.push(MicroKernel::SegmentSoftmax { scores, seg, out });
+                requires_dst_complete = true;
+                regs.insert(id, out);
+            }
+            OpKind::ScaleRowsByScalar => {
+                let x = regs[&node.inputs[0]];
+                let sreg = regs[&node.inputs[1]];
+                let out = alloc();
+                ops_out.push(MicroKernel::ScaleRows { x, s: sreg, out });
+                regs.insert(id, out);
+            }
+            OpKind::IndexAdd { .. } if id == reduce => {
+                let data = regs[&node.inputs[0]];
+                let idx = regs[&node.inputs[1]];
+                ops_out.push(MicroKernel::ScatterAdd { data, idx });
+            }
+            other => {
+                return Err(CompileError(format!(
+                    "operation {other:?} is not supported in per-task programs"
+                )));
+            }
+        }
+    }
+
+    // Output shape from the reduction node.
+    let out_width = match dfg.node(reduce).shape.last() {
+        Some(&wisegraph_dfg::Dim::Lit(w)) => w,
+        _ => {
+            return Err(CompileError(
+                "reduction output must have a literal width".into(),
+            ))
+        }
+    };
+    Ok(KernelProgram {
+        ops: ops_out,
+        num_regs: next_reg,
+        out_rows: g.num_vertices(),
+        out_width,
+        reduce_node: reduce,
+        prologue,
+        requires_dst_complete,
+    })
+}
+
+/// All-pairs product `out[u, t] = x[u] @ w[t]` for `[u, f]` × `[t, f, f']`.
+fn pairwise(x: &Tensor, w: &Tensor) -> Tensor {
+    let (u, f) = (x.dims()[0], x.dims()[1]);
+    let (t, fo) = (w.dims()[0], w.dims()[2]);
+    let mut data = vec![0.0f32; u * t * fo];
+    for a in 0..u {
+        for b in 0..t {
+            for k in 0..f {
+                let x_ak = x.data()[a * f + k];
+                if x_ak == 0.0 {
+                    continue;
+                }
+                let wrow = &w.data()[(b * f + k) * fo..(b * f + k + 1) * fo];
+                let orow = &mut data[(a * t + b) * fo..(a * t + b + 1) * fo];
+                for (o, &w_kj) in orow.iter_mut().zip(wrow) {
+                    *o += x_ak * w_kj;
+                }
+            }
+        }
+    }
+    Tensor::from_vec(data, &[u, t, fo])
+}
+
+/// Executes the compiled program for one task's edges, accumulating into
+/// `out`.
+///
+/// # Panics
+///
+/// Panics if a register is used before assignment or a global tensor is
+/// missing (compilation guarantees well-formed programs for valid inputs).
+pub fn run_task(
+    program: &KernelProgram,
+    g: &Graph,
+    globals: &HashMap<String, Tensor>,
+    edges: &[usize],
+    out: &mut Tensor,
+) {
+    let mut regs: Vec<Option<RegValue>> = vec![None; program.num_regs];
+    let tensor = |regs: &[Option<RegValue>], r: Reg| -> Tensor {
+        match regs[r.0].as_ref().expect("register assigned") {
+            RegValue::Tensor(t) => t.clone(),
+            RegValue::Stream(_) => panic!("expected tensor in register {r:?}"),
+        }
+    };
+    let stream = |regs: &[Option<RegValue>], r: Reg| -> Vec<u32> {
+        match regs[r.0].as_ref().expect("register assigned") {
+            RegValue::Stream(s) => s.clone(),
+            RegValue::Tensor(_) => panic!("expected stream in register {r:?}"),
+        }
+    };
+    for op in &program.ops {
+        match op {
+            MicroKernel::LoadStream { attr, out } => {
+                let s: Vec<u32> = edges
+                    .iter()
+                    .map(|&e| g.edge_attr(*attr, e) as u32)
+                    .collect();
+                regs[out.0] = Some(RegValue::Stream(s));
+            }
+            MicroKernel::Unique {
+                stream: s,
+                values,
+                map,
+            } => {
+                let (u, m) = unique_and_map(&stream(&regs, *s));
+                regs[values.0] = Some(RegValue::Stream(u));
+                regs[map.0] = Some(RegValue::Stream(m));
+            }
+            MicroKernel::GatherRows { src, idx, out } => {
+                let t = ops::gather_rows(&globals[src], &stream(&regs, *idx));
+                regs[out.0] = Some(RegValue::Tensor(t));
+            }
+            MicroKernel::GatherRegRows { src, idx, out } => {
+                let t = ops::gather_rows(&tensor(&regs, *src), &stream(&regs, *idx));
+                regs[out.0] = Some(RegValue::Tensor(t));
+            }
+            MicroKernel::GatherReg2D {
+                src,
+                idx1,
+                idx2,
+                out,
+            } => {
+                let src = tensor(&regs, *src);
+                let (d1, rest): (usize, usize) =
+                    (src.dims()[1], src.dims()[2..].iter().product());
+                let i1 = stream(&regs, *idx1);
+                let i2 = stream(&regs, *idx2);
+                let mut data = vec![0.0f32; i1.len() * rest];
+                for (i, (&a, &b)) in i1.iter().zip(i2.iter()).enumerate() {
+                    let off = (a as usize * d1 + b as usize) * rest;
+                    data[i * rest..(i + 1) * rest]
+                        .copy_from_slice(&src.data()[off..off + rest]);
+                }
+                regs[out.0] = Some(RegValue::Tensor(Tensor::from_vec(
+                    data,
+                    &[i1.len(), rest],
+                )));
+            }
+            MicroKernel::GatherWeight { src, idx, out } => {
+                let w = &globals[src];
+                let slice: usize = w.dims()[1..].iter().product();
+                let i = stream(&regs, *idx);
+                let mut data = vec![0.0f32; i.len() * slice];
+                for (n, &t) in i.iter().enumerate() {
+                    let off = t as usize * slice;
+                    data[n * slice..(n + 1) * slice]
+                        .copy_from_slice(&w.data()[off..off + slice]);
+                }
+                let mut dims = vec![i.len()];
+                dims.extend_from_slice(&w.dims()[1..]);
+                regs[out.0] = Some(RegValue::Tensor(Tensor::from_vec(data, &dims)));
+            }
+            MicroKernel::Gather2DGlobal {
+                src,
+                idx1,
+                idx2,
+                out,
+            } => {
+                let srct = &globals[src];
+                let (d1, rest): (usize, usize) =
+                    (srct.dims()[1], srct.dims()[2..].iter().product());
+                let i1 = stream(&regs, *idx1);
+                let i2 = stream(&regs, *idx2);
+                let mut data = vec![0.0f32; i1.len() * rest];
+                for (i, (&a, &b)) in i1.iter().zip(i2.iter()).enumerate() {
+                    let off = (a as usize * d1 + b as usize) * rest;
+                    data[i * rest..(i + 1) * rest]
+                        .copy_from_slice(&srct.data()[off..off + rest]);
+                }
+                regs[out.0] = Some(RegValue::Tensor(Tensor::from_vec(
+                    data,
+                    &[i1.len(), rest],
+                )));
+            }
+            MicroKernel::PairwiseReg { x, w, out } => {
+                let xv = tensor(&regs, *x);
+                let wv = tensor(&regs, *w);
+                regs[out.0] = Some(RegValue::Tensor(pairwise(&xv, &wv)));
+            }
+            MicroKernel::MatMatGlobal { x, w, out } => {
+                let t = ops::matmul(&tensor(&regs, *x), &globals[w]);
+                regs[out.0] = Some(RegValue::Tensor(t));
+            }
+            MicroKernel::PerRowVecMat { x, w, out } => {
+                let xv = tensor(&regs, *x);
+                let wv = tensor(&regs, *w);
+                let (n, f) = (xv.dims()[0], xv.dims()[1]);
+                let fo = wv.dims()[2];
+                let mut data = vec![0.0f32; n * fo];
+                for i in 0..n {
+                    for k in 0..f {
+                        let x_ik = xv.data()[i * f + k];
+                        if x_ik == 0.0 {
+                            continue;
+                        }
+                        let wrow = &wv.data()[(i * f + k) * fo..(i * f + k + 1) * fo];
+                        for (o, &w_kj) in
+                            data[i * fo..(i + 1) * fo].iter_mut().zip(wrow)
+                        {
+                            *o += x_ik * w_kj;
+                        }
+                    }
+                }
+                regs[out.0] = Some(RegValue::Tensor(Tensor::from_vec(data, &[n, fo])));
+            }
+            MicroKernel::PairwiseGlobal { x, w, out } => {
+                let xv = tensor(&regs, *x);
+                regs[out.0] = Some(RegValue::Tensor(pairwise(&xv, &globals[w])));
+            }
+            MicroKernel::Elementwise { op, a, b, out } => {
+                let av = tensor(&regs, *a);
+                let t = match (op, b) {
+                    (EwOp::Add, Some(b)) => ops::add(&av, &tensor(&regs, *b)),
+                    (EwOp::Mul, Some(b)) => ops::mul(&av, &tensor(&regs, *b)),
+                    (EwOp::Relu, _) => ops::relu(&av),
+                    (EwOp::LeakyRelu, _) => ops::leaky_relu(&av, LEAKY_SLOPE),
+                    _ => panic!("binary elementwise without second operand"),
+                };
+                regs[out.0] = Some(RegValue::Tensor(t));
+            }
+            MicroKernel::Squeeze { x, out } => {
+                let t = tensor(&regs, *x);
+                regs[out.0] = Some(RegValue::Tensor(t.reshape(&[t.dims()[0]])));
+            }
+            MicroKernel::SegmentSoftmax { scores, seg, out } => {
+                let sc = tensor(&regs, *scores);
+                let segs = stream(&regs, *seg);
+                let max_seg = segs.iter().copied().max().unwrap_or(0) as usize + 1;
+                regs[out.0] = Some(RegValue::Tensor(ops::segment_softmax(
+                    &sc, &segs, max_seg,
+                )));
+            }
+            MicroKernel::ScaleRows { x, s, out } => {
+                let xv = tensor(&regs, *x);
+                let sv = tensor(&regs, *s);
+                regs[out.0] = Some(RegValue::Tensor(ops::scale_rows(&xv, &sv)));
+            }
+            MicroKernel::ScatterAdd { data, idx } => {
+                let d = tensor(&regs, *data);
+                let i = stream(&regs, *idx);
+                let width = program.out_width;
+                for (row, &dst) in i.iter().enumerate() {
+                    let orow = out.row_mut(dst as usize);
+                    let drow = &d.data()[row * width..(row + 1) * width];
+                    for (o, &v) in orow.iter_mut().zip(drow) {
+                        *o += v;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Evaluates the epilogue: the DFG nodes after (or independent of) the
+/// reduction, given the accumulated reduction value.
+///
+/// # Panics
+///
+/// Panics if an epilogue node uses an unsupported operation (the per-task
+/// compiler accepts the DFG first, so this indicates an internal error) or
+/// a global tensor is missing.
+pub fn run_epilogue(
+    dfg: &Dfg,
+    g: &Graph,
+    globals: &HashMap<String, Tensor>,
+    reduce_node: NodeId,
+    reduced: Tensor,
+) -> Vec<Tensor> {
+    let mut values: HashMap<NodeId, Tensor> = HashMap::new();
+    values.insert(reduce_node, reduced);
+    let live = dfg.live_set();
+    let edge_dep = edge_dependence(dfg);
+    for (i, node) in dfg.nodes().iter().enumerate() {
+        let id = NodeId(i);
+        if !live[i] || values.contains_key(&id) || edge_dep[i] {
+            continue;
+        }
+        // Only evaluate nodes whose inputs are available (edge-independent
+        // sources or downstream of the reduction).
+        let ready = node
+            .inputs
+            .iter()
+            .all(|p| values.contains_key(p) || matches!(dfg.node(*p).kind, OpKind::Input { .. }));
+        if !ready && !matches!(node.kind, OpKind::Input { .. }) {
+            continue;
+        }
+        let input = |p: NodeId, values: &HashMap<NodeId, Tensor>| -> Tensor {
+            values.get(&p).cloned().unwrap_or_else(|| match &dfg.node(p).kind {
+                OpKind::Input { name, .. } => globals[name].clone(),
+                other => panic!("epilogue input {other:?} unavailable"),
+            })
+        };
+        let v = match &node.kind {
+            OpKind::Input { .. } => continue,
+            OpKind::Linear => ops::matmul(&input(node.inputs[0], &values), &input(node.inputs[1], &values)),
+            OpKind::Add => ops::add(&input(node.inputs[0], &values), &input(node.inputs[1], &values)),
+            OpKind::Mul => ops::mul(&input(node.inputs[0], &values), &input(node.inputs[1], &values)),
+            OpKind::Relu => ops::relu(&input(node.inputs[0], &values)),
+            OpKind::LeakyRelu => ops::leaky_relu(&input(node.inputs[0], &values), LEAKY_SLOPE),
+            OpKind::ScaleByDegreeInv => {
+                let x = input(node.inputs[0], &values);
+                let scales: Vec<f32> = g
+                    .in_degree()
+                    .iter()
+                    .map(|&d| 1.0 / (d.max(1) as f32))
+                    .collect();
+                ops::scale_rows(&x, &Tensor::from_vec(scales, &[g.num_vertices()]))
+            }
+            OpKind::ConcatCols => ops::concat_cols(
+                &input(node.inputs[0], &values),
+                &input(node.inputs[1], &values),
+            ),
+            OpKind::PairwiseLinear => pairwise(
+                &input(node.inputs[0], &values),
+                &input(node.inputs[1], &values),
+            ),
+            other => panic!("unsupported epilogue operation {other:?}"),
+        };
+        values.insert(id, v);
+    }
+    dfg.outputs()
+        .iter()
+        .map(|o| values.get(o).cloned().expect("output computed"))
+        .collect()
+}
+
+/// Compiles and executes a DFG over a partition plan: per-task programs
+/// accumulate into the reduction buffer; the epilogue finishes the layer.
+///
+/// # Errors
+///
+/// Returns the compile error if the DFG is not per-task executable.
+pub fn execute_by_plan(
+    dfg: &Dfg,
+    g: &Graph,
+    plan: &PartitionPlan,
+    globals: &HashMap<String, Tensor>,
+) -> Result<Vec<Tensor>, CompileError> {
+    let program = compile(dfg, g)?;
+    if program.requires_dst_complete && !plan_is_dst_complete(g, plan) {
+        return Err(CompileError(
+            "per-destination normalization requires a destination-complete \
+             plan (e.g. uniq(dst-id)=k tables)"
+                .into(),
+        ));
+    }
+    // Prologue: precompute edge-independent intermediates the per-task
+    // program gathers from (e.g. the pairwise table, hoisted projections).
+    let mut all_globals = globals.clone();
+    if !program.prologue.is_empty() {
+        let pre = eval_edge_independent(dfg, g, globals);
+        for id in &program.prologue {
+            let v = pre
+                .get(id)
+                .cloned()
+                .ok_or_else(|| {
+                    CompileError(format!("prologue node {} not evaluable", id.0))
+                })?;
+            all_globals.insert(prologue_name(*id), v);
+        }
+    }
+    let mut acc = Tensor::zeros(&[program.out_rows, program.out_width]);
+    for task in &plan.tasks {
+        run_task(&program, g, &all_globals, &task.edges, &mut acc);
+    }
+    Ok(run_epilogue(dfg, g, globals, program.reduce_node, acc))
+}
+
+/// Returns `true` when every destination's in-edges live in exactly one
+/// task of the plan.
+pub fn plan_is_dst_complete(g: &Graph, plan: &PartitionPlan) -> bool {
+    let mut pairs = 0usize;
+    let mut all: Vec<u32> = Vec::new();
+    for task in &plan.tasks {
+        let mut dsts: Vec<u32> = task.edges.iter().map(|&e| g.dst()[e]).collect();
+        dsts.sort_unstable();
+        dsts.dedup();
+        pairs += dsts.len();
+        all.extend(dsts);
+    }
+    all.sort_unstable();
+    all.dedup();
+    pairs == all.len()
+}
+
+/// Evaluates every edge-independent, live, dense node of the DFG once
+/// (the prologue of compiled execution).
+pub fn eval_edge_independent_public(
+    dfg: &Dfg,
+    g: &Graph,
+    globals: &HashMap<String, Tensor>,
+) -> HashMap<NodeId, Tensor> {
+    eval_edge_independent(dfg, g, globals)
+}
+
+fn eval_edge_independent(
+    dfg: &Dfg,
+    g: &Graph,
+    globals: &HashMap<String, Tensor>,
+) -> HashMap<NodeId, Tensor> {
+    // Reuse the epilogue evaluator with an unreachable seed node.
+    let mut values: HashMap<NodeId, Tensor> = HashMap::new();
+    let live = dfg.live_set();
+    let edge_dep = edge_dependence(dfg);
+    for (i, node) in dfg.nodes().iter().enumerate() {
+        let id = NodeId(i);
+        if !live[i] || edge_dep[i] {
+            continue;
+        }
+        let ready = node.inputs.iter().all(|p| {
+            values.contains_key(p)
+                || matches!(dfg.node(*p).kind, OpKind::Input { .. })
+        });
+        if !ready || matches!(node.kind, OpKind::Input { .. }) {
+            continue;
+        }
+        let input = |p: NodeId, values: &HashMap<NodeId, Tensor>| -> Tensor {
+            values.get(&p).cloned().unwrap_or_else(|| match &dfg.node(p).kind {
+                OpKind::Input { name, .. } => globals[name].clone(),
+                other => panic!("prologue input {other:?} unavailable"),
+            })
+        };
+        let v = match &node.kind {
+            OpKind::Linear => ops::matmul(
+                &input(node.inputs[0], &values),
+                &input(node.inputs[1], &values),
+            ),
+            OpKind::PairwiseLinear => pairwise(
+                &input(node.inputs[0], &values),
+                &input(node.inputs[1], &values),
+            ),
+            OpKind::Add => ops::add(
+                &input(node.inputs[0], &values),
+                &input(node.inputs[1], &values),
+            ),
+            OpKind::Mul => ops::mul(
+                &input(node.inputs[0], &values),
+                &input(node.inputs[1], &values),
+            ),
+            OpKind::Relu => ops::relu(&input(node.inputs[0], &values)),
+            OpKind::LeakyRelu => {
+                ops::leaky_relu(&input(node.inputs[0], &values), LEAKY_SLOPE)
+            }
+            OpKind::ScaleByDegreeInv => {
+                let x = input(node.inputs[0], &values);
+                let scales: Vec<f32> = g
+                    .in_degree()
+                    .iter()
+                    .map(|&d| 1.0 / (d.max(1) as f32))
+                    .collect();
+                ops::scale_rows(&x, &Tensor::from_vec(scales, &[g.num_vertices()]))
+            }
+            _ => continue,
+        };
+        values.insert(id, v);
+    }
+    values
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wisegraph_dfg::interp::execute;
+    use wisegraph_dfg::{transform, Binding};
+    use wisegraph_graph::generate::{rmat, RmatParams};
+    use wisegraph_gtask::{partition, PartitionTable};
+    use wisegraph_models::ModelKind;
+    use wisegraph_tensor::init;
+
+    fn globals_for(g: &Graph, fi: usize, fo: usize) -> HashMap<String, Tensor> {
+        let mut m = HashMap::new();
+        m.insert(
+            "h".to_string(),
+            init::uniform_tensor(&[g.num_vertices(), fi], -1.0, 1.0, 1),
+        );
+        m.insert(
+            "W".to_string(),
+            init::uniform_tensor(&[g.num_edge_types(), fi, fo], -1.0, 1.0, 2),
+        );
+        m.insert("w".to_string(), init::uniform_tensor(&[fi, fo], -1.0, 1.0, 3));
+        m.insert(
+            "w_self".to_string(),
+            init::uniform_tensor(&[fi, fo], -1.0, 1.0, 4),
+        );
+        m.insert(
+            "w_neigh".to_string(),
+            init::uniform_tensor(&[fi, fo], -1.0, 1.0, 5),
+        );
+        m
+    }
+
+    #[test]
+    fn compiled_gcn_matches_interpreter() {
+        let g = rmat(&RmatParams::standard(70, 500, 31).with_edge_types(2));
+        let (fi, fo) = (5, 4);
+        let dfg = ModelKind::Gcn.layer_dfg(fi, fo);
+        let globals = globals_for(&g, fi, fo);
+        let reference = &execute(&dfg, &g, &globals).unwrap()[0];
+        for table in [
+            PartitionTable::vertex_centric(),
+            PartitionTable::edge_batch(16),
+            PartitionTable::two_d(4),
+        ] {
+            let plan = partition(&g, &table);
+            let got = &execute_by_plan(&dfg, &g, &plan, &globals).unwrap()[0];
+            assert!(
+                reference.allclose(got, 1e-3),
+                "{table}: diff {}",
+                reference.max_abs_diff(got)
+            );
+        }
+    }
+
+    #[test]
+    fn compiled_rgcn_matches_interpreter() {
+        let g = rmat(&RmatParams::standard(60, 400, 33).with_edge_types(3));
+        let (fi, fo) = (4, 3);
+        let dfg = ModelKind::Rgcn.layer_dfg(fi, fo);
+        let globals = globals_for(&g, fi, fo);
+        let reference = &execute(&dfg, &g, &globals).unwrap()[0];
+        let plan = partition(&g, &PartitionTable::src_batch_per_type(8));
+        let got = &execute_by_plan(&dfg, &g, &plan, &globals).unwrap()[0];
+        assert!(
+            reference.allclose(got, 1e-3),
+            "diff {}",
+            reference.max_abs_diff(got)
+        );
+    }
+
+    #[test]
+    fn compiled_transformed_rgcn_matches_interpreter() {
+        // The transformed DFG (unique extraction + pairwise + Index2D)
+        // compiles to dedup/pairwise micro-kernels and still matches.
+        let g = rmat(&RmatParams::standard(40, 300, 35).with_edge_types(3));
+        let (fi, fo) = (4, 3);
+        let dfg = ModelKind::Rgcn.layer_dfg(fi, fo);
+        let binding = Binding::from_graph(&g);
+        let (opt, _) = transform::optimize(&dfg, &binding);
+        let globals = globals_for(&g, fi, fo);
+        let reference = &execute(&dfg, &g, &globals).unwrap()[0];
+        let plan = partition(&g, &PartitionTable::src_batch_per_type(16));
+        let got = &execute_by_plan(&opt, &g, &plan, &globals).unwrap()[0];
+        assert!(
+            reference.allclose(got, 1e-3),
+            "diff {}",
+            reference.max_abs_diff(got)
+        );
+    }
+
+    #[test]
+    fn compiled_sage_epilogue_join() {
+        // SAGE joins an edge-independent branch (self projection) in the
+        // epilogue.
+        let g = rmat(&RmatParams::standard(50, 350, 37));
+        let (fi, fo) = (4, 3);
+        let dfg = ModelKind::Sage.layer_dfg(fi, fo);
+        let globals = globals_for(&g, fi, fo);
+        let reference = &execute(&dfg, &g, &globals).unwrap()[0];
+        let plan = partition(&g, &PartitionTable::edge_batch(32));
+        let got = &execute_by_plan(&dfg, &g, &plan, &globals).unwrap()[0];
+        assert!(
+            reference.allclose(got, 1e-3),
+            "diff {}",
+            reference.max_abs_diff(got)
+        );
+    }
+
+    #[test]
+    fn compiled_gat_on_destination_complete_plan() {
+        // Per-destination softmax compiles, but only runs on plans whose
+        // tasks hold whole destinations.
+        let g = rmat(&RmatParams::standard(40, 300, 39));
+        let (fi, fo) = (4, 3);
+        let dfg = ModelKind::Gat.layer_dfg(fi, fo);
+        let program = compile(&dfg, &g).unwrap();
+        assert!(program.requires_dst_complete);
+
+        let mut globals = HashMap::new();
+        globals.insert(
+            "h".to_string(),
+            init::uniform_tensor(&[g.num_vertices(), fi], -1.0, 1.0, 91),
+        );
+        globals.insert(
+            "w".to_string(),
+            init::uniform_tensor(&[fi, fo], -1.0, 1.0, 92),
+        );
+        globals.insert(
+            "a_src".to_string(),
+            init::uniform_tensor(&[fo, 1], -1.0, 1.0, 93),
+        );
+        globals.insert(
+            "a_dst".to_string(),
+            init::uniform_tensor(&[fo, 1], -1.0, 1.0, 94),
+        );
+        let reference = &execute(&dfg, &g, &globals).unwrap()[0];
+        // Destination-complete plan: exact.
+        let plan = partition(&g, &PartitionTable::vertex_centric());
+        let got = &execute_by_plan(&dfg, &g, &plan, &globals).unwrap()[0];
+        assert!(
+            reference.allclose(got, 1e-3),
+            "diff {}",
+            reference.max_abs_diff(got)
+        );
+        // Destination-splitting plan: rejected with a clear error.
+        let bad = partition(&g, &PartitionTable::edge_batch(7));
+        let err = execute_by_plan(&dfg, &g, &bad, &globals).unwrap_err();
+        assert!(err.0.contains("destination-complete"), "{err}");
+    }
+
+    #[test]
+    fn program_structure_is_sensible() {
+        let g = rmat(&RmatParams::standard(20, 100, 41).with_edge_types(2));
+        let dfg = ModelKind::Rgcn.layer_dfg(3, 2);
+        let program = compile(&dfg, &g).unwrap();
+        // Loads streams, gathers h and W, multiplies, scatters.
+        assert!(program
+            .ops
+            .iter()
+            .any(|k| matches!(k, MicroKernel::GatherRows { .. })));
+        assert!(program
+            .ops
+            .iter()
+            .any(|k| matches!(k, MicroKernel::GatherWeight { .. })));
+        assert!(program
+            .ops
+            .iter()
+            .any(|k| matches!(k, MicroKernel::PerRowVecMat { .. })));
+        assert!(matches!(
+            program.ops.last(),
+            Some(MicroKernel::ScatterAdd { .. })
+        ));
+        assert_eq!(program.out_width, 2);
+    }
+}

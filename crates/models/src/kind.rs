@@ -1,0 +1,281 @@
+//! Model metadata and per-layer DFG builders.
+
+use wisegraph_dfg::{Dfg, Dim};
+use wisegraph_graph::AttrKind;
+
+/// The five GNN models of the paper's evaluation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ModelKind {
+    /// Relational GCN: per-edge-type MLP (Equation 1).
+    Rgcn,
+    /// Graph attention network: multi-head attention (represented single
+    /// head per layer here).
+    Gat,
+    /// GraphSAGE with LSTM aggregation.
+    SageLstm,
+    /// GraphSAGE with mean aggregation.
+    Sage,
+    /// Graph convolutional network.
+    Gcn,
+}
+
+impl ModelKind {
+    /// All models in the paper's Figure 13 column order.
+    pub const ALL: [ModelKind; 5] = [
+        ModelKind::Rgcn,
+        ModelKind::Gat,
+        ModelKind::SageLstm,
+        ModelKind::Sage,
+        ModelKind::Gcn,
+    ];
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            ModelKind::Rgcn => "RGCN",
+            ModelKind::Gat => "GAT",
+            ModelKind::SageLstm => "SAGE-LSTM",
+            ModelKind::Sage => "SAGE",
+            ModelKind::Gcn => "GCN",
+        }
+    }
+
+    /// `true` for models with complex neural operations (MLP / attention /
+    /// LSTM); SAGE and GCN only use additions (§7.2).
+    pub fn is_complex(self) -> bool {
+        matches!(self, ModelKind::Rgcn | ModelKind::Gat | ModelKind::SageLstm)
+    }
+
+    /// Builds the one-layer DFG of this model mapping `[V, f_in]` vertex
+    /// embeddings to `[V, f_out]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `f_in` or `f_out` is zero.
+    pub fn layer_dfg(self, f_in: usize, f_out: usize) -> Dfg {
+        assert!(f_in > 0 && f_out > 0, "feature dims must be positive");
+        match self {
+            ModelKind::Rgcn => rgcn_layer(f_in, f_out),
+            ModelKind::Gat => gat_layer(f_in, f_out),
+            ModelKind::SageLstm => sage_lstm_layer(f_in, f_out),
+            ModelKind::Sage => sage_layer(f_in, f_out),
+            ModelKind::Gcn => gcn_layer(f_in, f_out),
+        }
+    }
+}
+
+/// RGCN layer (Figure 2c): `h'[dst] += MLP(h[src], W[edge-type])`.
+fn rgcn_layer(f_in: usize, f_out: usize) -> Dfg {
+    let mut d = Dfg::new();
+    let h = d.input("h", vec![Dim::Vertices, Dim::Lit(f_in)]);
+    let w = d.input(
+        "W",
+        vec![Dim::EdgeTypes, Dim::Lit(f_in), Dim::Lit(f_out)],
+    );
+    let src = d.edge_attr(AttrKind::SrcId);
+    let ty = d.edge_attr(AttrKind::EdgeType);
+    let dst = d.edge_attr(AttrKind::DstId);
+    let hsrc = d.index(h, src);
+    let wt = d.index(w, ty);
+    let msg = d.per_edge_linear(hsrc, wt);
+    let out = d.index_add(msg, dst, Dim::Vertices);
+    d.mark_output(out);
+    d
+}
+
+/// GAT layer: attention scores per edge, per-destination softmax, weighted
+/// aggregation.
+fn gat_layer(f_in: usize, f_out: usize) -> Dfg {
+    let mut d = Dfg::new();
+    let h = d.input("h", vec![Dim::Vertices, Dim::Lit(f_in)]);
+    let w = d.input("w", vec![Dim::Lit(f_in), Dim::Lit(f_out)]);
+    let a_src = d.input("a_src", vec![Dim::Lit(f_out), Dim::Lit(1)]);
+    let a_dst = d.input("a_dst", vec![Dim::Lit(f_out), Dim::Lit(1)]);
+    let src = d.edge_attr(AttrKind::SrcId);
+    let dst = d.edge_attr(AttrKind::DstId);
+    let z = d.linear(h, w);
+    let s_src = d.linear(z, a_src);
+    let s_dst = d.linear(z, a_dst);
+    let e_src = d.index(s_src, src);
+    let e_dst = d.index(s_dst, dst);
+    let e_sum = d.add(e_src, e_dst);
+    let e_act = d.leaky_relu(e_sum);
+    let scores = d.squeeze_col(e_act);
+    let alpha = d.segment_softmax(scores, dst);
+    let msg = d.index(z, src);
+    let weighted = d.scale_rows(msg, alpha);
+    let out = d.index_add(weighted, dst, Dim::Vertices);
+    d.mark_output(out);
+    d
+}
+
+/// SAGE-LSTM layer: LSTM over in-neighbor messages, then projection.
+fn sage_lstm_layer(f_in: usize, f_out: usize) -> Dfg {
+    let hidden = f_out;
+    let mut d = Dfg::new();
+    let h = d.input("h", vec![Dim::Vertices, Dim::Lit(f_in)]);
+    let wx = d.input("wx", vec![Dim::Lit(f_in), Dim::Lit(4 * hidden)]);
+    let wh = d.input("wh", vec![Dim::Lit(hidden), Dim::Lit(4 * hidden)]);
+    let b = d.input("b", vec![Dim::Lit(4 * hidden)]);
+    let w_out = d.input("w_out", vec![Dim::Lit(hidden), Dim::Lit(f_out)]);
+    let src = d.edge_attr(AttrKind::SrcId);
+    let dst = d.edge_attr(AttrKind::DstId);
+    let hsrc = d.index(h, src);
+    let agg = d.lstm_aggregate(hsrc, dst, wx, wh, b, hidden);
+    let out = d.linear(agg, w_out);
+    d.mark_output(out);
+    d
+}
+
+/// SAGE (mean) layer: `h' = h @ W_self + mean_nbr(h) @ W_neigh`.
+fn sage_layer(f_in: usize, f_out: usize) -> Dfg {
+    let mut d = Dfg::new();
+    let h = d.input("h", vec![Dim::Vertices, Dim::Lit(f_in)]);
+    let w_self = d.input("w_self", vec![Dim::Lit(f_in), Dim::Lit(f_out)]);
+    let w_neigh = d.input("w_neigh", vec![Dim::Lit(f_in), Dim::Lit(f_out)]);
+    let src = d.edge_attr(AttrKind::SrcId);
+    let dst = d.edge_attr(AttrKind::DstId);
+    let hsrc = d.index(h, src);
+    let agg = d.index_add(hsrc, dst, Dim::Vertices);
+    let mean = d.scale_by_degree_inv(agg);
+    let self_part = d.linear(h, w_self);
+    let neigh_part = d.linear(mean, w_neigh);
+    let out = d.add(self_part, neigh_part);
+    d.mark_output(out);
+    d
+}
+
+/// GCN layer: `h' = norm(A h) @ W`.
+fn gcn_layer(f_in: usize, f_out: usize) -> Dfg {
+    let mut d = Dfg::new();
+    let h = d.input("h", vec![Dim::Vertices, Dim::Lit(f_in)]);
+    let w = d.input("w", vec![Dim::Lit(f_in), Dim::Lit(f_out)]);
+    let src = d.edge_attr(AttrKind::SrcId);
+    let dst = d.edge_attr(AttrKind::DstId);
+    let hsrc = d.index(h, src);
+    let agg = d.index_add(hsrc, dst, Dim::Vertices);
+    let norm = d.scale_by_degree_inv(agg);
+    let out = d.linear(norm, w);
+    d.mark_output(out);
+    d
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+    use wisegraph_dfg::analysis::indexing_attrs;
+    use wisegraph_dfg::interp::execute;
+    use wisegraph_graph::generate::{rmat, RmatParams};
+    use wisegraph_tensor::Tensor;
+
+    #[test]
+    fn complexity_split_matches_paper() {
+        assert!(ModelKind::Rgcn.is_complex());
+        assert!(ModelKind::Gat.is_complex());
+        assert!(ModelKind::SageLstm.is_complex());
+        assert!(!ModelKind::Sage.is_complex());
+        assert!(!ModelKind::Gcn.is_complex());
+    }
+
+    #[test]
+    fn indexing_attrs_per_model() {
+        use AttrKind::*;
+        let attrs = |k: ModelKind| indexing_attrs(&k.layer_dfg(8, 8));
+        assert_eq!(
+            attrs(ModelKind::Rgcn).into_iter().collect::<Vec<_>>(),
+            vec![SrcId, DstId, EdgeType]
+        );
+        assert_eq!(
+            attrs(ModelKind::Gcn).into_iter().collect::<Vec<_>>(),
+            vec![SrcId, DstId]
+        );
+        assert_eq!(
+            attrs(ModelKind::Gat).into_iter().collect::<Vec<_>>(),
+            vec![SrcId, DstId]
+        );
+        assert_eq!(
+            attrs(ModelKind::SageLstm).into_iter().collect::<Vec<_>>(),
+            vec![SrcId, DstId]
+        );
+    }
+
+    fn rand_tensor(dims: &[usize], seed: u64) -> Tensor {
+        let n: usize = dims.iter().product();
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+        let data = (0..n)
+            .map(|_| {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                ((state >> 33) as f32 / u32::MAX as f32) - 0.5
+            })
+            .collect();
+        Tensor::from_vec(data, dims)
+    }
+
+    #[test]
+    fn every_model_dfg_executes() {
+        let g = rmat(&RmatParams::standard(40, 250, 19).with_edge_types(3));
+        let (f_in, f_out) = (6, 5);
+        for kind in ModelKind::ALL {
+            let d = kind.layer_dfg(f_in, f_out);
+            let mut inputs: HashMap<String, Tensor> = HashMap::new();
+            inputs.insert("h".into(), rand_tensor(&[40, f_in], 1));
+            inputs.insert("W".into(), rand_tensor(&[3, f_in, f_out], 2));
+            inputs.insert("w".into(), rand_tensor(&[f_in, f_out], 3));
+            inputs.insert("a_src".into(), rand_tensor(&[f_out, 1], 4));
+            inputs.insert("a_dst".into(), rand_tensor(&[f_out, 1], 5));
+            inputs.insert("wx".into(), rand_tensor(&[f_in, 4 * f_out], 6));
+            inputs.insert("wh".into(), rand_tensor(&[f_out, 4 * f_out], 7));
+            inputs.insert("b".into(), rand_tensor(&[4 * f_out], 8));
+            inputs.insert("w_out".into(), rand_tensor(&[f_out, f_out], 9));
+            inputs.insert("w_self".into(), rand_tensor(&[f_in, f_out], 10));
+            inputs.insert("w_neigh".into(), rand_tensor(&[f_in, f_out], 11));
+            let out = execute(&d, &g, &inputs)
+                .unwrap_or_else(|e| panic!("{}: {e}", kind.name()));
+            assert_eq!(out[0].dims(), &[40, f_out], "{}", kind.name());
+            assert!(out[0].all_finite(), "{}", kind.name());
+        }
+    }
+
+    #[test]
+    fn gat_attention_rows_sum_to_projected_average() {
+        // Sanity: with uniform scores the GAT output is the mean of
+        // projected neighbors. Use zero attention vectors → uniform alpha.
+        let g = rmat(&RmatParams::standard(30, 200, 23));
+        let (f_in, f_out) = (4, 3);
+        let d = ModelKind::Gat.layer_dfg(f_in, f_out);
+        let mut inputs: HashMap<String, Tensor> = HashMap::new();
+        let h = rand_tensor(&[30, f_in], 1);
+        let w = rand_tensor(&[f_in, f_out], 2);
+        inputs.insert("h".into(), h.clone());
+        inputs.insert("w".into(), w.clone());
+        inputs.insert("a_src".into(), Tensor::zeros(&[f_out, 1]));
+        inputs.insert("a_dst".into(), Tensor::zeros(&[f_out, 1]));
+        let out = &execute(&d, &g, &inputs).unwrap()[0];
+        // Manual mean of z over in-neighbors.
+        let z = wisegraph_tensor::ops::matmul(&h, &w);
+        let mut expect = Tensor::zeros(&[30, f_out]);
+        for v in 0..30usize {
+            let nbrs: Vec<usize> = (0..g.num_edges())
+                .filter(|&e| g.dst()[e] as usize == v)
+                .map(|e| g.src()[e] as usize)
+                .collect();
+            if nbrs.is_empty() {
+                continue;
+            }
+            for &s in &nbrs {
+                for f in 0..f_out {
+                    let cur = expect.at(&[v, f]);
+                    expect.set(&[v, f], cur + z.at(&[s, f]) / nbrs.len() as f32);
+                }
+            }
+        }
+        assert!(
+            out.allclose(&expect, 1e-3),
+            "diff {}",
+            out.max_abs_diff(&expect)
+        );
+    }
+}

@@ -1,0 +1,98 @@
+//! Trainable-model trait and training/evaluation loops.
+
+use wisegraph_graph::Graph;
+use wisegraph_tensor::{ops, Optimizer, Tape, Tensor, Var};
+
+/// What a forward pass returns: logits plus the tape handles of the
+/// parameters, in the same order as [`GnnModel::params_mut`].
+pub struct ModelOutput {
+    /// `[V, num_classes]` logits.
+    pub logits: Var,
+    /// Parameter variables registered during this forward pass.
+    pub params: Vec<Var>,
+}
+
+/// A GNN trainable with the autograd tape.
+///
+/// Invariant: the order of `params` in [`ModelOutput`] must match the order
+/// of [`GnnModel::params_mut`] — optimizers key their state on slot order.
+pub trait GnnModel {
+    /// Human-readable model name.
+    fn name(&self) -> &'static str;
+
+    /// Runs a forward pass, registering parameters on the tape.
+    fn forward(&self, tape: &Tape, g: &Graph, x: Var) -> ModelOutput;
+
+    /// Mutable access to the parameter tensors (optimizer update targets).
+    fn params_mut(&mut self) -> Vec<&mut Tensor>;
+
+    /// Total scalar parameter count.
+    fn num_parameters(&mut self) -> usize {
+        self.params_mut().iter().map(|p| p.numel()).sum()
+    }
+}
+
+/// Runs one full-graph training epoch; returns the training loss.
+///
+/// # Panics
+///
+/// Panics if `train_idx` is empty or an index is out of bounds.
+pub fn train_epoch(
+    model: &mut dyn GnnModel,
+    opt: &mut dyn Optimizer,
+    g: &Graph,
+    features: &Tensor,
+    labels: &[u32],
+    train_idx: &[u32],
+) -> f32 {
+    assert!(!train_idx.is_empty(), "empty training set");
+    let tape = Tape::new();
+    let x = tape.input(features.clone());
+    let out = model.forward(&tape, g, x);
+    let selected = tape.gather_rows(out.logits, train_idx.to_vec());
+    let selected_labels: Vec<u32> = train_idx.iter().map(|&i| labels[i as usize]).collect();
+    let loss = tape.cross_entropy(selected, selected_labels);
+    tape.backward(loss);
+    let grads: Vec<Tensor> = out
+        .params
+        .iter()
+        .map(|&p| {
+            tape.grad(p)
+                .unwrap_or_else(|| Tensor::zeros(tape.value(p).dims()))
+        })
+        .collect();
+    let mut params = model.params_mut();
+    assert_eq!(
+        params.len(),
+        grads.len(),
+        "params_mut / forward registration order mismatch"
+    );
+    let grad_refs: Vec<&Tensor> = grads.iter().collect();
+    opt.step(&mut params, &grad_refs);
+    tape.value(loss).item()
+}
+
+/// Classification accuracy over `idx` (fraction of correct argmax).
+pub fn accuracy(
+    model: &dyn GnnModel,
+    g: &Graph,
+    features: &Tensor,
+    labels: &[u32],
+    idx: &[u32],
+) -> f64 {
+    let tape = Tape::new();
+    let x = tape.input(features.clone());
+    let out = model.forward(&tape, g, x);
+    let logits = tape.value(out.logits);
+    let pred = ops::argmax_rows(&logits);
+    let correct = idx
+        .iter()
+        .filter(|&&i| pred[i as usize] == labels[i as usize])
+        .count();
+    correct as f64 / idx.len().max(1) as f64
+}
+
+/// Converts a labeled dataset's raw feature buffer into a tensor.
+pub fn features_tensor(features: &[f32], num_vertices: usize, dim: usize) -> Tensor {
+    Tensor::from_vec(features.to_vec(), &[num_vertices, dim])
+}

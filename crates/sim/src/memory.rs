@@ -1,0 +1,109 @@
+//! Device-memory footprint tracking and out-of-memory detection.
+//!
+//! Tensor-centric execution materializes per-edge tensors in global memory;
+//! on dense graphs that exceeds device capacity — the white (OOM) cells of
+//! Figure 13. Executors register their persistent and transient allocations
+//! here and ask whether the peak fits.
+
+/// Tracks the peak resident bytes of an execution plan.
+#[derive(Clone, Debug, Default)]
+pub struct MemoryTracker {
+    persistent: f64,
+    transient_current: f64,
+    transient_peak: f64,
+}
+
+impl MemoryTracker {
+    /// Creates an empty tracker.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers memory resident for the whole run (graph topology,
+    /// embeddings, weights).
+    pub fn persistent(&mut self, bytes: f64) {
+        self.persistent += bytes;
+    }
+
+    /// Registers a transient allocation (an intermediate tensor).
+    pub fn alloc(&mut self, bytes: f64) {
+        self.transient_current += bytes;
+        self.transient_peak = self.transient_peak.max(self.transient_current);
+    }
+
+    /// Releases a transient allocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more bytes are freed than currently allocated (a plan
+    /// accounting bug).
+    pub fn free(&mut self, bytes: f64) {
+        assert!(
+            bytes <= self.transient_current + 1.0,
+            "freeing {bytes} B with only {} B live",
+            self.transient_current
+        );
+        self.transient_current -= bytes;
+    }
+
+    /// Peak resident bytes seen so far.
+    pub fn peak(&self) -> f64 {
+        self.persistent + self.transient_peak
+    }
+
+    /// Whether the peak fits in `capacity` bytes.
+    pub fn fits(&self, capacity: f64) -> bool {
+        self.peak() <= capacity
+    }
+}
+
+/// Convenience: bytes of an `f32` tensor with the given extents.
+pub fn tensor_bytes(dims: &[usize]) -> f64 {
+    dims.iter().product::<usize>() as f64 * 4.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn peak_tracks_high_water_mark() {
+        let mut m = MemoryTracker::new();
+        m.persistent(100.0);
+        m.alloc(50.0);
+        m.alloc(30.0);
+        m.free(50.0);
+        m.alloc(10.0);
+        assert_eq!(m.peak(), 180.0);
+    }
+
+    #[test]
+    fn fits_respects_capacity() {
+        let mut m = MemoryTracker::new();
+        m.persistent(30e9);
+        assert!(m.fits(40e9));
+        m.alloc(15e9);
+        assert!(!m.fits(40e9));
+    }
+
+    #[test]
+    #[should_panic(expected = "freeing")]
+    fn over_free_panics() {
+        let mut m = MemoryTracker::new();
+        m.alloc(10.0);
+        m.free(20.0);
+    }
+
+    #[test]
+    fn tensor_bytes_f32() {
+        assert_eq!(tensor_bytes(&[1000, 128]), 512_000.0);
+    }
+
+    #[test]
+    fn reddit_like_edge_materialization_overflows_a100() {
+        // 114M edges x 602 features x 4 B = ~274 GB >> 40 GB.
+        let mut m = MemoryTracker::new();
+        m.alloc(tensor_bytes(&[114_000_000, 602]));
+        assert!(!m.fits(40e9));
+    }
+}

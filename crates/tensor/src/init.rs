@@ -1,0 +1,70 @@
+//! Parameter initialization schemes.
+
+use crate::tensor::Tensor;
+use rand::distributions::{Distribution, Uniform};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Xavier/Glorot uniform initialization for a `[fan_in, fan_out]` matrix.
+///
+/// Samples from `U(-a, a)` with `a = sqrt(6 / (fan_in + fan_out))`,
+/// deterministic for a given `seed`.
+pub fn xavier_uniform(fan_in: usize, fan_out: usize, seed: u64) -> Tensor {
+    let a = (6.0 / (fan_in + fan_out) as f32).sqrt();
+    uniform_tensor(&[fan_in, fan_out], -a, a, seed)
+}
+
+/// Kaiming/He uniform initialization for a `[fan_in, fan_out]` matrix.
+///
+/// Samples from `U(-a, a)` with `a = sqrt(6 / fan_in)`, suited to ReLU
+/// networks; deterministic for a given `seed`.
+pub fn kaiming_uniform(fan_in: usize, fan_out: usize, seed: u64) -> Tensor {
+    let a = (6.0 / fan_in as f32).sqrt();
+    uniform_tensor(&[fan_in, fan_out], -a, a, seed)
+}
+
+/// A tensor of the given shape with entries drawn from `U(lo, hi)`.
+pub fn uniform_tensor(dims: &[usize], lo: f32, hi: f32, seed: u64) -> Tensor {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let dist = Uniform::new(lo, hi);
+    let n: usize = dims.iter().product();
+    let data = (0..n).map(|_| dist.sample(&mut rng)).collect();
+    Tensor::from_vec(data, dims)
+}
+
+/// A zero tensor with the same shape as `t`.
+pub fn zeros_like(t: &Tensor) -> Tensor {
+    Tensor::zeros(t.dims())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn xavier_within_bound() {
+        let w = xavier_uniform(64, 32, 7);
+        let a = (6.0f32 / 96.0).sqrt();
+        assert_eq!(w.dims(), &[64, 32]);
+        assert!(w.data().iter().all(|&v| v.abs() <= a));
+        // Not degenerate.
+        assert!(w.data().iter().any(|&v| v.abs() > a / 10.0));
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let a = kaiming_uniform(8, 8, 42);
+        let b = kaiming_uniform(8, 8, 42);
+        let c = kaiming_uniform(8, 8, 43);
+        assert_eq!(a.data(), b.data());
+        assert_ne!(a.data(), c.data());
+    }
+
+    #[test]
+    fn zeros_like_matches_shape() {
+        let t = Tensor::ones(&[3, 5]);
+        let z = zeros_like(&t);
+        assert_eq!(z.dims(), &[3, 5]);
+        assert!(z.data().iter().all(|&v| v == 0.0));
+    }
+}

@@ -1,0 +1,606 @@
+//! Eager tensor operations.
+//!
+//! These are the reference implementations used both directly by the autograd
+//! engine and as ground truth for the composed micro-kernels in
+//! `wisegraph-kernels`. All functions allocate fresh output tensors.
+
+use crate::tensor::Tensor;
+
+/// Computes the matrix product `a @ b` of two rank-2 tensors.
+///
+/// # Panics
+///
+/// Panics if the inner dimensions do not match or either input is not rank-2.
+pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
+    assert_eq!(a.shape().rank(), 2, "matmul lhs must be rank-2");
+    assert_eq!(b.shape().rank(), 2, "matmul rhs must be rank-2");
+    let (m, k) = (a.dims()[0], a.dims()[1]);
+    let (k2, n) = (b.dims()[0], b.dims()[1]);
+    assert_eq!(k, k2, "matmul inner dimensions differ: {k} vs {k2}");
+    let mut out = vec![0.0f32; m * n];
+    let ad = a.data();
+    let bd = b.data();
+    for i in 0..m {
+        for p in 0..k {
+            let av = ad[i * k + p];
+            if av == 0.0 {
+                continue;
+            }
+            let brow = &bd[p * n..(p + 1) * n];
+            let orow = &mut out[i * n..(i + 1) * n];
+            for (o, &bv) in orow.iter_mut().zip(brow.iter()) {
+                *o += av * bv;
+            }
+        }
+    }
+    Tensor::from_vec(out, &[m, n])
+}
+
+/// Computes `aᵀ @ b` without materializing the transpose.
+///
+/// # Panics
+///
+/// Panics if the leading dimensions do not match or either input is not
+/// rank-2.
+pub fn matmul_at_b(a: &Tensor, b: &Tensor) -> Tensor {
+    assert_eq!(a.shape().rank(), 2, "matmul_at_b lhs must be rank-2");
+    assert_eq!(b.shape().rank(), 2, "matmul_at_b rhs must be rank-2");
+    let (m, k) = (a.dims()[0], a.dims()[1]);
+    let (m2, n) = (b.dims()[0], b.dims()[1]);
+    assert_eq!(m, m2, "matmul_at_b leading dimensions differ: {m} vs {m2}");
+    let mut out = vec![0.0f32; k * n];
+    let ad = a.data();
+    let bd = b.data();
+    for i in 0..m {
+        let arow = &ad[i * k..(i + 1) * k];
+        let brow = &bd[i * n..(i + 1) * n];
+        for (p, &av) in arow.iter().enumerate() {
+            if av == 0.0 {
+                continue;
+            }
+            let orow = &mut out[p * n..(p + 1) * n];
+            for (o, &bv) in orow.iter_mut().zip(brow.iter()) {
+                *o += av * bv;
+            }
+        }
+    }
+    Tensor::from_vec(out, &[k, n])
+}
+
+/// Computes `a @ bᵀ` without materializing the transpose.
+///
+/// # Panics
+///
+/// Panics if the trailing dimensions do not match or either input is not
+/// rank-2.
+pub fn matmul_a_bt(a: &Tensor, b: &Tensor) -> Tensor {
+    assert_eq!(a.shape().rank(), 2, "matmul_a_bt lhs must be rank-2");
+    assert_eq!(b.shape().rank(), 2, "matmul_a_bt rhs must be rank-2");
+    let (m, k) = (a.dims()[0], a.dims()[1]);
+    let (n, k2) = (b.dims()[0], b.dims()[1]);
+    assert_eq!(k, k2, "matmul_a_bt trailing dimensions differ: {k} vs {k2}");
+    let mut out = vec![0.0f32; m * n];
+    let ad = a.data();
+    let bd = b.data();
+    for i in 0..m {
+        let arow = &ad[i * k..(i + 1) * k];
+        for j in 0..n {
+            let brow = &bd[j * k..(j + 1) * k];
+            let mut acc = 0.0f32;
+            for (&av, &bv) in arow.iter().zip(brow.iter()) {
+                acc += av * bv;
+            }
+            out[i * n + j] = acc;
+        }
+    }
+    Tensor::from_vec(out, &[m, n])
+}
+
+fn zip_map(a: &Tensor, b: &Tensor, f: impl Fn(f32, f32) -> f32) -> Tensor {
+    assert!(
+        a.shape().same_as(b.shape()),
+        "element-wise op shape mismatch: {} vs {}",
+        a.shape(),
+        b.shape()
+    );
+    let data = a
+        .data()
+        .iter()
+        .zip(b.data().iter())
+        .map(|(&x, &y)| f(x, y))
+        .collect();
+    Tensor::from_vec(data, a.dims())
+}
+
+/// Element-wise addition.
+///
+/// # Panics
+///
+/// Panics if the shapes differ.
+pub fn add(a: &Tensor, b: &Tensor) -> Tensor {
+    zip_map(a, b, |x, y| x + y)
+}
+
+/// Element-wise subtraction.
+///
+/// # Panics
+///
+/// Panics if the shapes differ.
+pub fn sub(a: &Tensor, b: &Tensor) -> Tensor {
+    zip_map(a, b, |x, y| x - y)
+}
+
+/// Element-wise multiplication.
+///
+/// # Panics
+///
+/// Panics if the shapes differ.
+pub fn mul(a: &Tensor, b: &Tensor) -> Tensor {
+    zip_map(a, b, |x, y| x * y)
+}
+
+/// Multiplies every element by a scalar.
+pub fn scale(a: &Tensor, s: f32) -> Tensor {
+    let data = a.data().iter().map(|&x| x * s).collect();
+    Tensor::from_vec(data, a.dims())
+}
+
+/// Applies a unary function element-wise.
+pub fn map(a: &Tensor, f: impl Fn(f32) -> f32) -> Tensor {
+    let data = a.data().iter().map(|&x| f(x)).collect();
+    Tensor::from_vec(data, a.dims())
+}
+
+/// Rectified linear unit: `max(x, 0)`.
+pub fn relu(a: &Tensor) -> Tensor {
+    map(a, |x| x.max(0.0))
+}
+
+/// Leaky ReLU with the given negative slope.
+pub fn leaky_relu(a: &Tensor, slope: f32) -> Tensor {
+    map(a, |x| if x >= 0.0 { x } else { slope * x })
+}
+
+/// Logistic sigmoid.
+pub fn sigmoid(a: &Tensor) -> Tensor {
+    map(a, |x| 1.0 / (1.0 + (-x).exp()))
+}
+
+/// Hyperbolic tangent.
+pub fn tanh(a: &Tensor) -> Tensor {
+    map(a, f32::tanh)
+}
+
+/// Adds a rank-1 bias to every row of a rank-2 tensor.
+///
+/// # Panics
+///
+/// Panics if `x` is not rank-2, `bias` is not rank-1, or the widths differ.
+pub fn add_bias(x: &Tensor, bias: &Tensor) -> Tensor {
+    assert_eq!(x.shape().rank(), 2, "add_bias input must be rank-2");
+    assert_eq!(bias.shape().rank(), 1, "add_bias bias must be rank-1");
+    let (m, n) = (x.dims()[0], x.dims()[1]);
+    assert_eq!(n, bias.dims()[0], "bias width mismatch");
+    let bd = bias.data();
+    let mut out = x.data().to_vec();
+    for i in 0..m {
+        for j in 0..n {
+            out[i * n + j] += bd[j];
+        }
+    }
+    Tensor::from_vec(out, &[m, n])
+}
+
+/// Sums all elements, producing a scalar tensor.
+pub fn sum(a: &Tensor) -> Tensor {
+    Tensor::scalar(a.data().iter().sum())
+}
+
+/// Averages all elements, producing a scalar tensor.
+pub fn mean(a: &Tensor) -> Tensor {
+    Tensor::scalar(a.data().iter().sum::<f32>() / a.numel() as f32)
+}
+
+/// Sums each column of a rank-2 tensor, producing a rank-1 tensor.
+///
+/// # Panics
+///
+/// Panics if `x` is not rank-2.
+pub fn sum_rows(x: &Tensor) -> Tensor {
+    assert_eq!(x.shape().rank(), 2, "sum_rows input must be rank-2");
+    let (m, n) = (x.dims()[0], x.dims()[1]);
+    let mut out = vec![0.0f32; n];
+    for i in 0..m {
+        for j in 0..n {
+            out[j] += x.data()[i * n + j];
+        }
+    }
+    Tensor::from_vec(out, &[n])
+}
+
+/// Row-wise numerically stable softmax of a rank-2 tensor.
+///
+/// # Panics
+///
+/// Panics if `x` is not rank-2.
+pub fn softmax_rows(x: &Tensor) -> Tensor {
+    assert_eq!(x.shape().rank(), 2, "softmax_rows input must be rank-2");
+    let (m, n) = (x.dims()[0], x.dims()[1]);
+    let mut out = vec![0.0f32; m * n];
+    for i in 0..m {
+        let row = x.row(i);
+        let maxv = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let mut denom = 0.0f32;
+        for (j, &v) in row.iter().enumerate() {
+            let e = (v - maxv).exp();
+            out[i * n + j] = e;
+            denom += e;
+        }
+        for j in 0..n {
+            out[i * n + j] /= denom;
+        }
+    }
+    Tensor::from_vec(out, &[m, n])
+}
+
+/// Row-wise log-softmax of a rank-2 tensor.
+///
+/// # Panics
+///
+/// Panics if `x` is not rank-2.
+pub fn log_softmax_rows(x: &Tensor) -> Tensor {
+    assert_eq!(x.shape().rank(), 2, "log_softmax_rows input must be rank-2");
+    let (m, n) = (x.dims()[0], x.dims()[1]);
+    let mut out = vec![0.0f32; m * n];
+    for i in 0..m {
+        let row = x.row(i);
+        let maxv = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let lse = row.iter().map(|&v| (v - maxv).exp()).sum::<f32>().ln() + maxv;
+        for (j, &v) in row.iter().enumerate() {
+            out[i * n + j] = v - lse;
+        }
+    }
+    Tensor::from_vec(out, &[m, n])
+}
+
+/// Gathers rows of `x` by index: `out[i, :] = x[idx[i], :]`.
+///
+/// This is the *indexing operation* of the paper (Figure 2b): it moves vertex
+/// embeddings along edges.
+///
+/// # Panics
+///
+/// Panics if `x` is not rank-2 or any index is out of bounds.
+pub fn gather_rows(x: &Tensor, idx: &[u32]) -> Tensor {
+    assert_eq!(x.shape().rank(), 2, "gather_rows input must be rank-2");
+    let (m, n) = (x.dims()[0], x.dims()[1]);
+    let mut out = vec![0.0f32; idx.len() * n];
+    for (i, &r) in idx.iter().enumerate() {
+        let r = r as usize;
+        assert!(r < m, "gather index {r} out of bounds for {m} rows");
+        out[i * n..(i + 1) * n].copy_from_slice(x.row(r));
+    }
+    Tensor::from_vec(out, &[idx.len(), n])
+}
+
+/// Scatter-adds rows of `src` into a zeroed `[rows, f]` output:
+/// `out[idx[i], :] += src[i, :]`.
+///
+/// This is the reduction half of the paper's `Index-add` operation.
+///
+/// # Panics
+///
+/// Panics if `src` is not rank-2, the index list length differs from the
+/// number of source rows, or any index is out of bounds.
+pub fn index_add_rows(rows: usize, src: &Tensor, idx: &[u32]) -> Tensor {
+    assert_eq!(src.shape().rank(), 2, "index_add_rows src must be rank-2");
+    assert_eq!(
+        src.dims()[0],
+        idx.len(),
+        "index_add_rows: {} source rows but {} indices",
+        src.dims()[0],
+        idx.len()
+    );
+    let n = src.dims()[1];
+    let mut out = vec![0.0f32; rows * n];
+    for (i, &r) in idx.iter().enumerate() {
+        let r = r as usize;
+        assert!(r < rows, "scatter index {r} out of bounds for {rows} rows");
+        let srow = src.row(i);
+        let orow = &mut out[r * n..(r + 1) * n];
+        for (o, &s) in orow.iter_mut().zip(srow.iter()) {
+            *o += s;
+        }
+    }
+    Tensor::from_vec(out, &[rows, n])
+}
+
+/// Scales each row `i` of a rank-2 tensor by `s[i]`.
+///
+/// # Panics
+///
+/// Panics if `x` is not rank-2, `s` is not rank-1, or the row counts differ.
+pub fn scale_rows(x: &Tensor, s: &Tensor) -> Tensor {
+    assert_eq!(x.shape().rank(), 2, "scale_rows input must be rank-2");
+    assert_eq!(s.shape().rank(), 1, "scale_rows scales must be rank-1");
+    let (m, n) = (x.dims()[0], x.dims()[1]);
+    assert_eq!(m, s.dims()[0], "scale_rows row-count mismatch");
+    let sd = s.data();
+    let mut out = x.data().to_vec();
+    for i in 0..m {
+        for v in &mut out[i * n..(i + 1) * n] {
+            *v *= sd[i];
+        }
+    }
+    Tensor::from_vec(out, &[m, n])
+}
+
+/// Softmax over segments: entries sharing `seg[i]` are normalized together.
+///
+/// `scores` is rank-1 with one value per edge; `seg` assigns every edge to a
+/// segment (typically the destination vertex), and `num_segments` is the
+/// number of distinct segments. Used by GAT's per-destination attention
+/// normalization.
+///
+/// # Panics
+///
+/// Panics if `scores` is not rank-1, lengths differ, or a segment id is out
+/// of bounds.
+pub fn segment_softmax(scores: &Tensor, seg: &[u32], num_segments: usize) -> Tensor {
+    assert_eq!(scores.shape().rank(), 1, "segment_softmax scores rank-1");
+    assert_eq!(scores.numel(), seg.len(), "segment_softmax length mismatch");
+    let sd = scores.data();
+    let mut maxv = vec![f32::NEG_INFINITY; num_segments];
+    for (&v, &s) in sd.iter().zip(seg.iter()) {
+        let s = s as usize;
+        assert!(s < num_segments, "segment id {s} out of bounds");
+        if v > maxv[s] {
+            maxv[s] = v;
+        }
+    }
+    let mut denom = vec![0.0f32; num_segments];
+    let mut out = vec![0.0f32; sd.len()];
+    for (i, (&v, &s)) in sd.iter().zip(seg.iter()).enumerate() {
+        let e = (v - maxv[s as usize]).exp();
+        out[i] = e;
+        denom[s as usize] += e;
+    }
+    for (o, &s) in out.iter_mut().zip(seg.iter()) {
+        *o /= denom[s as usize];
+    }
+    Tensor::from_vec(out, &[sd.len()])
+}
+
+/// Concatenates two rank-2 tensors along the column dimension.
+///
+/// # Panics
+///
+/// Panics if either input is not rank-2 or the row counts differ.
+pub fn concat_cols(a: &Tensor, b: &Tensor) -> Tensor {
+    assert_eq!(a.shape().rank(), 2, "concat_cols lhs must be rank-2");
+    assert_eq!(b.shape().rank(), 2, "concat_cols rhs must be rank-2");
+    let (m, n1) = (a.dims()[0], a.dims()[1]);
+    let (m2, n2) = (b.dims()[0], b.dims()[1]);
+    assert_eq!(m, m2, "concat_cols row-count mismatch");
+    let mut out = vec![0.0f32; m * (n1 + n2)];
+    for i in 0..m {
+        out[i * (n1 + n2)..i * (n1 + n2) + n1].copy_from_slice(a.row(i));
+        out[i * (n1 + n2) + n1..(i + 1) * (n1 + n2)].copy_from_slice(b.row(i));
+    }
+    Tensor::from_vec(out, &[m, n1 + n2])
+}
+
+/// Mean cross-entropy between row-wise logits and integer class labels.
+///
+/// Returns `(loss, dlogits)` where `dlogits` is the gradient of the mean loss
+/// with respect to the logits (softmax minus one-hot, divided by the batch).
+///
+/// # Panics
+///
+/// Panics if `logits` is not rank-2, the label count differs from the row
+/// count, or a label is out of range.
+pub fn cross_entropy_with_grad(logits: &Tensor, labels: &[u32]) -> (f32, Tensor) {
+    assert_eq!(logits.shape().rank(), 2, "cross_entropy logits rank-2");
+    let (m, c) = (logits.dims()[0], logits.dims()[1]);
+    assert_eq!(m, labels.len(), "cross_entropy label-count mismatch");
+    let logp = log_softmax_rows(logits);
+    let mut loss = 0.0f32;
+    let mut grad = softmax_rows(logits).into_vec();
+    for (i, &y) in labels.iter().enumerate() {
+        let y = y as usize;
+        assert!(y < c, "label {y} out of range for {c} classes");
+        loss -= logp.at(&[i, y]);
+        grad[i * c + y] -= 1.0;
+    }
+    let inv_m = 1.0 / m as f32;
+    for g in &mut grad {
+        *g *= inv_m;
+    }
+    (loss * inv_m, Tensor::from_vec(grad, &[m, c]))
+}
+
+/// Returns the index of the maximum element of each row.
+///
+/// # Panics
+///
+/// Panics if `x` is not rank-2.
+pub fn argmax_rows(x: &Tensor) -> Vec<u32> {
+    assert_eq!(x.shape().rank(), 2, "argmax_rows input must be rank-2");
+    let m = x.dims()[0];
+    (0..m)
+        .map(|i| {
+            let row = x.row(i);
+            let mut best = 0usize;
+            for (j, &v) in row.iter().enumerate() {
+                if v > row[best] {
+                    best = j;
+                }
+            }
+            best as u32
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t2(data: &[f32], r: usize, c: usize) -> Tensor {
+        Tensor::from_vec(data.to_vec(), &[r, c])
+    }
+
+    #[test]
+    fn matmul_small() {
+        let a = t2(&[1.0, 2.0, 3.0, 4.0], 2, 2);
+        let b = t2(&[5.0, 6.0, 7.0, 8.0], 2, 2);
+        let c = matmul(&a, &b);
+        assert_eq!(c.data(), &[19.0, 22.0, 43.0, 50.0]);
+    }
+
+    #[test]
+    fn matmul_transposed_variants_agree() {
+        let a = t2(&[1.0, 2.0, 3.0, 4.0, 5.0, 6.0], 2, 3);
+        let b = t2(&[1.0, 0.0, 2.0, 1.0, 0.0, 3.0], 2, 3);
+        // aᵀ b computed directly vs. by materializing the transpose.
+        let at = Tensor::from_vec(
+            vec![a.at(&[0, 0]), a.at(&[1, 0]), a.at(&[0, 1]), a.at(&[1, 1]), a.at(&[0, 2]), a.at(&[1, 2])],
+            &[3, 2],
+        );
+        assert!(matmul_at_b(&a, &b).allclose(&matmul(&at, &b), 1e-6));
+        // a bᵀ likewise.
+        let bt = Tensor::from_vec(
+            vec![b.at(&[0, 0]), b.at(&[1, 0]), b.at(&[0, 1]), b.at(&[1, 1]), b.at(&[0, 2]), b.at(&[1, 2])],
+            &[3, 2],
+        );
+        assert!(matmul_a_bt(&a, &b).allclose(&matmul(&a, &bt), 1e-6));
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimensions")]
+    fn matmul_dim_mismatch() {
+        matmul(&Tensor::zeros(&[2, 3]), &Tensor::zeros(&[2, 3]));
+    }
+
+    #[test]
+    fn elementwise_ops() {
+        let a = t2(&[1.0, -2.0, 3.0, -4.0], 2, 2);
+        let b = t2(&[1.0, 1.0, 1.0, 1.0], 2, 2);
+        assert_eq!(add(&a, &b).data(), &[2.0, -1.0, 4.0, -3.0]);
+        assert_eq!(sub(&a, &b).data(), &[0.0, -3.0, 2.0, -5.0]);
+        assert_eq!(mul(&a, &a).data(), &[1.0, 4.0, 9.0, 16.0]);
+        assert_eq!(scale(&a, 2.0).data(), &[2.0, -4.0, 6.0, -8.0]);
+        assert_eq!(relu(&a).data(), &[1.0, 0.0, 3.0, 0.0]);
+        assert_eq!(leaky_relu(&a, 0.1).data(), &[1.0, -0.2, 3.0, -0.4]);
+    }
+
+    #[test]
+    fn activations_bounded() {
+        let a = t2(&[-10.0, 0.0, 10.0, 100.0], 2, 2);
+        let s = sigmoid(&a);
+        assert!(s.data().iter().all(|&v| (0.0..=1.0).contains(&v)));
+        assert!((s.at(&[0, 1]) - 0.5).abs() < 1e-6);
+        let t = tanh(&a);
+        assert!(t.data().iter().all(|&v| (-1.0..=1.0).contains(&v)));
+    }
+
+    #[test]
+    fn bias_and_reductions() {
+        let x = t2(&[1.0, 2.0, 3.0, 4.0], 2, 2);
+        let b = Tensor::from_vec(vec![10.0, 20.0], &[2]);
+        assert_eq!(add_bias(&x, &b).data(), &[11.0, 22.0, 13.0, 24.0]);
+        assert_eq!(sum(&x).item(), 10.0);
+        assert_eq!(mean(&x).item(), 2.5);
+        assert_eq!(sum_rows(&x).data(), &[4.0, 6.0]);
+    }
+
+    #[test]
+    fn softmax_rows_sums_to_one() {
+        let x = t2(&[1.0, 2.0, 3.0, 1000.0, 1001.0, 999.0], 2, 3);
+        let s = softmax_rows(&x);
+        for i in 0..2 {
+            let rowsum: f32 = s.row(i).iter().sum();
+            assert!((rowsum - 1.0).abs() < 1e-5);
+        }
+        assert!(s.all_finite(), "must be stable for large inputs");
+    }
+
+    #[test]
+    fn log_softmax_matches_softmax() {
+        let x = t2(&[0.5, -1.0, 2.0, 0.0, 0.0, 0.0], 2, 3);
+        let ls = log_softmax_rows(&x);
+        let s = softmax_rows(&x);
+        for (a, b) in ls.data().iter().zip(s.data().iter()) {
+            assert!((a.exp() - b).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn gather_and_scatter_roundtrip() {
+        let x = t2(&[1.0, 2.0, 3.0, 4.0, 5.0, 6.0], 3, 2);
+        let g = gather_rows(&x, &[2, 0, 2]);
+        assert_eq!(g.data(), &[5.0, 6.0, 1.0, 2.0, 5.0, 6.0]);
+        let s = index_add_rows(3, &g, &[2, 0, 2]);
+        assert_eq!(s.row(0), &[1.0, 2.0]);
+        assert_eq!(s.row(1), &[0.0, 0.0]);
+        assert_eq!(s.row(2), &[10.0, 12.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn gather_oob() {
+        gather_rows(&Tensor::zeros(&[2, 2]), &[2]);
+    }
+
+    #[test]
+    fn scale_rows_basic() {
+        let x = t2(&[1.0, 1.0, 2.0, 2.0], 2, 2);
+        let s = Tensor::from_vec(vec![0.5, 2.0], &[2]);
+        assert_eq!(scale_rows(&x, &s).data(), &[0.5, 0.5, 4.0, 4.0]);
+    }
+
+    #[test]
+    fn segment_softmax_normalizes_per_segment() {
+        let scores = Tensor::from_vec(vec![1.0, 1.0, 2.0, 3.0, 100.0], &[5]);
+        let seg = [0, 0, 1, 1, 1];
+        let s = segment_softmax(&scores, &seg, 2);
+        assert!((s.data()[0] + s.data()[1] - 1.0).abs() < 1e-5);
+        assert!((s.data()[2] + s.data()[3] + s.data()[4] - 1.0).abs() < 1e-5);
+        assert!(s.all_finite());
+        assert!((s.data()[0] - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn concat_cols_basic() {
+        let a = t2(&[1.0, 2.0, 3.0, 4.0], 2, 2);
+        let b = t2(&[9.0, 8.0], 2, 1);
+        let c = concat_cols(&a, &b);
+        assert_eq!(c.dims(), &[2, 3]);
+        assert_eq!(c.row(0), &[1.0, 2.0, 9.0]);
+        assert_eq!(c.row(1), &[3.0, 4.0, 8.0]);
+    }
+
+    #[test]
+    fn cross_entropy_perfect_prediction() {
+        // Very confident correct logits → loss near zero, gradient near zero.
+        let logits = t2(&[100.0, 0.0, 0.0, 100.0], 2, 2);
+        let (loss, grad) = cross_entropy_with_grad(&logits, &[0, 1]);
+        assert!(loss < 1e-4);
+        assert!(grad.data().iter().all(|&g| g.abs() < 1e-4));
+    }
+
+    #[test]
+    fn cross_entropy_uniform() {
+        let logits = Tensor::zeros(&[1, 4]);
+        let (loss, grad) = cross_entropy_with_grad(&logits, &[2]);
+        assert!((loss - (4.0f32).ln()).abs() < 1e-5);
+        // Gradient: softmax (0.25) minus one-hot.
+        assert!((grad.at(&[0, 2]) + 0.75).abs() < 1e-5);
+        assert!((grad.at(&[0, 0]) - 0.25).abs() < 1e-5);
+    }
+
+    #[test]
+    fn argmax_rows_basic() {
+        let x = t2(&[0.1, 0.9, 0.0, 5.0, 4.0, 3.0], 2, 3);
+        assert_eq!(argmax_rows(&x), vec![1, 0]);
+    }
+}

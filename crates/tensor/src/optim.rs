@@ -1,0 +1,192 @@
+//! First-order optimizers operating on flat parameter/gradient pairs.
+//!
+//! The GNN models own their parameter tensors; after each backward pass they
+//! hand `(param, grad)` pairs to an [`Optimizer`]. Optimizers keep per-slot
+//! state (e.g. Adam moments) keyed by the order in which slots are first
+//! seen, so the caller must always present parameters in the same order.
+
+use crate::ops;
+use crate::tensor::Tensor;
+
+/// A first-order gradient optimizer.
+pub trait Optimizer {
+    /// Applies one update step: parameters are updated in place from grads.
+    ///
+    /// # Panics
+    ///
+    /// Implementations panic if the slot count or shapes change between
+    /// calls.
+    fn step(&mut self, params: &mut [&mut Tensor], grads: &[&Tensor]);
+}
+
+/// Stochastic gradient descent with optional L2 weight decay.
+#[derive(Debug, Clone)]
+pub struct Sgd {
+    /// Learning rate.
+    pub lr: f32,
+    /// L2 weight-decay coefficient.
+    pub weight_decay: f32,
+}
+
+impl Sgd {
+    /// Creates plain SGD with the given learning rate.
+    pub fn new(lr: f32) -> Self {
+        Self {
+            lr,
+            weight_decay: 0.0,
+        }
+    }
+}
+
+impl Optimizer for Sgd {
+    fn step(&mut self, params: &mut [&mut Tensor], grads: &[&Tensor]) {
+        assert_eq!(params.len(), grads.len(), "param/grad count mismatch");
+        for (p, g) in params.iter_mut().zip(grads.iter()) {
+            assert!(
+                p.shape().same_as(g.shape()),
+                "param/grad shape mismatch: {} vs {}",
+                p.shape(),
+                g.shape()
+            );
+            for (pv, &gv) in p.data_mut().iter_mut().zip(g.data().iter()) {
+                *pv -= self.lr * (gv + self.weight_decay * *pv);
+            }
+        }
+    }
+}
+
+/// Adam (Kingma & Ba) with bias correction.
+#[derive(Debug, Clone)]
+pub struct Adam {
+    /// Learning rate.
+    pub lr: f32,
+    /// Exponential decay for the first moment.
+    pub beta1: f32,
+    /// Exponential decay for the second moment.
+    pub beta2: f32,
+    /// Numerical-stability epsilon.
+    pub eps: f32,
+    /// L2 weight-decay coefficient.
+    pub weight_decay: f32,
+    t: u32,
+    m: Vec<Tensor>,
+    v: Vec<Tensor>,
+}
+
+impl Adam {
+    /// Creates Adam with the usual defaults (β₁=0.9, β₂=0.999, ε=1e-8).
+    pub fn new(lr: f32) -> Self {
+        Self {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            weight_decay: 0.0,
+            t: 0,
+            m: Vec::new(),
+            v: Vec::new(),
+        }
+    }
+}
+
+impl Optimizer for Adam {
+    fn step(&mut self, params: &mut [&mut Tensor], grads: &[&Tensor]) {
+        assert_eq!(params.len(), grads.len(), "param/grad count mismatch");
+        if self.m.is_empty() {
+            self.m = params.iter().map(|p| Tensor::zeros(p.dims())).collect();
+            self.v = params.iter().map(|p| Tensor::zeros(p.dims())).collect();
+        }
+        assert_eq!(
+            self.m.len(),
+            params.len(),
+            "parameter count changed between Adam steps"
+        );
+        self.t += 1;
+        let bc1 = 1.0 - self.beta1.powi(self.t as i32);
+        let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+        for (i, (p, g)) in params.iter_mut().zip(grads.iter()).enumerate() {
+            assert!(
+                p.shape().same_as(g.shape()),
+                "param/grad shape mismatch at slot {i}"
+            );
+            let g = if self.weight_decay != 0.0 {
+                ops::add(g, &ops::scale(p, self.weight_decay))
+            } else {
+                (*g).clone()
+            };
+            let m = &mut self.m[i];
+            let v = &mut self.v[i];
+            for ((mv, vv), (pv, &gv)) in m
+                .data_mut()
+                .iter_mut()
+                .zip(v.data_mut().iter_mut())
+                .zip(p.data_mut().iter_mut().zip(g.data().iter()))
+            {
+                *mv = self.beta1 * *mv + (1.0 - self.beta1) * gv;
+                *vv = self.beta2 * *vv + (1.0 - self.beta2) * gv * gv;
+                let mhat = *mv / bc1;
+                let vhat = *vv / bc2;
+                *pv -= self.lr * mhat / (vhat.sqrt() + self.eps);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Minimizes f(x) = (x - 3)² from x = 0.
+    fn quadratic_descent(opt: &mut dyn Optimizer, steps: usize) -> f32 {
+        let mut x = Tensor::scalar(0.0);
+        for _ in 0..steps {
+            let g = Tensor::scalar(2.0 * (x.item() - 3.0));
+            opt.step(&mut [&mut x], &[&g]);
+        }
+        x.item()
+    }
+
+    #[test]
+    fn sgd_converges_on_quadratic() {
+        let mut opt = Sgd::new(0.1);
+        let x = quadratic_descent(&mut opt, 100);
+        assert!((x - 3.0).abs() < 1e-3, "x = {x}");
+    }
+
+    #[test]
+    fn adam_converges_on_quadratic() {
+        let mut opt = Adam::new(0.1);
+        let x = quadratic_descent(&mut opt, 300);
+        assert!((x - 3.0).abs() < 1e-2, "x = {x}");
+    }
+
+    #[test]
+    fn sgd_weight_decay_shrinks_params() {
+        let mut opt = Sgd {
+            lr: 0.1,
+            weight_decay: 1.0,
+        };
+        let mut x = Tensor::scalar(1.0);
+        let zero_grad = Tensor::scalar(0.0);
+        opt.step(&mut [&mut x], &[&zero_grad]);
+        assert!((x.item() - 0.9).abs() < 1e-6);
+    }
+
+    #[test]
+    fn adam_first_step_magnitude_is_lr() {
+        // With bias correction, |Δx| of the first Adam step ≈ lr.
+        let mut opt = Adam::new(0.05);
+        let mut x = Tensor::scalar(0.0);
+        let g = Tensor::scalar(123.0);
+        opt.step(&mut [&mut x], &[&g]);
+        assert!((x.item().abs() - 0.05).abs() < 1e-4, "x = {}", x.item());
+    }
+
+    #[test]
+    #[should_panic(expected = "count mismatch")]
+    fn mismatched_slots_panic() {
+        let mut opt = Sgd::new(0.1);
+        let mut x = Tensor::scalar(0.0);
+        opt.step(&mut [&mut x], &[]);
+    }
+}

@@ -1,0 +1,54 @@
+//! Node classification on a citation-network-style graph: real training.
+//!
+//! The paper's intro motivates GNNs with learning applications on graph
+//! data; this example trains GCN, SAGE and GAT on a synthetic homophilous
+//! citation network (papers cite papers in their own field) and reports
+//! test accuracy — the same machinery behind the Figure 14 accuracy
+//! experiment.
+//!
+//! Run with: `cargo run --example citation_network`
+
+use wisegraph::core::trainer::train_full_graph;
+use wisegraph::graph::generate::{labeled_graph, LabeledParams};
+use wisegraph::models::{Gat, Gcn, GnnModel, Sage};
+
+fn main() {
+    // A "citation network": 2000 papers in 10 fields, ~8 citations each,
+    // 70% of citations stay within the field.
+    let data = labeled_graph(&LabeledParams {
+        num_vertices: 2000,
+        avg_degree: 8,
+        feature_dim: 48,
+        num_classes: 10,
+        homophily: 0.7,
+        noise: 1.8,
+        num_edge_types: 1,
+        seed: 7,
+    });
+    println!(
+        "citation network: {} papers, {} citations, {} fields",
+        data.graph.num_vertices(),
+        data.graph.num_edges(),
+        data.num_classes
+    );
+
+    let dims = [data.feature_dim, 64, data.num_classes];
+    let mut models: Vec<Box<dyn GnnModel>> = vec![
+        Box::new(Gcn::new(&dims, 1)),
+        Box::new(Sage::new(&dims, 2)),
+        Box::new(Gat::new(&dims, 3)),
+    ];
+    for model in &mut models {
+        let stats = train_full_graph(model.as_mut(), &data, 40, 0.01);
+        let first = stats.first().expect("at least one epoch");
+        let last = stats.last().expect("at least one epoch");
+        println!(
+            "{:<6} loss {:.3} -> {:.3}, test accuracy {:.1}% -> {:.1}%",
+            model.name(),
+            first.loss,
+            last.loss,
+            100.0 * first.test_accuracy,
+            100.0 * last.test_accuracy
+        );
+    }
+}

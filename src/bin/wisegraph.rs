@@ -1,0 +1,182 @@
+//! `wisegraph` — command-line front end to the optimizer.
+//!
+//! ```text
+//! wisegraph generate --vertices 50000 --edges 600000 --types 8 --out g.bin
+//! wisegraph partition g.bin --table src-type --k 64
+//! wisegraph optimize g.bin --model rgcn --features 128 --classes 40
+//! wisegraph datasets
+//! ```
+
+use std::process::ExitCode;
+use wisegraph::baselines::{Baseline, LayerDims};
+use wisegraph::core::WiseGraph;
+use wisegraph::graph::generate::{rmat, RmatParams};
+use wisegraph::graph::{io, DatasetKind, Graph};
+use wisegraph::gtask::{partition, PartitionTable};
+use wisegraph::models::ModelKind;
+use wisegraph::sim::DeviceSpec;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  wisegraph generate --vertices N --edges M [--types T] [--seed S] --out PATH\n  \
+         wisegraph partition PATH [--table vertex|edge|2d|src-type|dst-mindeg|edge-batch] [--k K]\n  \
+         wisegraph optimize PATH --model gcn|sage|sage-lstm|gat|rgcn [--features F] [--hidden H] [--classes C]\n  \
+         wisegraph datasets"
+    );
+    ExitCode::FAILURE
+}
+
+fn flag(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn flag_num<T: std::str::FromStr>(args: &[String], name: &str, default: T) -> T {
+    flag(args, name)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn load_graph(path: &str) -> Result<Graph, ExitCode> {
+    io::load(path).map_err(|e| {
+        eprintln!("error: cannot load graph from {path}: {e}");
+        ExitCode::FAILURE
+    })
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first() else {
+        return usage();
+    };
+    match command.as_str() {
+        "generate" => {
+            let v = flag_num(&args, "--vertices", 10_000usize);
+            let e = flag_num(&args, "--edges", 100_000usize);
+            let t = flag_num(&args, "--types", 1usize);
+            let seed = flag_num(&args, "--seed", 42u64);
+            let Some(out) = flag(&args, "--out") else {
+                eprintln!("error: --out PATH is required");
+                return usage();
+            };
+            let g = rmat(&RmatParams::standard(v, e, seed).with_edge_types(t));
+            if let Err(err) = io::save(&g, &out) {
+                eprintln!("error: cannot write {out}: {err}");
+                return ExitCode::FAILURE;
+            }
+            println!(
+                "wrote {out}: {} vertices, {} edges, {} types",
+                g.num_vertices(),
+                g.num_edges(),
+                g.num_edge_types()
+            );
+            ExitCode::SUCCESS
+        }
+        "partition" => {
+            let Some(path) = args.get(1).filter(|a| !a.starts_with("--")) else {
+                return usage();
+            };
+            let g = match load_graph(path) {
+                Ok(g) => g,
+                Err(c) => return c,
+            };
+            let k = flag_num(&args, "--k", 64u64);
+            let table = match flag(&args, "--table").as_deref().unwrap_or("vertex") {
+                "vertex" => PartitionTable::vertex_centric(),
+                "edge" => PartitionTable::edge_centric(),
+                "2d" => PartitionTable::two_d(k),
+                "src-type" => PartitionTable::src_batch_per_type(k),
+                "dst-mindeg" => PartitionTable::dst_batch_min_degree(k),
+                "edge-batch" => PartitionTable::edge_batch(k),
+                other => {
+                    eprintln!("error: unknown table '{other}'");
+                    return usage();
+                }
+            };
+            let plan = partition(&g, &table);
+            println!("table:        {}", plan.table);
+            println!("gTasks:       {}", plan.num_tasks());
+            println!("median edges: {}", plan.median_task_edges());
+            println!("max edges:    {}", plan.max_task_edges());
+            ExitCode::SUCCESS
+        }
+        "optimize" => {
+            let Some(path) = args.get(1).filter(|a| !a.starts_with("--")) else {
+                return usage();
+            };
+            let g = match load_graph(path) {
+                Ok(g) => g,
+                Err(c) => return c,
+            };
+            let model = match flag(&args, "--model").as_deref().unwrap_or("gcn") {
+                "gcn" => ModelKind::Gcn,
+                "sage" => ModelKind::Sage,
+                "sage-lstm" => ModelKind::SageLstm,
+                "gat" => ModelKind::Gat,
+                "rgcn" => ModelKind::Rgcn,
+                other => {
+                    eprintln!("error: unknown model '{other}'");
+                    return usage();
+                }
+            };
+            let dims = LayerDims {
+                f_in: flag_num(&args, "--features", 128usize),
+                hidden: flag_num(&args, "--hidden", 256usize),
+                classes: flag_num(&args, "--classes", 40usize),
+                layers: flag_num(&args, "--layers", 3usize),
+            };
+            let device = DeviceSpec::a100_pcie();
+            let wg = WiseGraph::new(device);
+            let out = wg.optimize(&g, model, &dims);
+            println!("model:        {}", model.name());
+            println!("graph plan:   {}", out.per_layer[0].table);
+            println!("op partition: {:?}", out.per_layer[0].op_partition);
+            println!(
+                "gTasks:       {} (batch {} rows)",
+                out.per_layer[0].partition.num_tasks(),
+                out.per_layer[0].ctx.batch_rows
+            );
+            println!(
+                "iteration:    {:.3} ms{}",
+                out.time_per_iter * 1e3,
+                if out.oom { "  [exceeds device memory]" } else { "" }
+            );
+            for b in Baseline::columns_for(model) {
+                let est = b.estimate(&g, model, &dims, &device);
+                println!(
+                    "  vs {:<10} {:>10.3} ms{}",
+                    b.label(model),
+                    est.time_per_iter * 1e3,
+                    if est.oom { "  [OOM]" } else { "" }
+                );
+            }
+            let s = wg.stats();
+            println!(
+                "search:       {} evaluated, {} pruned, {} cache hits",
+                s.evaluated, s.pruned, s.cache_hits
+            );
+            ExitCode::SUCCESS
+        }
+        "datasets" => {
+            println!(
+                "{:<6} {:>12} {:>14} {:>10} {:>8} {:>6}",
+                "name", "paper |V|", "paper |E|", "gen |V|", "gen |E|", "dim"
+            );
+            for kind in DatasetKind::ALL {
+                let s = kind.spec();
+                println!(
+                    "{:<6} {:>12} {:>14} {:>10} {:>8} {:>6}",
+                    kind.short_name(),
+                    s.paper_vertices,
+                    s.paper_edges,
+                    s.gen_vertices,
+                    s.gen_edges,
+                    s.feature_dim
+                );
+            }
+            ExitCode::SUCCESS
+        }
+        _ => usage(),
+    }
+}

@@ -1,0 +1,163 @@
+//! Failure-injection and degenerate-input tests: the system must handle
+//! pathological graphs gracefully (empty features, isolated vertices,
+//! self-loops, single-type graphs, hub-only topologies).
+
+use std::collections::HashMap;
+use wisegraph::baselines::{Baseline, LayerDims};
+use wisegraph::core::plan::{ExecutionPlan, OpPartitionKind};
+use wisegraph::core::WiseGraph;
+use wisegraph::dfg::interp::execute;
+use wisegraph::graph::Graph;
+use wisegraph::gtask::{partition, PartitionTable};
+use wisegraph::models::ModelKind;
+use wisegraph::sim::DeviceSpec;
+use wisegraph::tensor::{init, Tensor};
+
+/// A single self-loop: the smallest legal graph.
+#[test]
+fn single_self_loop() {
+    let g = Graph::untyped(1, vec![0], vec![0]);
+    for table in [
+        PartitionTable::vertex_centric(),
+        PartitionTable::edge_centric(),
+        PartitionTable::two_d(4),
+    ] {
+        let plan = partition(&g, &table);
+        assert_eq!(plan.num_tasks(), 1);
+        assert_eq!(plan.total_edges(), 1);
+    }
+    let dfg = ModelKind::Gcn.layer_dfg(3, 2);
+    let mut inputs: HashMap<String, Tensor> = HashMap::new();
+    inputs.insert("h".into(), Tensor::ones(&[1, 3]));
+    inputs.insert("w".into(), Tensor::ones(&[3, 2]));
+    let out = &execute(&dfg, &g, &inputs).unwrap()[0];
+    assert_eq!(out.dims(), &[1, 2]);
+    assert!(out.all_finite());
+}
+
+/// Many isolated vertices: aggregation outputs zero rows, models must not
+/// produce NaNs (degree normalization divides by max(deg, 1)).
+#[test]
+fn mostly_isolated_vertices() {
+    let g = Graph::untyped(100, vec![0, 1], vec![2, 2]);
+    let dfg = ModelKind::Sage.layer_dfg(4, 3);
+    let mut inputs: HashMap<String, Tensor> = HashMap::new();
+    inputs.insert("h".into(), init::uniform_tensor(&[100, 4], -1.0, 1.0, 1));
+    inputs.insert("w_self".into(), init::uniform_tensor(&[4, 3], -1.0, 1.0, 2));
+    inputs.insert("w_neigh".into(), init::uniform_tensor(&[4, 3], -1.0, 1.0, 3));
+    let out = &execute(&dfg, &g, &inputs).unwrap()[0];
+    assert!(out.all_finite(), "degree normalization must not divide by 0");
+}
+
+/// A pure star (one hub) stresses every outlier path at once.
+#[test]
+fn star_graph_full_pipeline() {
+    let n = 600;
+    let src: Vec<u32> = (1..n as u32).collect();
+    let dst = vec![0u32; n - 1];
+    let g = Graph::untyped(n, src, dst);
+    let dev = DeviceSpec::a100_pcie();
+    let wg = WiseGraph::new(dev);
+    let dims = LayerDims::paper_single(16, 4);
+    for model in [ModelKind::Gcn, ModelKind::Gat] {
+        let out = wg.optimize(&g, model, &dims);
+        assert!(out.time_per_iter.is_finite() && out.time_per_iter > 0.0);
+        assert!(!out.oom);
+    }
+}
+
+/// A graph where every edge has the same type behaves identically under
+/// type-restricted and unrestricted tables.
+#[test]
+fn single_type_graph_type_restriction_is_noop() {
+    let g = wisegraph::graph::generate::rmat(
+        &wisegraph::graph::generate::RmatParams::standard(200, 1500, 9),
+    );
+    let a = partition(&g, &PartitionTable::vertex_centric());
+    let b = partition(&g, &PartitionTable::dst_and_type());
+    assert_eq!(a.num_tasks(), b.num_tasks());
+    let sizes = |p: &wisegraph::gtask::PartitionPlan| {
+        let mut s: Vec<usize> = p.tasks.iter().map(|t| t.num_edges()).collect();
+        s.sort_unstable();
+        s
+    };
+    assert_eq!(sizes(&a), sizes(&b));
+}
+
+/// Degenerate feature dimensions (width 1) flow through every model DFG.
+#[test]
+fn width_one_features() {
+    let g = wisegraph::graph::generate::rmat(
+        &wisegraph::graph::generate::RmatParams::standard(50, 300, 5)
+            .with_edge_types(2),
+    );
+    for model in ModelKind::ALL {
+        let dfg = model.layer_dfg(1, 1);
+        let mut inputs: HashMap<String, Tensor> = HashMap::new();
+        inputs.insert("h".into(), init::uniform_tensor(&[50, 1], -1.0, 1.0, 1));
+        inputs.insert("W".into(), init::uniform_tensor(&[2, 1, 1], -1.0, 1.0, 2));
+        inputs.insert("w".into(), init::uniform_tensor(&[1, 1], -1.0, 1.0, 3));
+        inputs.insert("a_src".into(), init::uniform_tensor(&[1, 1], -1.0, 1.0, 4));
+        inputs.insert("a_dst".into(), init::uniform_tensor(&[1, 1], -1.0, 1.0, 5));
+        inputs.insert("wx".into(), init::uniform_tensor(&[1, 4], -1.0, 1.0, 6));
+        inputs.insert("wh".into(), init::uniform_tensor(&[1, 4], -1.0, 1.0, 7));
+        inputs.insert("b".into(), init::uniform_tensor(&[4], -1.0, 1.0, 8));
+        inputs.insert("w_out".into(), init::uniform_tensor(&[1, 1], -1.0, 1.0, 9));
+        inputs.insert("w_self".into(), init::uniform_tensor(&[1, 1], -1.0, 1.0, 10));
+        inputs.insert("w_neigh".into(), init::uniform_tensor(&[1, 1], -1.0, 1.0, 11));
+        let out = execute(&dfg, &g, &inputs)
+            .unwrap_or_else(|e| panic!("{}: {e}", model.name()));
+        assert!(out[0].all_finite(), "{}", model.name());
+    }
+}
+
+/// Plans built on a subgraph with a missing edge type (type id never used)
+/// still estimate and execute.
+#[test]
+fn sparse_type_usage() {
+    // 4 declared types but only type 0 and 3 appear.
+    let g = Graph::new(
+        20,
+        4,
+        vec![0, 1, 2, 3, 4, 5],
+        vec![1, 2, 3, 4, 5, 6],
+        vec![0, 0, 3, 3, 0, 3],
+    );
+    let dev = DeviceSpec::a100_pcie();
+    let dfg = ModelKind::Rgcn.layer_dfg(4, 4);
+    let plan = ExecutionPlan::build(
+        &g,
+        PartitionTable::src_batch_per_type(4),
+        &dfg,
+        OpPartitionKind::Fused,
+    );
+    let est = plan.estimate(&g, &dev);
+    assert!(est.time.is_finite() && est.time > 0.0);
+    // Baselines too.
+    let dims = LayerDims {
+        f_in: 4,
+        hidden: 4,
+        classes: 2,
+        layers: 2,
+    };
+    for b in Baseline::columns_for(ModelKind::Rgcn) {
+        let e = b.estimate(&g, ModelKind::Rgcn, &dims, &dev);
+        assert!(e.time_per_iter.is_finite());
+    }
+}
+
+/// Optimizer output is deterministic: two searches on the same input give
+/// identical plans and times.
+#[test]
+fn optimizer_is_deterministic() {
+    let g = wisegraph::graph::generate::rmat(
+        &wisegraph::graph::generate::RmatParams::standard(800, 9000, 77)
+            .with_edge_types(3),
+    );
+    let dims = LayerDims::paper_single(32, 8);
+    let a = WiseGraph::new(DeviceSpec::a100_pcie()).optimize(&g, ModelKind::Rgcn, &dims);
+    let b = WiseGraph::new(DeviceSpec::a100_pcie()).optimize(&g, ModelKind::Rgcn, &dims);
+    assert_eq!(a.per_layer[0].table, b.per_layer[0].table);
+    assert_eq!(a.per_layer[0].op_partition, b.per_layer[0].op_partition);
+    assert!((a.time_per_iter - b.time_per_iter).abs() < 1e-12);
+}

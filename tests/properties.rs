@@ -1,0 +1,205 @@
+//! Property-based tests over randomized graphs and tensors: the invariants
+//! that must hold for *any* input, not just the unit-test fixtures.
+
+use proptest::prelude::*;
+use std::collections::HashMap;
+use wisegraph::dfg::interp::execute;
+use wisegraph::dfg::{transform, Binding, Dim};
+use wisegraph::graph::generate::{rmat, RmatParams};
+use wisegraph::graph::{AttrKind, Graph};
+use wisegraph::gtask::{partition, PartitionTable, Restriction};
+use wisegraph::models::ModelKind;
+use wisegraph::sim::{ComputeClass, DeviceSpec, KernelCost};
+use wisegraph::tensor::{init, ops, Tensor};
+
+fn arb_graph(max_v: usize, max_e: usize) -> impl Strategy<Value = Graph> {
+    (2usize..max_v, 1usize..max_e, 1usize..6, 0u64..10_000).prop_map(
+        |(v, e, t, seed)| {
+            rmat(&RmatParams::standard(v, e.max(1), seed).with_edge_types(t))
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The DFG transformation search always returns a numerically
+    /// equivalent program, for every model and random graph.
+    #[test]
+    fn transformations_preserve_semantics(
+        g in arb_graph(60, 500),
+        fi in 2usize..6,
+        fo in 2usize..6,
+        seed in 0u64..1000,
+    ) {
+        for model in [ModelKind::Rgcn, ModelKind::Gcn, ModelKind::Sage] {
+            let dfg = model.layer_dfg(fi, fo);
+            let binding = Binding::from_graph(&g);
+            let (opt, _) = transform::optimize(&dfg, &binding);
+            let mut inputs: HashMap<String, Tensor> = HashMap::new();
+            inputs.insert("h".into(),
+                init::uniform_tensor(&[g.num_vertices(), fi], -1.0, 1.0, seed));
+            inputs.insert("W".into(),
+                init::uniform_tensor(&[g.num_edge_types(), fi, fo], -1.0, 1.0, seed + 1));
+            inputs.insert("w".into(), init::uniform_tensor(&[fi, fo], -1.0, 1.0, seed + 2));
+            inputs.insert("w_self".into(), init::uniform_tensor(&[fi, fo], -1.0, 1.0, seed + 3));
+            inputs.insert("w_neigh".into(), init::uniform_tensor(&[fi, fo], -1.0, 1.0, seed + 4));
+            let base = &execute(&dfg, &g, &inputs).unwrap()[0];
+            let transformed = &execute(&opt, &g, &inputs).unwrap()[0];
+            prop_assert!(
+                base.allclose(transformed, 1e-3),
+                "{}: diff {}", model.name(), base.max_abs_diff(transformed)
+            );
+        }
+    }
+
+    /// Gather followed by its adjoint scatter computes the same inner
+    /// product from both sides: <gather(x, idx), y> == <x, scatter(y, idx)>.
+    #[test]
+    fn gather_scatter_adjoint(
+        rows in 2usize..40,
+        cols in 1usize..8,
+        idx in prop::collection::vec(0u32..30, 1..80),
+        seed in 0u64..1000,
+    ) {
+        let idx: Vec<u32> = idx.into_iter().map(|i| i % rows as u32).collect();
+        let x = init::uniform_tensor(&[rows, cols], -1.0, 1.0, seed);
+        let y = init::uniform_tensor(&[idx.len(), cols], -1.0, 1.0, seed + 1);
+        let gx = ops::gather_rows(&x, &idx);
+        let sy = ops::index_add_rows(rows, &y, &idx);
+        let lhs: f32 = gx.data().iter().zip(y.data()).map(|(a, b)| a * b).sum();
+        let rhs: f32 = x.data().iter().zip(sy.data()).map(|(a, b)| a * b).sum();
+        prop_assert!((lhs - rhs).abs() < 1e-2 * (1.0 + lhs.abs()),
+            "lhs {lhs} rhs {rhs}");
+    }
+
+    /// Segment softmax output sums to one within every non-empty segment
+    /// and is invariant to a constant shift of the scores.
+    #[test]
+    fn segment_softmax_invariants(
+        seg in prop::collection::vec(0u32..10, 1..60),
+        shift in -50.0f32..50.0,
+        seed in 0u64..1000,
+    ) {
+        let n = seg.len();
+        let scores = init::uniform_tensor(&[n], -3.0, 3.0, seed);
+        let out = ops::segment_softmax(&scores, &seg, 10);
+        let mut sums = vec![0.0f32; 10];
+        for (i, &s) in seg.iter().enumerate() {
+            sums[s as usize] += out.data()[i];
+        }
+        for (s, &total) in sums.iter().enumerate() {
+            if seg.iter().any(|&x| x as usize == s) {
+                prop_assert!((total - 1.0).abs() < 1e-4, "segment {s}: {total}");
+            }
+        }
+        let shifted = ops::map(&scores, |v| v + shift);
+        let out2 = ops::segment_softmax(&shifted, &seg, 10);
+        prop_assert!(out.allclose(&out2, 1e-4));
+    }
+
+    /// Every partition plan preserves edges exactly once and respects every
+    /// `Exact` bound; the derived batch and dedup statistics stay in range.
+    #[test]
+    fn partition_invariants_hold(
+        g in arb_graph(100, 800),
+        k in 1u64..40,
+        which in 0usize..7,
+    ) {
+        let table = match which {
+            0 => PartitionTable::vertex_centric(),
+            1 => PartitionTable::edge_centric(),
+            2 => PartitionTable::two_d(k),
+            3 => PartitionTable::src_batch_per_type(k),
+            4 => PartitionTable::dst_batch_min_degree(k),
+            5 => PartitionTable::dst_and_type(),
+            _ => PartitionTable::edge_batch(k),
+        };
+        let plan = partition(&g, &table);
+        prop_assert_eq!(plan.total_edges(), g.num_edges());
+        let mut seen = vec![false; g.num_edges()];
+        for t in &plan.tasks {
+            prop_assert!(!t.edges.is_empty());
+            for &e in &t.edges {
+                prop_assert!(!seen[e], "edge {e} duplicated");
+                seen[e] = true;
+            }
+            for (attr, bound) in table.exact_attrs() {
+                prop_assert!(t.uniq_of(&g, attr) as u64 <= bound);
+            }
+        }
+        // Derived statistics stay in range.
+        let dedup = wisegraph::core::plan::plan_gather_dedup(&g, &plan);
+        prop_assert!((0.0..=1.0).contains(&dedup));
+        let pad = wisegraph::core::plan::plan_lstm_padding(&g, &plan);
+        prop_assert!(pad >= 1.0 - 1e-9);
+        let _ = Restriction::Free;
+    }
+
+    /// Kernel time is monotone in FLOPs and bytes for every compute class.
+    #[test]
+    fn kernel_time_monotone(
+        flops in 1.0e6f64..1.0e12,
+        bytes in 1.0e3f64..1.0e10,
+        par in 1.0f64..1.0e6,
+        class_idx in 0usize..6,
+        k in 1usize..512,
+    ) {
+        let dev = DeviceSpec::a100_pcie();
+        let class = match class_idx {
+            0 => ComputeClass::Memory { coalesced: true },
+            1 => ComputeClass::Memory { coalesced: false },
+            2 => ComputeClass::Elementwise,
+            3 => ComputeClass::EdgeWise,
+            4 => ComputeClass::Batched { k },
+            _ => ComputeClass::DenseMatmul,
+        };
+        let base = dev.kernel_time(&KernelCost { flops, bytes, parallel_tasks: par, class });
+        let more_flops = dev.kernel_time(&KernelCost { flops: flops * 2.0, bytes, parallel_tasks: par, class });
+        let more_bytes = dev.kernel_time(&KernelCost { flops, bytes: bytes * 2.0, parallel_tasks: par, class });
+        prop_assert!(more_flops >= base);
+        prop_assert!(more_bytes >= base);
+        prop_assert!(base >= dev.launch_latency);
+    }
+
+    /// Relabeling a graph by any generated permutation preserves every
+    /// degree- and type-based statistic that partitioning depends on.
+    #[test]
+    fn relabel_preserves_partition_statistics(
+        g in arb_graph(80, 400),
+        seed in 0u64..1000,
+    ) {
+        // Pseudo-random permutation.
+        let n = g.num_vertices();
+        let mut perm: Vec<u32> = (0..n as u32).collect();
+        let mut state = seed;
+        for i in (1..n).rev() {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let j = (state >> 33) as usize % (i + 1);
+            perm.swap(i, j);
+        }
+        let r = g.relabel(&perm);
+        let mut a: Vec<u32> = g.in_degree().to_vec();
+        let mut b: Vec<u32> = r.in_degree().to_vec();
+        a.sort_unstable();
+        b.sort_unstable();
+        prop_assert_eq!(a, b);
+        // Type histogram unchanged.
+        let hist = |gr: &Graph| {
+            let mut h = vec![0usize; gr.num_edge_types()];
+            for &t in gr.etype() { h[t as usize] += 1; }
+            h
+        };
+        prop_assert_eq!(hist(&g), hist(&r));
+        // Degree-grouped partitioning yields the same task-size multiset.
+        let ta = partition(&g, &PartitionTable::dst_degree_grouped());
+        let tb = partition(&r, &PartitionTable::dst_degree_grouped());
+        let mut sa: Vec<usize> = ta.tasks.iter().map(|t| t.num_edges()).collect();
+        let mut sb: Vec<usize> = tb.tasks.iter().map(|t| t.num_edges()).collect();
+        sa.sort_unstable();
+        sb.sort_unstable();
+        prop_assert_eq!(sa, sb);
+        let _ = AttrKind::DstDegree;
+        let _ = Dim::Vertices;
+    }
+}
