@@ -3,8 +3,8 @@
 
 use crate::joint::{compare_scheduling, DifferentiationConfig};
 use crate::plan::{ExecutionPlan, OpPartitionKind};
-use parking_lot::Mutex;
 use std::collections::HashMap;
+use std::sync::Mutex;
 use wisegraph_baselines::single::{persistent_bytes, LayerDims, TRAIN_FACTOR};
 use wisegraph_dfg::{analysis, transform, Binding};
 use wisegraph_graph::Graph;
@@ -95,7 +95,7 @@ impl WiseGraph {
 
     /// Returns the accumulated search statistics.
     pub fn stats(&self) -> SearchStats {
-        *self.stats.lock()
+        *self.stats.lock().unwrap()
     }
 
     fn cached_estimate(
@@ -104,13 +104,13 @@ impl WiseGraph {
         g: &Graph,
         plan: &ExecutionPlan,
     ) -> f64 {
-        if let Some(&t) = self.cache.lock().get(&key) {
-            self.stats.lock().cache_hits += 1;
+        if let Some(&t) = self.cache.lock().unwrap().get(&key) {
+            self.stats.lock().unwrap().cache_hits += 1;
             return t;
         }
         let t = plan.estimate(g, &self.device).time;
-        self.cache.lock().insert(key, t);
-        self.stats.lock().evaluated += 1;
+        self.cache.lock().unwrap().insert(key, t);
+        self.stats.lock().unwrap().evaluated += 1;
         t
     }
 
@@ -159,7 +159,7 @@ impl WiseGraph {
         for table in tables {
             let score = self.table_score(&table, &base_workload);
             if score > 4.0 * best_score {
-                self.stats.lock().pruned += 1;
+                self.stats.lock().unwrap().pruned += 1;
                 continue;
             }
             best_score = best_score.min(score);
@@ -195,7 +195,7 @@ impl WiseGraph {
                     &plan.dfg, &binding,
                 ));
                 if cost > 10.0 * best_stage2_cost {
-                    self.stats.lock().pruned += 1;
+                    self.stats.lock().unwrap().pruned += 1;
                     continue;
                 }
                 best_stage2_cost = best_stage2_cost.min(cost);

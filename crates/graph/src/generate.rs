@@ -7,8 +7,7 @@
 //! with class-correlated features so models have signal to learn (Figure 14).
 
 use crate::graph::Graph;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use wisegraph_testkit::rng::Rng;
 
 /// Parameters for the RMAT-style power-law generator.
 #[derive(Clone, Copy, Debug)]
@@ -63,7 +62,7 @@ impl RmatParams {
 pub fn rmat(params: &RmatParams) -> Graph {
     assert!(params.num_vertices > 0, "need at least one vertex");
     assert!(params.num_edges > 0, "need at least one edge");
-    let mut rng = StdRng::seed_from_u64(params.seed);
+    let mut rng = Rng::seed_from_u64(params.seed);
     let levels = (params.num_vertices as f64).log2().ceil() as u32;
     let n = params.num_vertices;
     let mut src = Vec::with_capacity(params.num_edges);
@@ -71,7 +70,7 @@ pub fn rmat(params: &RmatParams) -> Graph {
     for _ in 0..params.num_edges {
         let (mut s, mut d) = (0usize, 0usize);
         for _ in 0..levels {
-            let r: f64 = rng.gen();
+            let r = rng.f64();
             let (sbit, dbit) = if r < params.a {
                 (0, 0)
             } else if r < params.a + params.b {
@@ -92,7 +91,7 @@ pub fn rmat(params: &RmatParams) -> Graph {
 }
 
 /// Samples `count` edge types from a Zipf-like (1/rank) distribution.
-fn zipf_types(count: usize, num_types: usize, rng: &mut StdRng) -> Vec<u32> {
+fn zipf_types(count: usize, num_types: usize, rng: &mut Rng) -> Vec<u32> {
     if num_types <= 1 {
         return vec![0; count];
     }
@@ -100,7 +99,7 @@ fn zipf_types(count: usize, num_types: usize, rng: &mut StdRng) -> Vec<u32> {
     let total: f64 = weights.iter().sum();
     (0..count)
         .map(|_| {
-            let mut x = rng.gen::<f64>() * total;
+            let mut x = rng.f64() * total;
             for (t, &w) in weights.iter().enumerate() {
                 if x < w {
                     return t as u32;
@@ -178,9 +177,9 @@ impl Default for LabeledParams {
 /// Panics if any size parameter is zero.
 pub fn labeled_graph(p: &LabeledParams) -> LabeledGraph {
     assert!(p.num_vertices > 0 && p.num_classes > 0 && p.feature_dim > 0);
-    let mut rng = StdRng::seed_from_u64(p.seed);
+    let mut rng = Rng::seed_from_u64(p.seed);
     let labels: Vec<u32> = (0..p.num_vertices)
-        .map(|_| rng.gen_range(0..p.num_classes) as u32)
+        .map(|_| rng.range_usize(0..p.num_classes) as u32)
         .collect();
     // Bucket vertices by class for homophilous edge endpoints.
     let mut by_class: Vec<Vec<u32>> = vec![Vec::new(); p.num_classes];
@@ -191,12 +190,12 @@ pub fn labeled_graph(p: &LabeledParams) -> LabeledGraph {
     let mut src = Vec::with_capacity(num_edges);
     let mut dst = Vec::with_capacity(num_edges);
     for _ in 0..num_edges {
-        let d = rng.gen_range(0..p.num_vertices) as u32;
+        let d = rng.range_usize(0..p.num_vertices) as u32;
         let c = labels[d as usize] as usize;
-        let s = if rng.gen_bool(p.homophily) && !by_class[c].is_empty() {
-            by_class[c][rng.gen_range(0..by_class[c].len())]
+        let s = if rng.bool_with(p.homophily) && !by_class[c].is_empty() {
+            by_class[c][rng.range_usize(0..by_class[c].len())]
         } else {
-            rng.gen_range(0..p.num_vertices) as u32
+            rng.range_usize(0..p.num_vertices) as u32
         };
         src.push(s);
         dst.push(d);
@@ -206,23 +205,20 @@ pub fn labeled_graph(p: &LabeledParams) -> LabeledGraph {
 
     // Class centroids: orthogonal-ish random unit directions.
     let centroids: Vec<f32> = (0..p.num_classes * p.feature_dim)
-        .map(|_| rng.gen_range(-1.0f32..1.0))
+        .map(|_| rng.range_f32(-1.0, 1.0))
         .collect();
     let mut features = vec![0.0f32; p.num_vertices * p.feature_dim];
     for v in 0..p.num_vertices {
         let c = labels[v] as usize;
         for f in 0..p.feature_dim {
-            let noise = rng.gen_range(-p.noise..p.noise);
+            let noise = rng.range_f32(-p.noise, p.noise);
             features[v * p.feature_dim + f] = centroids[c * p.feature_dim + f] + noise;
         }
     }
 
     // 60/40 train/test split.
     let mut idx: Vec<u32> = (0..p.num_vertices as u32).collect();
-    for i in (1..idx.len()).rev() {
-        let j = rng.gen_range(0..=i);
-        idx.swap(i, j);
-    }
+    rng.shuffle(&mut idx);
     let split = (p.num_vertices * 6) / 10;
     let (train_idx, test_idx) = (idx[..split].to_vec(), idx[split..].to_vec());
 

@@ -8,8 +8,7 @@
 
 use crate::csr::Csr;
 use crate::graph::Graph;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use wisegraph_testkit::rng::Rng;
 
 /// Configuration for layer-wise neighbor sampling.
 #[derive(Clone, Debug)]
@@ -54,11 +53,11 @@ pub struct SampledSubgraph {
 pub fn neighbor_sample(g: &Graph, csr_in: &Csr, cfg: &SampleConfig) -> SampledSubgraph {
     assert!(g.num_vertices() > 0, "cannot sample an empty graph");
     assert!(cfg.num_seeds > 0, "need at least one seed");
-    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut rng = Rng::seed_from_u64(cfg.seed);
     let mut picked_edges: Vec<usize> = Vec::new();
     let mut seen = vec![false; g.num_vertices()];
     let mut frontier: Vec<u32> = (0..cfg.num_seeds)
-        .map(|_| rng.gen_range(0..g.num_vertices()) as u32)
+        .map(|_| rng.range_usize(0..g.num_vertices()) as u32)
         .collect();
     frontier.sort_unstable();
     frontier.dedup();
@@ -85,7 +84,7 @@ pub fn neighbor_sample(g: &Graph, csr_in: &Csr, cfg: &SampleConfig) -> SampledSu
                 // Sample `fanout` distinct positions by floyd-ish rejection.
                 let mut chosen = std::collections::HashSet::with_capacity(fanout);
                 while chosen.len() < fanout {
-                    chosen.insert(rng.gen_range(0..deg));
+                    chosen.insert(rng.range_usize(0..deg));
                 }
                 for (pos, (nbr, eid)) in csr_in.neighbors(v as usize).enumerate() {
                     if chosen.contains(&pos) {

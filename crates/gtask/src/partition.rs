@@ -105,8 +105,8 @@ pub fn partition(g: &Graph, table: &PartitionTable) -> PartitionPlan {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
     use wisegraph_graph::generate::{rmat, RmatParams};
+    use wisegraph_testkit::prelude::*;
 
     fn paper_graph() -> Graph {
         Graph::new(
@@ -243,7 +243,6 @@ mod tests {
 
         /// Every plan covers every edge exactly once, and all Exact bounds
         /// hold for every generated task.
-        #[test]
         fn partition_invariants(
             seed in 0u64..1000,
             k in 1u64..16,

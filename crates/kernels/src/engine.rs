@@ -54,14 +54,14 @@ pub fn execute_parallel(
     }
 
     let chunk = plan.tasks.len().div_ceil(threads).max(1);
-    let partials: Vec<Tensor> = crossbeam::thread::scope(|scope| {
+    let partials: Vec<Tensor> = std::thread::scope(|scope| {
         let handles: Vec<_> = plan
             .tasks
             .chunks(chunk)
             .map(|tasks| {
                 let program = &program;
                 let all_globals = &all_globals;
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     let mut acc =
                         Tensor::zeros(&[program.out_rows, program.out_width]);
                     for task in tasks {
@@ -75,8 +75,7 @@ pub fn execute_parallel(
             .into_iter()
             .map(|h| h.join().expect("worker panicked"))
             .collect()
-    })
-    .expect("scope panicked");
+    });
 
     let mut acc = Tensor::zeros(&[program.out_rows, program.out_width]);
     for p in &partials {

@@ -1,9 +1,7 @@
 //! Parameter initialization schemes.
 
 use crate::tensor::Tensor;
-use rand::distributions::{Distribution, Uniform};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use wisegraph_testkit::rng::Rng;
 
 /// Xavier/Glorot uniform initialization for a `[fan_in, fan_out]` matrix.
 ///
@@ -25,10 +23,9 @@ pub fn kaiming_uniform(fan_in: usize, fan_out: usize, seed: u64) -> Tensor {
 
 /// A tensor of the given shape with entries drawn from `U(lo, hi)`.
 pub fn uniform_tensor(dims: &[usize], lo: f32, hi: f32, seed: u64) -> Tensor {
-    let mut rng = StdRng::seed_from_u64(seed);
-    let dist = Uniform::new(lo, hi);
+    let mut rng = Rng::seed_from_u64(seed);
     let n: usize = dims.iter().product();
-    let data = (0..n).map(|_| dist.sample(&mut rng)).collect();
+    let data = (0..n).map(|_| rng.range_f32(lo, hi)).collect();
     Tensor::from_vec(data, dims)
 }
 

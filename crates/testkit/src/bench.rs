@@ -1,0 +1,277 @@
+//! Tiny wall-clock bench harness: warmup, median-of-N, JSON output.
+//!
+//! The in-repo replacement for `criterion`, shaped for `harness = false`
+//! bench targets:
+//!
+//! ```no_run
+//! use wisegraph_testkit::bench::{black_box, Bench};
+//!
+//! fn main() {
+//!     let mut b = Bench::new("my_suite");
+//!     b.group("adds")
+//!         .sample_size(20)
+//!         .bench_function("u64", || {
+//!             black_box(1u64 + black_box(2));
+//!         });
+//!     b.finish();
+//! }
+//! ```
+//!
+//! Each case runs `sample_size / 5 + 1` warmup iterations, then
+//! `sample_size` timed iterations; the report keeps the median, minimum,
+//! and mean. `finish()` prints a table and writes the machine-readable
+//! JSON report to `target/testkit-bench/<suite>.json` (override with
+//! `WG_BENCH_JSON`; override the default sample count with
+//! `WG_BENCH_SAMPLES`).
+
+pub use std::hint::black_box;
+use std::path::PathBuf;
+use std::time::Instant;
+
+/// One measured case.
+#[derive(Clone, Debug)]
+pub struct Record {
+    /// Benchmark group name.
+    pub group: String,
+    /// Case name within the group.
+    pub case: String,
+    /// Timed iterations.
+    pub samples: u32,
+    /// Median time per iteration, nanoseconds.
+    pub median_ns: u128,
+    /// Fastest iteration, nanoseconds.
+    pub min_ns: u128,
+    /// Mean time per iteration, nanoseconds.
+    pub mean_ns: u128,
+}
+
+/// A bench suite accumulating [`Record`]s.
+pub struct Bench {
+    suite: String,
+    default_samples: u32,
+    env_samples: Option<u32>,
+    results: Vec<Record>,
+}
+
+impl Bench {
+    /// Creates a suite; `WG_BENCH_SAMPLES`, when set, forces the sample
+    /// count of every case — it overrides per-group [`Group::sample_size`]
+    /// calls too, so a runtime knob can shrink or grow a whole suite.
+    /// Unset, the default is 10 per case.
+    pub fn new(suite: &str) -> Self {
+        let env_samples = std::env::var("WG_BENCH_SAMPLES")
+            .ok()
+            .and_then(|s| s.parse::<u32>().ok())
+            .map(|n| n.max(1));
+        Self {
+            suite: suite.to_string(),
+            default_samples: env_samples.unwrap_or(10),
+            env_samples,
+            results: Vec::new(),
+        }
+    }
+
+    /// Starts (or continues) a named group of cases.
+    pub fn group(&mut self, name: &str) -> Group<'_> {
+        Group {
+            samples: self.default_samples,
+            name: name.to_string(),
+            bench: self,
+        }
+    }
+
+    /// All records measured so far.
+    pub fn results(&self) -> &[Record] {
+        &self.results
+    }
+
+    /// Serializes the suite report as JSON.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{{\n  \"suite\": \"{}\",\n  \"results\": [\n",
+            escape(&self.suite)
+        ));
+        for (i, r) in self.results.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"group\": \"{}\", \"case\": \"{}\", \"samples\": {}, \
+                 \"median_ns\": {}, \"min_ns\": {}, \"mean_ns\": {}}}{}\n",
+                escape(&r.group),
+                escape(&r.case),
+                r.samples,
+                r.median_ns,
+                r.min_ns,
+                r.mean_ns,
+                if i + 1 < self.results.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Prints the report table and writes the JSON file. Returns the path
+    /// written, if any.
+    pub fn finish(self) -> Option<PathBuf> {
+        println!("\n## bench suite: {}\n", self.suite);
+        println!("| group | case | median | min | mean |");
+        println!("|---|---|---|---|---|");
+        for r in &self.results {
+            println!(
+                "| {} | {} | {} | {} | {} |",
+                r.group,
+                r.case,
+                fmt_ns(r.median_ns),
+                fmt_ns(r.min_ns),
+                fmt_ns(r.mean_ns)
+            );
+        }
+        let path = std::env::var("WG_BENCH_JSON").map(PathBuf::from).ok().or_else(|| {
+            Some(PathBuf::from(format!("target/testkit-bench/{}.json", self.suite)))
+        })?;
+        if let Some(dir) = path.parent() {
+            if std::fs::create_dir_all(dir).is_err() {
+                eprintln!("[bench] cannot create {}", dir.display());
+                return None;
+            }
+        }
+        match std::fs::write(&path, self.to_json()) {
+            Ok(()) => {
+                println!("\n[bench] wrote {}", path.display());
+                Some(path)
+            }
+            Err(e) => {
+                eprintln!("[bench] cannot write {}: {e}", path.display());
+                None
+            }
+        }
+    }
+}
+
+/// A group of cases sharing a sample count.
+pub struct Group<'a> {
+    bench: &'a mut Bench,
+    name: String,
+    samples: u32,
+}
+
+impl Group<'_> {
+    /// Sets the timed-iteration count for subsequent cases. Ignored when
+    /// `WG_BENCH_SAMPLES` is set: the environment override wins, so the
+    /// knob works even for suites that set explicit per-group sizes.
+    pub fn sample_size(&mut self, n: u32) -> &mut Self {
+        if self.bench.env_samples.is_none() {
+            self.samples = n.max(1);
+        }
+        self
+    }
+
+    /// Measures one case: warmup, then `samples` timed iterations.
+    pub fn bench_function(&mut self, case: &str, mut f: impl FnMut()) -> &mut Self {
+        for _ in 0..(self.samples / 5 + 1) {
+            f();
+        }
+        let mut times: Vec<u128> = Vec::with_capacity(self.samples as usize);
+        for _ in 0..self.samples {
+            let t = Instant::now();
+            f();
+            times.push(t.elapsed().as_nanos());
+        }
+        times.sort_unstable();
+        let record = Record {
+            group: self.name.clone(),
+            case: case.to_string(),
+            samples: self.samples,
+            median_ns: times[times.len() / 2],
+            min_ns: times[0],
+            mean_ns: times.iter().sum::<u128>() / times.len() as u128,
+        };
+        eprintln!(
+            "[bench] {}/{}: median {} (min {}, {} samples)",
+            record.group,
+            record.case,
+            fmt_ns(record.median_ns),
+            fmt_ns(record.min_ns),
+            record.samples
+        );
+        self.bench.results.push(record);
+        self
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn fmt_ns(ns: u128) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.2}s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.2}ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.2}us", ns as f64 / 1e3)
+    } else {
+        format!("{ns}ns")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_and_reports() {
+        let mut b = Bench::new("unit");
+        b.group("spin").sample_size(5).bench_function("noop", || {
+            black_box(0u64);
+        });
+        assert_eq!(b.results().len(), 1);
+        let r = &b.results()[0];
+        assert_eq!((r.group.as_str(), r.case.as_str()), ("spin", "noop"));
+        assert_eq!(r.samples, 5);
+        assert!(r.min_ns <= r.median_ns);
+        let json = b.to_json();
+        assert!(json.contains("\"suite\": \"unit\""));
+        assert!(json.contains("\"case\": \"noop\""));
+    }
+
+    #[test]
+    fn median_orders_cases_correctly() {
+        let mut b = Bench::new("unit2");
+        {
+            let mut g = b.group("sums");
+            g.sample_size(5);
+            g.bench_function("small", || {
+                black_box((0..1_000u64).sum::<u64>());
+            });
+            g.bench_function("large", || {
+                black_box((0..2_000_000u64).sum::<u64>());
+            });
+        }
+        let small = b.results()[0].median_ns;
+        let large = b.results()[1].median_ns;
+        assert!(large > small, "large {large} vs small {small}");
+    }
+
+    #[test]
+    fn json_escapes_quotes() {
+        let mut b = Bench::new("q\"uote");
+        b.group("g").sample_size(1).bench_function("c", || {});
+        assert!(b.to_json().contains("q\\\"uote"));
+    }
+
+    #[test]
+    fn env_sample_override_beats_explicit_sample_size() {
+        // Constructed directly rather than via the environment so the test
+        // cannot race other tests that call `Bench::new`.
+        let mut b = Bench {
+            suite: "env".to_string(),
+            default_samples: 4,
+            env_samples: Some(4),
+            results: Vec::new(),
+        };
+        b.group("g").sample_size(100).bench_function("c", || {
+            black_box(0u64);
+        });
+        assert_eq!(b.results()[0].samples, 4);
+    }
+}

@@ -1,0 +1,263 @@
+//! Workspace hermeticity scanner.
+//!
+//! The build environment has no crate registry, so every dependency in
+//! every `Cargo.toml` must be a `path` dependency (or `workspace = true`,
+//! resolving to a `path` entry in `[workspace.dependencies]`). This module
+//! parses the workspace's manifests with a purpose-built line scanner (no
+//! TOML crate — that would itself be a registry dependency) and reports
+//! anything that would hit the registry: bare version strings, `version`,
+//! `git`, or `registry` keys.
+//!
+//! The guard test in `tests/hermetic.rs` fails the build if this scanner
+//! reports anything, so a registry dependency cannot land silently.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// One non-hermetic dependency declaration.
+#[derive(Clone, Debug)]
+pub struct Violation {
+    /// Manifest the declaration appears in.
+    pub manifest: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Dependency name as written.
+    pub dependency: String,
+    /// Why it is not hermetic.
+    pub reason: String,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}:{}: `{}` {}",
+            self.manifest, self.line, self.dependency, self.reason
+        )
+    }
+}
+
+/// Scans every `Cargo.toml` under `root` (skipping `target/` and `.git/`)
+/// and returns all non-`path` dependency declarations.
+pub fn scan_workspace(root: impl AsRef<Path>) -> Vec<Violation> {
+    let mut manifests = Vec::new();
+    collect_manifests(root.as_ref(), &mut manifests);
+    manifests.sort();
+    assert!(
+        !manifests.is_empty(),
+        "no Cargo.toml found under {}",
+        root.as_ref().display()
+    );
+    let mut out = Vec::new();
+    for m in manifests {
+        let text = fs::read_to_string(&m)
+            .unwrap_or_else(|e| panic!("cannot read {}: {e}", m.display()));
+        out.extend(scan_str(&text, &m.display().to_string()));
+    }
+    out
+}
+
+fn collect_manifests(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if name != "target" && name != ".git" {
+                collect_manifests(&path, out);
+            }
+        } else if name == "Cargo.toml" {
+            out.push(path);
+        }
+    }
+}
+
+/// Scans one manifest's text. `origin` labels violations (usually the
+/// file path).
+pub fn scan_str(text: &str, origin: &str) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let mut section = String::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if line.starts_with('[') {
+            section = line.trim_matches(|c| c == '[' || c == ']').trim().to_string();
+            // A `[dependencies.foo]` table declares the dependency `foo`
+            // directly; its keys are checked below.
+            continue;
+        }
+        let Some((key, value)) = line.split_once('=') else {
+            continue;
+        };
+        let key = key.trim();
+        let value = value.trim();
+        if let Some(dep) = dep_subtable_name(&section) {
+            // Inside `[dependencies.foo]` / `[workspace.dependencies.foo]`.
+            if matches!(key, "version" | "git" | "registry" | "branch" | "tag" | "rev") {
+                out.push(Violation {
+                    manifest: origin.to_string(),
+                    line: idx + 1,
+                    dependency: dep.to_string(),
+                    reason: format!("sets `{key}` (registry/git source) — only `path` dependencies are allowed"),
+                });
+            }
+            continue;
+        }
+        if !is_dep_section(&section) {
+            continue;
+        }
+        // `name.workspace = true` defers to [workspace.dependencies],
+        // which this scanner checks too.
+        if key.ends_with(".workspace") {
+            continue;
+        }
+        if value.starts_with('{') {
+            let has = |k: &str| {
+                value
+                    .trim_matches(|c| c == '{' || c == '}')
+                    .split(',')
+                    .any(|kv| kv.split('=').next().is_some_and(|n| n.trim() == k))
+            };
+            if has("workspace") {
+                continue;
+            }
+            for bad in ["version", "git", "registry"] {
+                if has(bad) {
+                    out.push(Violation {
+                        manifest: origin.to_string(),
+                        line: idx + 1,
+                        dependency: key.to_string(),
+                        reason: format!("sets `{bad}` (registry/git source) — only `path` dependencies are allowed"),
+                    });
+                }
+            }
+            if !has("path") && !has("workspace") {
+                out.push(Violation {
+                    manifest: origin.to_string(),
+                    line: idx + 1,
+                    dependency: key.to_string(),
+                    reason: "has no `path` key — only `path` dependencies are allowed".into(),
+                });
+            }
+        } else {
+            // `name = "1.2"` — a bare registry version requirement.
+            out.push(Violation {
+                manifest: origin.to_string(),
+                line: idx + 1,
+                dependency: key.to_string(),
+                reason: format!("is a registry version requirement ({value}) — only `path` dependencies are allowed"),
+            });
+        }
+    }
+    out
+}
+
+fn is_dep_section(section: &str) -> bool {
+    section == "dependencies"
+        || section == "dev-dependencies"
+        || section == "build-dependencies"
+        || section == "workspace.dependencies"
+        || section.ends_with(".dependencies")
+        || section.ends_with(".dev-dependencies")
+        || section.ends_with(".build-dependencies")
+}
+
+/// For `[dependencies.foo]`-style subtables, returns `foo`.
+fn dep_subtable_name(section: &str) -> Option<&str> {
+    for prefix in [
+        "dependencies.",
+        "dev-dependencies.",
+        "build-dependencies.",
+        "workspace.dependencies.",
+    ] {
+        if let Some(rest) = section.strip_prefix(prefix) {
+            if !rest.is_empty() && !rest.contains('.') {
+                return Some(rest);
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn path_and_workspace_deps_pass() {
+        let toml = r#"
+[package]
+name = "x"
+version = "0.1.0"
+
+[workspace.dependencies]
+a = { path = "crates/a" }
+
+[dependencies]
+a.workspace = true
+b = { path = "../b" }
+
+[dev-dependencies]
+c = { path = "../c" }
+"#;
+        assert!(scan_str(toml, "test").is_empty());
+    }
+
+    #[test]
+    fn bare_version_is_flagged() {
+        let toml = "[dependencies]\nrand = \"0.8\"\n";
+        let v = scan_str(toml, "test");
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].dependency, "rand");
+        assert!(v[0].reason.contains("registry version"));
+        assert_eq!(v[0].line, 2);
+    }
+
+    #[test]
+    fn inline_version_git_and_registry_keys_are_flagged() {
+        let toml = "[dev-dependencies]\n\
+                    a = { version = \"1\", path = \"../a\" }\n\
+                    b = { git = \"https://example.com/b\" }\n\
+                    c = { path = \"../c\" }\n";
+        let v = scan_str(toml, "test");
+        let deps: Vec<&str> = v.iter().map(|x| x.dependency.as_str()).collect();
+        assert!(deps.contains(&"a"), "{v:?}");
+        assert!(deps.contains(&"b"), "{v:?}");
+        assert!(!deps.contains(&"c"), "{v:?}");
+    }
+
+    #[test]
+    fn workspace_dependencies_section_is_scanned() {
+        let toml = "[workspace.dependencies]\nproptest = \"1\"\nours = { path = \"crates/ours\" }\n";
+        let v = scan_str(toml, "test");
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].dependency, "proptest");
+    }
+
+    #[test]
+    fn dep_subtables_are_scanned() {
+        let toml = "[dependencies.serde]\nversion = \"1\"\nfeatures = [\"derive\"]\n";
+        let v = scan_str(toml, "test");
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].dependency, "serde");
+    }
+
+    #[test]
+    fn non_dependency_sections_are_ignored() {
+        let toml = "[package]\nname = \"x\"\nversion = \"0.1.0\"\n\n[profile.dev]\nopt-level = 1\n\n[features]\ndefault = []\n";
+        assert!(scan_str(toml, "test").is_empty());
+    }
+
+    #[test]
+    fn target_specific_dependencies_are_scanned() {
+        let toml = "[target.'cfg(unix)'.dependencies]\nlibc = \"0.2\"\n";
+        let v = scan_str(toml, "test");
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].dependency, "libc");
+    }
+}

@@ -1,0 +1,9 @@
+#!/usr/bin/env bash
+# Canonical offline check for this repository: builds the whole workspace
+# in release mode and runs every test, all without touching a crate
+# registry. CI and pre-merge runs should invoke exactly this script.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release --offline --workspace
+cargo test -q --offline --workspace

@@ -1,7 +1,7 @@
 //! Property-based tests over randomized graphs and tensors: the invariants
 //! that must hold for *any* input, not just the unit-test fixtures.
 
-use proptest::prelude::*;
+use wisegraph_testkit::prelude::*;
 use std::collections::HashMap;
 use wisegraph::dfg::interp::execute;
 use wisegraph::dfg::{transform, Binding, Dim};
@@ -25,7 +25,6 @@ proptest! {
 
     /// The DFG transformation search always returns a numerically
     /// equivalent program, for every model and random graph.
-    #[test]
     fn transformations_preserve_semantics(
         g in arb_graph(60, 500),
         fi in 2usize..6,
@@ -55,7 +54,6 @@ proptest! {
 
     /// Gather followed by its adjoint scatter computes the same inner
     /// product from both sides: <gather(x, idx), y> == <x, scatter(y, idx)>.
-    #[test]
     fn gather_scatter_adjoint(
         rows in 2usize..40,
         cols in 1usize..8,
@@ -75,7 +73,6 @@ proptest! {
 
     /// Segment softmax output sums to one within every non-empty segment
     /// and is invariant to a constant shift of the scores.
-    #[test]
     fn segment_softmax_invariants(
         seg in prop::collection::vec(0u32..10, 1..60),
         shift in -50.0f32..50.0,
@@ -100,7 +97,6 @@ proptest! {
 
     /// Every partition plan preserves edges exactly once and respects every
     /// `Exact` bound; the derived batch and dedup statistics stay in range.
-    #[test]
     fn partition_invariants_hold(
         g in arb_graph(100, 800),
         k in 1u64..40,
@@ -137,7 +133,6 @@ proptest! {
     }
 
     /// Kernel time is monotone in FLOPs and bytes for every compute class.
-    #[test]
     fn kernel_time_monotone(
         flops in 1.0e6f64..1.0e12,
         bytes in 1.0e3f64..1.0e10,
@@ -164,7 +159,6 @@ proptest! {
 
     /// Relabeling a graph by any generated permutation preserves every
     /// degree- and type-based statistic that partitioning depends on.
-    #[test]
     fn relabel_preserves_partition_statistics(
         g in arb_graph(80, 400),
         seed in 0u64..1000,
