@@ -1,0 +1,93 @@
+//! Allocating vs. workspace-pooled parallel executor (the engine's reason
+//! to exist), on the in-repo testkit bench harness.
+//!
+//! Both cases run the same seeded RGCN workload over the same partition
+//! plan and produce bit-identical outputs (see `tests/workspace_parity.rs`);
+//! the only difference is buffer provenance. `alloc` pays a fresh
+//! `TaskWorkspace` and accumulator per task/call, `workspace` serves them
+//! from a persistent [`Engine`]'s per-worker pools warmed by one prior
+//! call.
+//!
+//! Run with `cargo bench --offline --bench executor`; JSON lands in
+//! `target/testkit-bench/executor.json` (relative to this crate).
+
+use std::collections::HashMap;
+use wisegraph_graph::generate::{rmat, RmatParams};
+use wisegraph_graph::Graph;
+use wisegraph_gtask::{partition, PartitionPlan, PartitionTable};
+use wisegraph_kernels::engine::{execute_parallel_alloc, Engine};
+use wisegraph_models::ModelKind;
+use wisegraph_tensor::{init, Tensor};
+use wisegraph_testkit::bench::{black_box, Bench};
+
+struct Workload {
+    g: Graph,
+    plan: PartitionPlan,
+    dfg: wisegraph_dfg::Dfg,
+    globals: HashMap<String, Tensor>,
+}
+
+fn rgcn_workload() -> Workload {
+    // Fine-grained gTasks (small per-type source batches): per-task compute
+    // is tiny, so buffer churn dominates the allocating path — the regime
+    // the workspace pool exists for.
+    let g = rmat(&RmatParams::standard(4000, 40_000, 71).with_edge_types(4));
+    let f = 8;
+    let dfg = ModelKind::Rgcn.layer_dfg(f, f);
+    let mut globals = HashMap::new();
+    globals.insert(
+        "h".to_string(),
+        init::uniform_tensor(&[g.num_vertices(), f], -1.0, 1.0, 73),
+    );
+    globals.insert(
+        "W".to_string(),
+        init::uniform_tensor(&[g.num_edge_types(), f, f], -1.0, 1.0, 79),
+    );
+    let plan = partition(&g, &PartitionTable::src_batch_per_type(2));
+    Workload { g, plan, dfg, globals }
+}
+
+fn bench_rgcn_executor(bench: &mut Bench) {
+    let w = rgcn_workload();
+    for threads in [1usize, 4] {
+        let engine = Engine::new(threads);
+        // Warm the pools: the steady-state comparison is what a training
+        // loop sees from its second epoch on.
+        engine
+            .execute(&w.dfg, &w.g, &w.plan, &w.globals)
+            .expect("rgcn compiles per task");
+        bench
+            .group(&format!("rgcn_executor_t{threads}"))
+            .sample_size(20)
+            .bench_function("alloc", || {
+                black_box(
+                    execute_parallel_alloc(
+                        black_box(&w.dfg),
+                        black_box(&w.g),
+                        black_box(&w.plan),
+                        black_box(&w.globals),
+                        threads,
+                    )
+                    .unwrap(),
+                );
+            })
+            .bench_function("workspace", || {
+                black_box(
+                    engine
+                        .execute(
+                            black_box(&w.dfg),
+                            black_box(&w.g),
+                            black_box(&w.plan),
+                            black_box(&w.globals),
+                        )
+                        .unwrap(),
+                );
+            });
+    }
+}
+
+fn main() {
+    let mut bench = Bench::new("executor");
+    bench_rgcn_executor(&mut bench);
+    bench.finish();
+}

@@ -6,8 +6,8 @@
 //! the real models and records per-epoch loss and test accuracy.
 
 use wisegraph_graph::generate::LabeledGraph;
-use wisegraph_models::{accuracy, features_tensor, train_epoch, GnnModel};
-use wisegraph_tensor::{Adam, Tensor};
+use wisegraph_models::{accuracy_ws, features_tensor, train_epoch_ws, GnnModel};
+use wisegraph_tensor::{Adam, Tensor, Workspace};
 
 /// Per-epoch training statistics.
 #[derive(Clone, Copy, Debug)]
@@ -21,11 +21,32 @@ pub struct EpochStats {
 }
 
 /// Trains a model on a labeled graph for `epochs`, recording stats.
+///
+/// Tape storage is pooled in a [`Workspace`] that persists across epochs,
+/// so epoch `n + 1`'s forward/backward passes reuse epoch `n`'s buffers.
+/// Call [`train_full_graph_ws`] to keep the pool (and read its counters)
+/// across runs.
 pub fn train_full_graph(
     model: &mut dyn GnnModel,
     data: &LabeledGraph,
     epochs: usize,
     lr: f32,
+) -> Vec<EpochStats> {
+    let mut ws = Workspace::new();
+    train_full_graph_ws(model, data, epochs, lr, &mut ws)
+}
+
+/// [`train_full_graph`] with a caller-owned buffer pool.
+///
+/// `ws.stats()` after the call reports buffers created vs. reused and the
+/// peak resident bytes of the pool — in steady state every epoch past the
+/// first should be served (almost) entirely from recycled buffers.
+pub fn train_full_graph_ws(
+    model: &mut dyn GnnModel,
+    data: &LabeledGraph,
+    epochs: usize,
+    lr: f32,
+    ws: &mut Workspace,
 ) -> Vec<EpochStats> {
     let feats = features_tensor(
         &data.features,
@@ -35,16 +56,23 @@ pub fn train_full_graph(
     let mut opt = Adam::new(lr);
     (0..epochs)
         .map(|epoch| {
-            let loss = train_epoch(
+            let loss = train_epoch_ws(
                 model,
                 &mut opt,
                 &data.graph,
                 &feats,
                 &data.labels,
                 &data.train_idx,
+                ws,
             );
-            let test_accuracy =
-                accuracy(model, &data.graph, &feats, &data.labels, &data.test_idx);
+            let test_accuracy = accuracy_ws(
+                model,
+                &data.graph,
+                &feats,
+                &data.labels,
+                &data.test_idx,
+                ws,
+            );
             EpochStats {
                 epoch,
                 loss,
@@ -102,6 +130,45 @@ mod tests {
         assert_eq!(stats.len(), 25);
         assert!(stats[24].loss < stats[0].loss * 0.8);
         assert!(stats[24].test_accuracy > stats[0].test_accuracy);
+    }
+
+    #[test]
+    fn workspace_recycles_across_training_epochs() {
+        let data = dataset();
+        let mut model = Sage::new(&[16, 32, 4], 4);
+        let mut ws = Workspace::new();
+        // One warm-up epoch fills the pool with every shape the loop needs.
+        train_full_graph_ws(&mut model, &data, 1, 0.01, &mut ws);
+        let warm = ws.stats();
+        train_full_graph_ws(&mut model, &data, 3, 0.01, &mut ws);
+        let after = ws.stats();
+        assert!(
+            after.buffers_reused > warm.buffers_reused,
+            "later epochs must draw from the pool"
+        );
+        // Bounded creation: three more epochs of identical shapes must not
+        // grow the pool.
+        assert_eq!(
+            after.buffers_created, warm.buffers_created,
+            "steady-state epochs must not allocate new buffers"
+        );
+        assert!(after.peak_resident_bytes > 0);
+        assert!(after.reuse_ratio() > 0.5, "ratio {}", after.reuse_ratio());
+    }
+
+    #[test]
+    fn workspace_training_is_bit_identical_to_allocating() {
+        let data = dataset();
+        // Same seed → same initial parameters for both runs.
+        let mut a = Sage::new(&[16, 32, 4], 9);
+        let mut b = Sage::new(&[16, 32, 4], 9);
+        let alloc = train_full_graph(&mut a, &data, 3, 0.01);
+        let mut ws = Workspace::new();
+        let pooled = train_full_graph_ws(&mut b, &data, 3, 0.01, &mut ws);
+        for (x, y) in alloc.iter().zip(pooled.iter()) {
+            assert_eq!(x.loss.to_bits(), y.loss.to_bits(), "epoch {}", x.epoch);
+            assert_eq!(x.test_accuracy, y.test_accuracy);
+        }
     }
 
     #[test]

@@ -201,9 +201,9 @@ pub fn execute_on_edges(
                 Value::Index(unique_and_map(&stream).1)
             }
             OpKind::Index => {
-                let idx = get(node.inputs[1])?.index()?.to_vec();
+                let idx = get(node.inputs[1])?.index()?;
                 match get(node.inputs[0])? {
-                    Value::Tensor(t) => Value::Tensor(gather_first(t, &idx)?),
+                    Value::Tensor(t) => Value::Tensor(gather_first(t, idx)?),
                     // Indexing an index stream yields an index stream
                     // (e.g. src-id = src-id_unique[src-id_map]).
                     Value::Index(s) => Value::Index(
@@ -218,24 +218,24 @@ pub fn execute_on_edges(
                 }
             }
             OpKind::Index2D => {
-                let data = get(node.inputs[0])?.tensor()?.clone();
-                let i1 = get(node.inputs[1])?.index()?.to_vec();
-                let i2 = get(node.inputs[2])?.index()?.to_vec();
-                Value::Tensor(gather_2d(&data, &i1, &i2)?)
+                let data = get(node.inputs[0])?.tensor()?;
+                let i1 = get(node.inputs[1])?.index()?;
+                let i2 = get(node.inputs[2])?.index()?;
+                Value::Tensor(gather_2d(data, i1, i2)?)
             }
             OpKind::IndexAdd { out } => {
                 let rows = binding.eval(*out);
-                let idx = get(node.inputs[1])?.index()?.to_vec();
-                let data = get(node.inputs[0])?.tensor()?.clone();
-                Value::Tensor(scatter_add_first(rows, &data, &idx)?)
+                let idx = get(node.inputs[1])?.index()?;
+                let data = get(node.inputs[0])?.tensor()?;
+                Value::Tensor(scatter_add_first(rows, data, idx)?)
             }
             OpKind::Linear => {
-                let x = get(node.inputs[0])?.tensor()?.clone();
+                let x = get(node.inputs[0])?.tensor()?;
                 let w = get(node.inputs[1])?.tensor()?;
-                Value::Tensor(ops::matmul(&x, w))
+                Value::Tensor(ops::matmul(x, w))
             }
             OpKind::PerEdgeLinear => {
-                let x = get(node.inputs[0])?.tensor()?.clone();
+                let x = get(node.inputs[0])?.tensor()?;
                 let w = get(node.inputs[1])?.tensor()?;
                 let (n, f) = (x.dims()[0], x.dims()[1]);
                 let fo = w.dims()[2];
@@ -258,7 +258,7 @@ pub fn execute_on_edges(
                 Value::Tensor(Tensor::from_vec(out, &[n, fo]))
             }
             OpKind::PairwiseLinear => {
-                let x = get(node.inputs[0])?.tensor()?.clone();
+                let x = get(node.inputs[0])?.tensor()?;
                 let w = get(node.inputs[1])?.tensor()?;
                 let (u, f) = (x.dims()[0], x.dims()[1]);
                 let (t, fo) = (w.dims()[0], w.dims()[2]);
@@ -284,30 +284,30 @@ pub fn execute_on_edges(
                 Value::Tensor(Tensor::from_vec(out, &[u, t, fo]))
             }
             OpKind::LstmAggregate { hidden } => {
-                let x = get(node.inputs[0])?.tensor()?.clone();
-                let dst = get(node.inputs[1])?.index()?.to_vec();
-                let wx = get(node.inputs[2])?.tensor()?.clone();
-                let wh = get(node.inputs[3])?.tensor()?.clone();
-                let bias = get(node.inputs[4])?.tensor()?.clone();
+                let x = get(node.inputs[0])?.tensor()?;
+                let dst = get(node.inputs[1])?.index()?;
+                let wx = get(node.inputs[2])?.tensor()?;
+                let wh = get(node.inputs[3])?.tensor()?;
+                let bias = get(node.inputs[4])?.tensor()?;
                 Value::Tensor(lstm_aggregate(
-                    &x,
-                    &dst,
-                    &wx,
-                    &wh,
-                    &bias,
+                    x,
+                    dst,
+                    wx,
+                    wh,
+                    bias,
                     *hidden,
                     binding.vertices,
                 )?)
             }
             OpKind::Add => {
-                let a = get(node.inputs[0])?.tensor()?.clone();
+                let a = get(node.inputs[0])?.tensor()?;
                 let b = get(node.inputs[1])?.tensor()?;
-                Value::Tensor(ops::add(&a, b))
+                Value::Tensor(ops::add(a, b))
             }
             OpKind::Mul => {
-                let a = get(node.inputs[0])?.tensor()?.clone();
+                let a = get(node.inputs[0])?.tensor()?;
                 let b = get(node.inputs[1])?.tensor()?;
-                Value::Tensor(ops::mul(&a, b))
+                Value::Tensor(ops::mul(a, b))
             }
             OpKind::Relu => Value::Tensor(ops::relu(get(node.inputs[0])?.tensor()?)),
             OpKind::LeakyRelu => Value::Tensor(ops::leaky_relu(
@@ -315,7 +315,7 @@ pub fn execute_on_edges(
                 LEAKY_SLOPE,
             )),
             OpKind::ScaleByDegreeInv => {
-                let x = get(node.inputs[0])?.tensor()?.clone();
+                let x = get(node.inputs[0])?.tensor()?;
                 let scales: Vec<f32> = g
                     .in_degree()
                     .iter()
@@ -325,24 +325,24 @@ pub fn execute_on_edges(
                     return Err("ScaleByDegreeInv rows must equal |V|".into());
                 }
                 Value::Tensor(ops::scale_rows(
-                    &x,
+                    x,
                     &Tensor::from_vec(scales, &[g.num_vertices()]),
                 ))
             }
             OpKind::SegmentSoftmax => {
-                let s = get(node.inputs[0])?.tensor()?.clone();
-                let seg = get(node.inputs[1])?.index()?.to_vec();
-                Value::Tensor(ops::segment_softmax(&s, &seg, g.num_vertices()))
+                let s = get(node.inputs[0])?.tensor()?;
+                let seg = get(node.inputs[1])?.index()?;
+                Value::Tensor(ops::segment_softmax(s, seg, g.num_vertices()))
             }
             OpKind::ScaleRowsByScalar => {
-                let x = get(node.inputs[0])?.tensor()?.clone();
+                let x = get(node.inputs[0])?.tensor()?;
                 let s = get(node.inputs[1])?.tensor()?;
-                Value::Tensor(ops::scale_rows(&x, s))
+                Value::Tensor(ops::scale_rows(x, s))
             }
             OpKind::ConcatCols => {
-                let a = get(node.inputs[0])?.tensor()?.clone();
+                let a = get(node.inputs[0])?.tensor()?;
                 let b = get(node.inputs[1])?.tensor()?;
-                Value::Tensor(ops::concat_cols(&a, b))
+                Value::Tensor(ops::concat_cols(a, b))
             }
             OpKind::Transpose => {
                 let a = get(node.inputs[0])?.tensor()?;

@@ -6,19 +6,167 @@
 //! worker accumulates into a private buffer, and the buffers reduce at the
 //! end. Work is distributed by contiguous chunks of tasks (tasks are
 //! sorted by the plan's restriction keys, so chunks inherit locality).
+//!
+//! An [`Engine`] owns one [`TaskWorkspace`] and one accumulator per worker,
+//! both persisting across [`Engine::execute`] calls: chunk `i` always runs
+//! on worker slot `i`, so a training loop executing the same plan every
+//! epoch re-uses every buffer after the first call. The slot assignment is
+//! deterministic and the final reduction runs in ascending worker order,
+//! which keeps results bit-identical to the allocating reference path
+//! ([`execute_parallel_alloc`]).
 
 use crate::micro::{
     compile, eval_edge_independent_public as eval_edge_independent,
-    plan_is_dst_complete, prologue_name, run_epilogue, run_task, CompileError,
+    plan_is_dst_complete, prologue_name, run_epilogue, run_task, run_task_ws,
+    CompileError, TaskWorkspace,
 };
 use std::collections::HashMap;
+use std::sync::Mutex;
 use wisegraph_dfg::Dfg;
 use wisegraph_graph::Graph;
 use wisegraph_gtask::PartitionPlan;
-use wisegraph_tensor::{ops, Tensor};
+use wisegraph_tensor::{ops, Tensor, WorkspaceStats};
+
+/// Persistent state of one worker: its task workspace and the partial
+/// accumulator it scatters into.
+#[derive(Default)]
+struct WorkerSlot {
+    tws: TaskWorkspace,
+    acc: Option<Tensor>,
+}
+
+/// A reusable parallel executor with persistent per-worker workspaces.
+pub struct Engine {
+    slots: Vec<Mutex<WorkerSlot>>,
+}
+
+impl Engine {
+    /// Creates an engine with `threads` worker slots.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads == 0`.
+    pub fn new(threads: usize) -> Self {
+        assert!(threads > 0, "need at least one worker");
+        Self {
+            slots: (0..threads).map(|_| Mutex::new(WorkerSlot::default())).collect(),
+        }
+    }
+
+    /// Number of worker slots.
+    pub fn threads(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Merged workspace counters across all worker slots (counts sum;
+    /// peak resident bytes take the per-worker maximum).
+    pub fn stats(&self) -> WorkspaceStats {
+        self.slots
+            .iter()
+            .map(|s| s.lock().expect("engine slot poisoned").tws.stats())
+            .fold(WorkspaceStats::default(), |a, b| a.merge(&b))
+    }
+
+    /// Executes a compiled plan across the engine's workers and returns the
+    /// DFG outputs. Buffers and accumulators persist into the next call.
+    ///
+    /// # Errors
+    ///
+    /// Returns the compile error if the DFG cannot run per task.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a worker thread panics.
+    pub fn execute(
+        &self,
+        dfg: &Dfg,
+        g: &Graph,
+        plan: &PartitionPlan,
+        globals: &HashMap<String, Tensor>,
+    ) -> Result<Vec<Tensor>, CompileError> {
+        let program = compile(dfg, g)?;
+        if program.requires_dst_complete && !plan_is_dst_complete(g, plan) {
+            return Err(CompileError(
+                "per-destination normalization requires a destination-complete plan"
+                    .into(),
+            ));
+        }
+        let mut all_globals = globals.clone();
+        if !program.prologue.is_empty() {
+            let pre = eval_edge_independent(dfg, g, globals);
+            for id in &program.prologue {
+                let v = pre.get(id).cloned().ok_or_else(|| {
+                    CompileError(format!("prologue node {} not evaluable", id.0))
+                })?;
+                all_globals.insert(prologue_name(*id), v);
+            }
+        }
+
+        let chunk = plan.tasks.len().div_ceil(self.threads()).max(1);
+        let partials: Vec<Tensor> = std::thread::scope(|scope| {
+            let handles: Vec<_> = plan
+                .tasks
+                .chunks(chunk)
+                .enumerate()
+                .map(|(wi, tasks)| {
+                    let program = &program;
+                    let all_globals = &all_globals;
+                    let slot = &self.slots[wi];
+                    scope.spawn(move || {
+                        let mut slot = slot.lock().expect("engine slot poisoned");
+                        // Reuse last call's accumulator when the shape still
+                        // fits; `fill(0.0)` makes it indistinguishable from a
+                        // fresh zero tensor.
+                        let mut acc = match slot.acc.take() {
+                            Some(mut t)
+                                if t.dims()
+                                    == [program.out_rows, program.out_width] =>
+                            {
+                                t.data_mut().fill(0.0);
+                                t
+                            }
+                            _ => Tensor::zeros(&[
+                                program.out_rows,
+                                program.out_width,
+                            ]),
+                        };
+                        for task in tasks {
+                            run_task_ws(
+                                program,
+                                g,
+                                all_globals,
+                                &task.edges,
+                                &mut acc,
+                                &mut slot.tws,
+                            );
+                        }
+                        acc
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("worker panicked"))
+                .collect()
+        });
+
+        // Reduce in ascending worker order (same order as the sequential
+        // `acc = acc + p` of the allocating path), then park the partials
+        // back in their slots for the next call.
+        let mut acc = Tensor::zeros(&[program.out_rows, program.out_width]);
+        for p in &partials {
+            ops::add_assign(&mut acc, p);
+        }
+        for (wi, p) in partials.into_iter().enumerate() {
+            self.slots[wi].lock().expect("engine slot poisoned").acc = Some(p);
+        }
+        Ok(run_epilogue(dfg, g, globals, program.reduce_node, acc))
+    }
+}
 
 /// Executes a compiled plan across `threads` workers and returns the DFG
-/// outputs.
+/// outputs, using a fresh [`Engine`] (workspaces are still reused across
+/// the tasks of this one call).
 ///
 /// # Errors
 ///
@@ -28,6 +176,28 @@ use wisegraph_tensor::{ops, Tensor};
 ///
 /// Panics if `threads == 0` or a worker thread panics.
 pub fn execute_parallel(
+    dfg: &Dfg,
+    g: &Graph,
+    plan: &PartitionPlan,
+    globals: &HashMap<String, Tensor>,
+    threads: usize,
+) -> Result<Vec<Tensor>, CompileError> {
+    Engine::new(threads).execute(dfg, g, plan, globals)
+}
+
+/// Allocating reference executor: identical work distribution to
+/// [`Engine::execute`], but every task gets fresh buffers and every worker
+/// a fresh accumulator — the alloc-per-call behavior the workspace path
+/// eliminates. Kept as the parity/bench baseline.
+///
+/// # Errors
+///
+/// Returns the compile error if the DFG cannot run per task.
+///
+/// # Panics
+///
+/// Panics if `threads == 0` or a worker thread panics.
+pub fn execute_parallel_alloc(
     dfg: &Dfg,
     g: &Graph,
     plan: &PartitionPlan,
@@ -79,7 +249,7 @@ pub fn execute_parallel(
 
     let mut acc = Tensor::zeros(&[program.out_rows, program.out_width]);
     for p in &partials {
-        acc = ops::add(&acc, p);
+        ops::add_assign(&mut acc, p);
     }
     Ok(run_epilogue(dfg, g, globals, program.reduce_node, acc))
 }
@@ -152,5 +322,61 @@ mod tests {
         let got = &execute_parallel(&dfg, &g, &plan, &globals, 4).unwrap()[0];
         let reference = &execute(&dfg, &g, &globals).unwrap()[0];
         assert!(reference.allclose(got, 1e-3));
+    }
+
+    #[test]
+    fn engine_reuses_buffers_across_calls() {
+        let g = rmat(&RmatParams::standard(100, 800, 57).with_edge_types(3));
+        let (fi, fo) = (5, 4);
+        let dfg = ModelKind::Rgcn.layer_dfg(fi, fo);
+        let mut globals = HashMap::new();
+        globals.insert(
+            "h".to_string(),
+            init::uniform_tensor(&[g.num_vertices(), fi], -1.0, 1.0, 7),
+        );
+        globals.insert(
+            "W".to_string(),
+            init::uniform_tensor(&[g.num_edge_types(), fi, fo], -1.0, 1.0, 8),
+        );
+        let plan = partition(&g, &PartitionTable::src_batch_per_type(8));
+        let engine = Engine::new(2);
+        let first = engine.execute(&dfg, &g, &plan, &globals).unwrap();
+        let after_first = engine.stats();
+        let second = engine.execute(&dfg, &g, &plan, &globals).unwrap();
+        let after_second = engine.stats();
+        // Identical inputs → bit-identical outputs.
+        assert_eq!(first[0].data(), second[0].data());
+        // The second call must be served (almost) entirely from the pool.
+        assert!(after_second.buffers_reused > after_first.buffers_reused);
+        assert_eq!(
+            after_second.buffers_created, after_first.buffers_created,
+            "steady state must not allocate new buffers"
+        );
+    }
+
+    #[test]
+    fn engine_matches_allocating_reference_bitwise() {
+        let g = rmat(&RmatParams::standard(90, 700, 59).with_edge_types(2));
+        let (fi, fo) = (4, 3);
+        let dfg = ModelKind::Rgcn.layer_dfg(fi, fo);
+        let mut globals = HashMap::new();
+        globals.insert(
+            "h".to_string(),
+            init::uniform_tensor(&[g.num_vertices(), fi], -1.0, 1.0, 9),
+        );
+        globals.insert(
+            "W".to_string(),
+            init::uniform_tensor(&[g.num_edge_types(), fi, fo], -1.0, 1.0, 10),
+        );
+        let plan = partition(&g, &PartitionTable::src_batch_per_type(8));
+        for threads in [1usize, 2, 4] {
+            let a = execute_parallel_alloc(&dfg, &g, &plan, &globals, threads)
+                .unwrap();
+            let b = execute_parallel(&dfg, &g, &plan, &globals, threads).unwrap();
+            assert_eq!(a.len(), b.len());
+            for (x, y) in a.iter().zip(b.iter()) {
+                assert_eq!(x.data(), y.data(), "threads {threads}");
+            }
+        }
     }
 }

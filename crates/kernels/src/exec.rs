@@ -5,7 +5,7 @@
 //! (per-gTask batch of unique sources → one matrix–matrix product). They
 //! serve three purposes: numeric ground truth for the plans, the engine
 //! behind the accuracy experiments, and real-throughput calibration points
-//! for the simulator via Criterion benches.
+//! for the simulator via the in-repo `testkit::bench` harness.
 
 use wisegraph_graph::Graph;
 use wisegraph_gtask::PartitionPlan;

@@ -16,7 +16,9 @@
 //! - [`exec`]: real CPU implementations of the generated fused kernels for
 //!   RGCN and aggregation (both edge-by-edge and batched variants),
 //!   validated against the DFG interpreter and used to ground the
-//!   simulator's calibration via Criterion benches.
+//!   simulator's calibration via the in-repo `testkit::bench` harness;
+//! - [`engine`]: the parallel gTask execution engine with persistent
+//!   per-worker workspaces ([`micro::TaskWorkspace`]).
 
 pub mod engine;
 pub mod exec;

@@ -21,7 +21,7 @@ use wisegraph_dfg::{Dfg, NodeId, OpKind};
 use wisegraph_dfg::op::LEAKY_SLOPE;
 use wisegraph_graph::{AttrKind, Graph};
 use wisegraph_gtask::PartitionPlan;
-use wisegraph_tensor::{ops, Tensor};
+use wisegraph_tensor::{ops, Tensor, Workspace, WorkspaceStats};
 
 /// A virtual register holding one per-task value.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -223,11 +223,89 @@ pub fn prologue_name(id: NodeId) -> String {
     format!("__pre_{}", id.0)
 }
 
+/// Resolves a dense-evaluation input to a reference: a previously computed
+/// value, or a global tensor for `Input` nodes. Avoids cloning operands
+/// just to read them.
+fn dense_input<'a>(
+    dfg: &Dfg,
+    globals: &'a HashMap<String, Tensor>,
+    values: &'a HashMap<NodeId, Tensor>,
+    p: NodeId,
+) -> &'a Tensor {
+    values.get(&p).unwrap_or_else(|| match &dfg.node(p).kind {
+        OpKind::Input { name, .. } => &globals[name],
+        other => panic!("dense input {other:?} unavailable"),
+    })
+}
+
 /// A per-task register value.
 #[derive(Clone, Debug)]
 enum RegValue {
     Tensor(Tensor),
     Stream(Vec<u32>),
+}
+
+/// Per-worker execution state: a register file reused across tasks plus the
+/// scratch-buffer pool ([`Workspace`]) backing the register values.
+///
+/// One `TaskWorkspace` is owned by exactly one worker; values left in the
+/// registers after a task are recycled into the pool when the next task
+/// starts, so a worker processing thousands of same-shaped tasks allocates
+/// only during the first one.
+#[derive(Default)]
+pub struct TaskWorkspace {
+    regs: Vec<Option<RegValue>>,
+    ws: Workspace,
+}
+
+impl TaskWorkspace {
+    /// Creates an empty task workspace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Counter snapshot of the underlying buffer pool.
+    pub fn stats(&self) -> WorkspaceStats {
+        self.ws.stats()
+    }
+
+    /// Clears the register file for a new task, recycling held values.
+    fn prepare(&mut self, num_regs: usize) {
+        let TaskWorkspace { regs, ws } = self;
+        for slot in regs.iter_mut() {
+            match slot.take() {
+                Some(RegValue::Tensor(t)) => ws.recycle(t),
+                Some(RegValue::Stream(s)) => ws.give_u32(s),
+                None => {}
+            }
+        }
+        regs.resize_with(num_regs, || None);
+    }
+}
+
+/// Reads a tensor register by reference.
+fn reg_tensor(regs: &[Option<RegValue>], r: Reg) -> &Tensor {
+    match regs[r.0].as_ref().expect("register assigned") {
+        RegValue::Tensor(t) => t,
+        RegValue::Stream(_) => panic!("expected tensor in register {r:?}"),
+    }
+}
+
+/// Reads a stream register by reference.
+fn reg_stream(regs: &[Option<RegValue>], r: Reg) -> &[u32] {
+    match regs[r.0].as_ref().expect("register assigned") {
+        RegValue::Stream(s) => s,
+        RegValue::Tensor(_) => panic!("expected stream in register {r:?}"),
+    }
+}
+
+/// Writes a register, recycling whatever value it held before.
+fn set_reg(regs: &mut [Option<RegValue>], ws: &mut Workspace, r: Reg, v: RegValue) {
+    match std::mem::replace(&mut regs[r.0], Some(v)) {
+        Some(RegValue::Tensor(t)) => ws.recycle(t),
+        Some(RegValue::Stream(s)) => ws.give_u32(s),
+        None => {}
+    }
 }
 
 /// Compilation error.
@@ -509,11 +587,12 @@ pub fn compile(dfg: &Dfg, g: &Graph) -> Result<KernelProgram, CompileError> {
     })
 }
 
-/// All-pairs product `out[u, t] = x[u] @ w[t]` for `[u, f]` × `[t, f, f']`.
-fn pairwise(x: &Tensor, w: &Tensor) -> Tensor {
+/// All-pairs product `out[u, t] = x[u] @ w[t]` into a zeroed `u * t * f'`
+/// buffer.
+fn pairwise_into(x: &Tensor, w: &Tensor, out: &mut [f32]) {
     let (u, f) = (x.dims()[0], x.dims()[1]);
     let (t, fo) = (w.dims()[0], w.dims()[2]);
-    let mut data = vec![0.0f32; u * t * fo];
+    assert_eq!(out.len(), u * t * fo, "pairwise output buffer mismatch");
     for a in 0..u {
         for b in 0..t {
             for k in 0..f {
@@ -522,18 +601,27 @@ fn pairwise(x: &Tensor, w: &Tensor) -> Tensor {
                     continue;
                 }
                 let wrow = &w.data()[(b * f + k) * fo..(b * f + k + 1) * fo];
-                let orow = &mut data[(a * t + b) * fo..(a * t + b + 1) * fo];
+                let orow = &mut out[(a * t + b) * fo..(a * t + b + 1) * fo];
                 for (o, &w_kj) in orow.iter_mut().zip(wrow) {
                     *o += x_ak * w_kj;
                 }
             }
         }
     }
+}
+
+/// All-pairs product `out[u, t] = x[u] @ w[t]` for `[u, f]` × `[t, f, f']`.
+fn pairwise(x: &Tensor, w: &Tensor) -> Tensor {
+    let (u, t, fo) = (x.dims()[0], w.dims()[0], w.dims()[2]);
+    let mut data = vec![0.0f32; u * t * fo];
+    pairwise_into(x, w, &mut data);
     Tensor::from_vec(data, &[u, t, fo])
 }
 
 /// Executes the compiled program for one task's edges, accumulating into
-/// `out`.
+/// `out`, with a fresh [`TaskWorkspace`]. Thin wrapper over
+/// [`run_task_ws`]; callers executing many tasks should hold a
+/// `TaskWorkspace` and call that directly.
 ///
 /// # Panics
 ///
@@ -546,44 +634,71 @@ pub fn run_task(
     edges: &[usize],
     out: &mut Tensor,
 ) {
-    let mut regs: Vec<Option<RegValue>> = vec![None; program.num_regs];
-    let tensor = |regs: &[Option<RegValue>], r: Reg| -> Tensor {
-        match regs[r.0].as_ref().expect("register assigned") {
-            RegValue::Tensor(t) => t.clone(),
-            RegValue::Stream(_) => panic!("expected tensor in register {r:?}"),
-        }
-    };
-    let stream = |regs: &[Option<RegValue>], r: Reg| -> Vec<u32> {
-        match regs[r.0].as_ref().expect("register assigned") {
-            RegValue::Stream(s) => s.clone(),
-            RegValue::Tensor(_) => panic!("expected stream in register {r:?}"),
-        }
-    };
+    run_task_ws(program, g, globals, edges, out, &mut TaskWorkspace::new());
+}
+
+/// Executes the compiled program for one task's edges, accumulating into
+/// `out` and drawing every register value from `tws`.
+///
+/// Bit-identical to [`run_task`]: pooled buffers are zero-filled on
+/// checkout and all kernels are the same `_into` routines the allocating
+/// ops wrap.
+///
+/// # Panics
+///
+/// Panics if a register is used before assignment or a global tensor is
+/// missing (compilation guarantees well-formed programs for valid inputs).
+pub fn run_task_ws(
+    program: &KernelProgram,
+    g: &Graph,
+    globals: &HashMap<String, Tensor>,
+    edges: &[usize],
+    out: &mut Tensor,
+    tws: &mut TaskWorkspace,
+) {
+    tws.prepare(program.num_regs);
+    let TaskWorkspace { regs, ws } = tws;
     for op in &program.ops {
         match op {
             MicroKernel::LoadStream { attr, out } => {
-                let s: Vec<u32> = edges
-                    .iter()
-                    .map(|&e| g.edge_attr(*attr, e) as u32)
-                    .collect();
-                regs[out.0] = Some(RegValue::Stream(s));
+                let mut s = ws.take_u32(edges.len());
+                for (slot, &e) in s.iter_mut().zip(edges.iter()) {
+                    *slot = g.edge_attr(*attr, e) as u32;
+                }
+                set_reg(regs, ws, *out, RegValue::Stream(s));
             }
             MicroKernel::Unique {
                 stream: s,
                 values,
                 map,
             } => {
-                let (u, m) = unique_and_map(&stream(&regs, *s));
-                regs[values.0] = Some(RegValue::Stream(u));
-                regs[map.0] = Some(RegValue::Stream(m));
+                let (u, m) = unique_and_map(reg_stream(regs, *s));
+                set_reg(regs, ws, *values, RegValue::Stream(u));
+                set_reg(regs, ws, *map, RegValue::Stream(m));
             }
             MicroKernel::GatherRows { src, idx, out } => {
-                let t = ops::gather_rows(&globals[src], &stream(&regs, *idx));
-                regs[out.0] = Some(RegValue::Tensor(t));
+                let t;
+                {
+                    let srct = &globals[src];
+                    let i = reg_stream(regs, *idx);
+                    let n = srct.dims()[1];
+                    let mut buf = ws.take(i.len() * n);
+                    ops::gather_rows_into(srct, i, &mut buf);
+                    t = Tensor::from_vec(buf, &[i.len(), n]);
+                }
+                set_reg(regs, ws, *out, RegValue::Tensor(t));
             }
             MicroKernel::GatherRegRows { src, idx, out } => {
-                let t = ops::gather_rows(&tensor(&regs, *src), &stream(&regs, *idx));
-                regs[out.0] = Some(RegValue::Tensor(t));
+                let t;
+                {
+                    let srct = reg_tensor(regs, *src);
+                    let i = reg_stream(regs, *idx);
+                    let n = srct.dims()[1];
+                    let mut buf = ws.take(i.len() * n);
+                    ops::gather_rows_into(srct, i, &mut buf);
+                    t = Tensor::from_vec(buf, &[i.len(), n]);
+                }
+                set_reg(regs, ws, *out, RegValue::Tensor(t));
             }
             MicroKernel::GatherReg2D {
                 src,
@@ -591,35 +706,40 @@ pub fn run_task(
                 idx2,
                 out,
             } => {
-                let src = tensor(&regs, *src);
-                let (d1, rest): (usize, usize) =
-                    (src.dims()[1], src.dims()[2..].iter().product());
-                let i1 = stream(&regs, *idx1);
-                let i2 = stream(&regs, *idx2);
-                let mut data = vec![0.0f32; i1.len() * rest];
-                for (i, (&a, &b)) in i1.iter().zip(i2.iter()).enumerate() {
-                    let off = (a as usize * d1 + b as usize) * rest;
-                    data[i * rest..(i + 1) * rest]
-                        .copy_from_slice(&src.data()[off..off + rest]);
+                let t;
+                {
+                    let srct = reg_tensor(regs, *src);
+                    let (d1, rest): (usize, usize) =
+                        (srct.dims()[1], srct.dims()[2..].iter().product());
+                    let i1 = reg_stream(regs, *idx1);
+                    let i2 = reg_stream(regs, *idx2);
+                    let mut data = ws.take(i1.len() * rest);
+                    for (i, (&a, &b)) in i1.iter().zip(i2.iter()).enumerate() {
+                        let off = (a as usize * d1 + b as usize) * rest;
+                        data[i * rest..(i + 1) * rest]
+                            .copy_from_slice(&srct.data()[off..off + rest]);
+                    }
+                    t = Tensor::from_vec(data, &[i1.len(), rest]);
                 }
-                regs[out.0] = Some(RegValue::Tensor(Tensor::from_vec(
-                    data,
-                    &[i1.len(), rest],
-                )));
+                set_reg(regs, ws, *out, RegValue::Tensor(t));
             }
             MicroKernel::GatherWeight { src, idx, out } => {
-                let w = &globals[src];
-                let slice: usize = w.dims()[1..].iter().product();
-                let i = stream(&regs, *idx);
-                let mut data = vec![0.0f32; i.len() * slice];
-                for (n, &t) in i.iter().enumerate() {
-                    let off = t as usize * slice;
-                    data[n * slice..(n + 1) * slice]
-                        .copy_from_slice(&w.data()[off..off + slice]);
+                let t;
+                {
+                    let w = &globals[src];
+                    let slice: usize = w.dims()[1..].iter().product();
+                    let i = reg_stream(regs, *idx);
+                    let mut data = ws.take(i.len() * slice);
+                    for (n, &ti) in i.iter().enumerate() {
+                        let off = ti as usize * slice;
+                        data[n * slice..(n + 1) * slice]
+                            .copy_from_slice(&w.data()[off..off + slice]);
+                    }
+                    let mut dims = vec![i.len()];
+                    dims.extend_from_slice(&w.dims()[1..]);
+                    t = Tensor::from_vec(data, &dims);
                 }
-                let mut dims = vec![i.len()];
-                dims.extend_from_slice(&w.dims()[1..]);
-                regs[out.0] = Some(RegValue::Tensor(Tensor::from_vec(data, &dims)));
+                set_reg(regs, ws, *out, RegValue::Tensor(t));
             }
             MicroKernel::Gather2DGlobal {
                 src,
@@ -627,88 +747,145 @@ pub fn run_task(
                 idx2,
                 out,
             } => {
-                let srct = &globals[src];
-                let (d1, rest): (usize, usize) =
-                    (srct.dims()[1], srct.dims()[2..].iter().product());
-                let i1 = stream(&regs, *idx1);
-                let i2 = stream(&regs, *idx2);
-                let mut data = vec![0.0f32; i1.len() * rest];
-                for (i, (&a, &b)) in i1.iter().zip(i2.iter()).enumerate() {
-                    let off = (a as usize * d1 + b as usize) * rest;
-                    data[i * rest..(i + 1) * rest]
-                        .copy_from_slice(&srct.data()[off..off + rest]);
+                let t;
+                {
+                    let srct = &globals[src];
+                    let (d1, rest): (usize, usize) =
+                        (srct.dims()[1], srct.dims()[2..].iter().product());
+                    let i1 = reg_stream(regs, *idx1);
+                    let i2 = reg_stream(regs, *idx2);
+                    let mut data = ws.take(i1.len() * rest);
+                    for (i, (&a, &b)) in i1.iter().zip(i2.iter()).enumerate() {
+                        let off = (a as usize * d1 + b as usize) * rest;
+                        data[i * rest..(i + 1) * rest]
+                            .copy_from_slice(&srct.data()[off..off + rest]);
+                    }
+                    t = Tensor::from_vec(data, &[i1.len(), rest]);
                 }
-                regs[out.0] = Some(RegValue::Tensor(Tensor::from_vec(
-                    data,
-                    &[i1.len(), rest],
-                )));
+                set_reg(regs, ws, *out, RegValue::Tensor(t));
             }
             MicroKernel::PairwiseReg { x, w, out } => {
-                let xv = tensor(&regs, *x);
-                let wv = tensor(&regs, *w);
-                regs[out.0] = Some(RegValue::Tensor(pairwise(&xv, &wv)));
+                let t;
+                {
+                    let xv = reg_tensor(regs, *x);
+                    let wv = reg_tensor(regs, *w);
+                    let (u, td, fo) = (xv.dims()[0], wv.dims()[0], wv.dims()[2]);
+                    let mut buf = ws.take(u * td * fo);
+                    pairwise_into(xv, wv, &mut buf);
+                    t = Tensor::from_vec(buf, &[u, td, fo]);
+                }
+                set_reg(regs, ws, *out, RegValue::Tensor(t));
             }
             MicroKernel::MatMatGlobal { x, w, out } => {
-                let t = ops::matmul(&tensor(&regs, *x), &globals[w]);
-                regs[out.0] = Some(RegValue::Tensor(t));
+                let t;
+                {
+                    let xv = reg_tensor(regs, *x);
+                    let wt = &globals[w];
+                    let (m, n) = (xv.dims()[0], wt.dims()[1]);
+                    let mut buf = ws.take(m * n);
+                    ops::matmul_into(xv, wt, &mut buf);
+                    t = Tensor::from_vec(buf, &[m, n]);
+                }
+                set_reg(regs, ws, *out, RegValue::Tensor(t));
             }
             MicroKernel::PerRowVecMat { x, w, out } => {
-                let xv = tensor(&regs, *x);
-                let wv = tensor(&regs, *w);
-                let (n, f) = (xv.dims()[0], xv.dims()[1]);
-                let fo = wv.dims()[2];
-                let mut data = vec![0.0f32; n * fo];
-                for i in 0..n {
-                    for k in 0..f {
-                        let x_ik = xv.data()[i * f + k];
-                        if x_ik == 0.0 {
-                            continue;
-                        }
-                        let wrow = &wv.data()[(i * f + k) * fo..(i * f + k + 1) * fo];
-                        for (o, &w_kj) in
-                            data[i * fo..(i + 1) * fo].iter_mut().zip(wrow)
-                        {
-                            *o += x_ik * w_kj;
+                let t;
+                {
+                    let xv = reg_tensor(regs, *x);
+                    let wv = reg_tensor(regs, *w);
+                    let (n, f) = (xv.dims()[0], xv.dims()[1]);
+                    let fo = wv.dims()[2];
+                    let mut data = ws.take(n * fo);
+                    for i in 0..n {
+                        for k in 0..f {
+                            let x_ik = xv.data()[i * f + k];
+                            if x_ik == 0.0 {
+                                continue;
+                            }
+                            let wrow =
+                                &wv.data()[(i * f + k) * fo..(i * f + k + 1) * fo];
+                            for (o, &w_kj) in
+                                data[i * fo..(i + 1) * fo].iter_mut().zip(wrow)
+                            {
+                                *o += x_ik * w_kj;
+                            }
                         }
                     }
+                    t = Tensor::from_vec(data, &[n, fo]);
                 }
-                regs[out.0] = Some(RegValue::Tensor(Tensor::from_vec(data, &[n, fo])));
+                set_reg(regs, ws, *out, RegValue::Tensor(t));
             }
             MicroKernel::PairwiseGlobal { x, w, out } => {
-                let xv = tensor(&regs, *x);
-                regs[out.0] = Some(RegValue::Tensor(pairwise(&xv, &globals[w])));
+                let t;
+                {
+                    let xv = reg_tensor(regs, *x);
+                    let wv = &globals[w];
+                    let (u, td, fo) = (xv.dims()[0], wv.dims()[0], wv.dims()[2]);
+                    let mut buf = ws.take(u * td * fo);
+                    pairwise_into(xv, wv, &mut buf);
+                    t = Tensor::from_vec(buf, &[u, td, fo]);
+                }
+                set_reg(regs, ws, *out, RegValue::Tensor(t));
             }
             MicroKernel::Elementwise { op, a, b, out } => {
-                let av = tensor(&regs, *a);
-                let t = match (op, b) {
-                    (EwOp::Add, Some(b)) => ops::add(&av, &tensor(&regs, *b)),
-                    (EwOp::Mul, Some(b)) => ops::mul(&av, &tensor(&regs, *b)),
-                    (EwOp::Relu, _) => ops::relu(&av),
-                    (EwOp::LeakyRelu, _) => ops::leaky_relu(&av, LEAKY_SLOPE),
-                    _ => panic!("binary elementwise without second operand"),
-                };
-                regs[out.0] = Some(RegValue::Tensor(t));
+                let t;
+                {
+                    let av = reg_tensor(regs, *a);
+                    let mut buf = ws.take(av.numel());
+                    match (op, b) {
+                        (EwOp::Add, Some(b)) => {
+                            ops::add_into(av, reg_tensor(regs, *b), &mut buf)
+                        }
+                        (EwOp::Mul, Some(b)) => {
+                            ops::mul_into(av, reg_tensor(regs, *b), &mut buf)
+                        }
+                        (EwOp::Relu, _) => ops::relu_into(av, &mut buf),
+                        (EwOp::LeakyRelu, _) => {
+                            ops::leaky_relu_into(av, LEAKY_SLOPE, &mut buf)
+                        }
+                        _ => panic!("binary elementwise without second operand"),
+                    }
+                    t = Tensor::from_vec(buf, av.dims());
+                }
+                set_reg(regs, ws, *out, RegValue::Tensor(t));
             }
             MicroKernel::Squeeze { x, out } => {
-                let t = tensor(&regs, *x);
-                regs[out.0] = Some(RegValue::Tensor(t.reshape(&[t.dims()[0]])));
+                let t;
+                {
+                    let xv = reg_tensor(regs, *x);
+                    let mut buf = ws.take(xv.numel());
+                    buf.copy_from_slice(xv.data());
+                    t = Tensor::from_vec(buf, &[xv.dims()[0]]);
+                }
+                set_reg(regs, ws, *out, RegValue::Tensor(t));
             }
             MicroKernel::SegmentSoftmax { scores, seg, out } => {
-                let sc = tensor(&regs, *scores);
-                let segs = stream(&regs, *seg);
-                let max_seg = segs.iter().copied().max().unwrap_or(0) as usize + 1;
-                regs[out.0] = Some(RegValue::Tensor(ops::segment_softmax(
-                    &sc, &segs, max_seg,
-                )));
+                let t;
+                {
+                    let sc = reg_tensor(regs, *scores);
+                    let segs = reg_stream(regs, *seg);
+                    let max_seg =
+                        segs.iter().copied().max().unwrap_or(0) as usize + 1;
+                    let mut buf = ws.take(segs.len());
+                    ops::segment_softmax_into(sc, segs, max_seg, &mut buf);
+                    t = Tensor::from_vec(buf, &[segs.len()]);
+                }
+                set_reg(regs, ws, *out, RegValue::Tensor(t));
             }
             MicroKernel::ScaleRows { x, s, out } => {
-                let xv = tensor(&regs, *x);
-                let sv = tensor(&regs, *s);
-                regs[out.0] = Some(RegValue::Tensor(ops::scale_rows(&xv, &sv)));
+                let t;
+                {
+                    let xv = reg_tensor(regs, *x);
+                    let sv = reg_tensor(regs, *s);
+                    let mut buf = ws.take(xv.numel());
+                    ops::scale_rows_into(xv, sv, &mut buf);
+                    t = Tensor::from_vec(buf, xv.dims());
+                }
+                set_reg(regs, ws, *out, RegValue::Tensor(t));
             }
             MicroKernel::ScatterAdd { data, idx } => {
-                let d = tensor(&regs, *data);
-                let i = stream(&regs, *idx);
+                let d = reg_tensor(regs, *data);
+                let i = reg_stream(regs, *idx);
                 let width = program.out_width;
                 for (row, &dst) in i.iter().enumerate() {
                     let orow = out.row_mut(dst as usize);
@@ -755,35 +932,41 @@ pub fn run_epilogue(
         if !ready && !matches!(node.kind, OpKind::Input { .. }) {
             continue;
         }
-        let input = |p: NodeId, values: &HashMap<NodeId, Tensor>| -> Tensor {
-            values.get(&p).cloned().unwrap_or_else(|| match &dfg.node(p).kind {
-                OpKind::Input { name, .. } => globals[name].clone(),
-                other => panic!("epilogue input {other:?} unavailable"),
-            })
-        };
+        let arg = |k: usize| node.inputs[k];
         let v = match &node.kind {
             OpKind::Input { .. } => continue,
-            OpKind::Linear => ops::matmul(&input(node.inputs[0], &values), &input(node.inputs[1], &values)),
-            OpKind::Add => ops::add(&input(node.inputs[0], &values), &input(node.inputs[1], &values)),
-            OpKind::Mul => ops::mul(&input(node.inputs[0], &values), &input(node.inputs[1], &values)),
-            OpKind::Relu => ops::relu(&input(node.inputs[0], &values)),
-            OpKind::LeakyRelu => ops::leaky_relu(&input(node.inputs[0], &values), LEAKY_SLOPE),
+            OpKind::Linear => ops::matmul(
+                dense_input(dfg, globals, &values, arg(0)),
+                dense_input(dfg, globals, &values, arg(1)),
+            ),
+            OpKind::Add => ops::add(
+                dense_input(dfg, globals, &values, arg(0)),
+                dense_input(dfg, globals, &values, arg(1)),
+            ),
+            OpKind::Mul => ops::mul(
+                dense_input(dfg, globals, &values, arg(0)),
+                dense_input(dfg, globals, &values, arg(1)),
+            ),
+            OpKind::Relu => ops::relu(dense_input(dfg, globals, &values, arg(0))),
+            OpKind::LeakyRelu => {
+                ops::leaky_relu(dense_input(dfg, globals, &values, arg(0)), LEAKY_SLOPE)
+            }
             OpKind::ScaleByDegreeInv => {
-                let x = input(node.inputs[0], &values);
+                let x = dense_input(dfg, globals, &values, arg(0));
                 let scales: Vec<f32> = g
                     .in_degree()
                     .iter()
                     .map(|&d| 1.0 / (d.max(1) as f32))
                     .collect();
-                ops::scale_rows(&x, &Tensor::from_vec(scales, &[g.num_vertices()]))
+                ops::scale_rows(x, &Tensor::from_vec(scales, &[g.num_vertices()]))
             }
             OpKind::ConcatCols => ops::concat_cols(
-                &input(node.inputs[0], &values),
-                &input(node.inputs[1], &values),
+                dense_input(dfg, globals, &values, arg(0)),
+                dense_input(dfg, globals, &values, arg(1)),
             ),
             OpKind::PairwiseLinear => pairwise(
-                &input(node.inputs[0], &values),
-                &input(node.inputs[1], &values),
+                dense_input(dfg, globals, &values, arg(0)),
+                dense_input(dfg, globals, &values, arg(1)),
             ),
             other => panic!("unsupported epilogue operation {other:?}"),
         };
@@ -831,8 +1014,9 @@ pub fn execute_by_plan(
         }
     }
     let mut acc = Tensor::zeros(&[program.out_rows, program.out_width]);
+    let mut tws = TaskWorkspace::new();
     for task in &plan.tasks {
-        run_task(&program, g, &all_globals, &task.edges, &mut acc);
+        run_task_ws(&program, g, &all_globals, &task.edges, &mut acc, &mut tws);
     }
     Ok(run_epilogue(dfg, g, globals, program.reduce_node, acc))
 }
@@ -885,41 +1069,36 @@ fn eval_edge_independent(
         if !ready || matches!(node.kind, OpKind::Input { .. }) {
             continue;
         }
-        let input = |p: NodeId, values: &HashMap<NodeId, Tensor>| -> Tensor {
-            values.get(&p).cloned().unwrap_or_else(|| match &dfg.node(p).kind {
-                OpKind::Input { name, .. } => globals[name].clone(),
-                other => panic!("prologue input {other:?} unavailable"),
-            })
-        };
+        let arg = |k: usize| node.inputs[k];
         let v = match &node.kind {
             OpKind::Linear => ops::matmul(
-                &input(node.inputs[0], &values),
-                &input(node.inputs[1], &values),
+                dense_input(dfg, globals, &values, arg(0)),
+                dense_input(dfg, globals, &values, arg(1)),
             ),
             OpKind::PairwiseLinear => pairwise(
-                &input(node.inputs[0], &values),
-                &input(node.inputs[1], &values),
+                dense_input(dfg, globals, &values, arg(0)),
+                dense_input(dfg, globals, &values, arg(1)),
             ),
             OpKind::Add => ops::add(
-                &input(node.inputs[0], &values),
-                &input(node.inputs[1], &values),
+                dense_input(dfg, globals, &values, arg(0)),
+                dense_input(dfg, globals, &values, arg(1)),
             ),
             OpKind::Mul => ops::mul(
-                &input(node.inputs[0], &values),
-                &input(node.inputs[1], &values),
+                dense_input(dfg, globals, &values, arg(0)),
+                dense_input(dfg, globals, &values, arg(1)),
             ),
-            OpKind::Relu => ops::relu(&input(node.inputs[0], &values)),
+            OpKind::Relu => ops::relu(dense_input(dfg, globals, &values, arg(0))),
             OpKind::LeakyRelu => {
-                ops::leaky_relu(&input(node.inputs[0], &values), LEAKY_SLOPE)
+                ops::leaky_relu(dense_input(dfg, globals, &values, arg(0)), LEAKY_SLOPE)
             }
             OpKind::ScaleByDegreeInv => {
-                let x = input(node.inputs[0], &values);
+                let x = dense_input(dfg, globals, &values, arg(0));
                 let scales: Vec<f32> = g
                     .in_degree()
                     .iter()
                     .map(|&d| 1.0 / (d.max(1) as f32))
                     .collect();
-                ops::scale_rows(&x, &Tensor::from_vec(scales, &[g.num_vertices()]))
+                ops::scale_rows(x, &Tensor::from_vec(scales, &[g.num_vertices()]))
             }
             _ => continue,
         };

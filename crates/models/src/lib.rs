@@ -27,4 +27,7 @@ pub use gcn::Gcn;
 pub use kind::ModelKind;
 pub use rgcn::Rgcn;
 pub use sage::Sage;
-pub use trainable::{accuracy, features_tensor, train_epoch, GnnModel, ModelOutput};
+pub use trainable::{
+    accuracy, accuracy_ws, features_tensor, train_epoch, train_epoch_ws, GnnModel,
+    ModelOutput,
+};

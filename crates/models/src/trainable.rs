@@ -1,7 +1,7 @@
 //! Trainable-model trait and training/evaluation loops.
 
 use wisegraph_graph::Graph;
-use wisegraph_tensor::{ops, Optimizer, Tape, Tensor, Var};
+use wisegraph_tensor::{ops, Optimizer, Tape, Tensor, Var, Workspace};
 
 /// What a forward pass returns: logits plus the tape handles of the
 /// parameters, in the same order as [`GnnModel::params_mut`].
@@ -34,6 +34,11 @@ pub trait GnnModel {
 
 /// Runs one full-graph training epoch; returns the training loss.
 ///
+/// Allocating wrapper around [`train_epoch_ws`] — the epoch's tape storage
+/// is dropped instead of recycled. Training loops should hold a
+/// [`Workspace`] and call [`train_epoch_ws`] so epoch `n + 1` reuses epoch
+/// `n`'s buffers.
+///
 /// # Panics
 ///
 /// Panics if `train_idx` is empty or an index is out of bounds.
@@ -45,8 +50,30 @@ pub fn train_epoch(
     labels: &[u32],
     train_idx: &[u32],
 ) -> f32 {
+    let mut ws = Workspace::new();
+    train_epoch_ws(model, opt, g, features, labels, train_idx, &mut ws)
+}
+
+/// Runs one full-graph training epoch with tape storage drawn from (and
+/// recycled into) `ws`; returns the training loss.
+///
+/// Numerically identical to [`train_epoch`]: pooled buffers are zero-filled
+/// on checkout, so the tape computes the same values bit for bit.
+///
+/// # Panics
+///
+/// Panics if `train_idx` is empty or an index is out of bounds.
+pub fn train_epoch_ws(
+    model: &mut dyn GnnModel,
+    opt: &mut dyn Optimizer,
+    g: &Graph,
+    features: &Tensor,
+    labels: &[u32],
+    train_idx: &[u32],
+    ws: &mut Workspace,
+) -> f32 {
     assert!(!train_idx.is_empty(), "empty training set");
-    let tape = Tape::new();
+    let tape = Tape::with_workspace(std::mem::take(ws));
     let x = tape.input(features.clone());
     let out = model.forward(&tape, g, x);
     let selected = tape.gather_rows(out.logits, train_idx.to_vec());
@@ -69,10 +96,14 @@ pub fn train_epoch(
     );
     let grad_refs: Vec<&Tensor> = grads.iter().collect();
     opt.step(&mut params, &grad_refs);
-    tape.value(loss).item()
+    let loss_value = tape.value(loss).item();
+    *ws = tape.finish();
+    loss_value
 }
 
 /// Classification accuracy over `idx` (fraction of correct argmax).
+///
+/// Allocating wrapper around [`accuracy_ws`].
 pub fn accuracy(
     model: &dyn GnnModel,
     g: &Graph,
@@ -80,7 +111,21 @@ pub fn accuracy(
     labels: &[u32],
     idx: &[u32],
 ) -> f64 {
-    let tape = Tape::new();
+    let mut ws = Workspace::new();
+    accuracy_ws(model, g, features, labels, idx, &mut ws)
+}
+
+/// Classification accuracy with the forward pass's tape storage drawn from
+/// (and recycled into) `ws`.
+pub fn accuracy_ws(
+    model: &dyn GnnModel,
+    g: &Graph,
+    features: &Tensor,
+    labels: &[u32],
+    idx: &[u32],
+    ws: &mut Workspace,
+) -> f64 {
+    let tape = Tape::with_workspace(std::mem::take(ws));
     let x = tape.input(features.clone());
     let out = model.forward(&tape, g, x);
     let logits = tape.value(out.logits);
@@ -89,6 +134,7 @@ pub fn accuracy(
         .iter()
         .filter(|&&i| pred[i as usize] == labels[i as usize])
         .count();
+    *ws = tape.finish();
     correct as f64 / idx.len().max(1) as f64
 }
 

@@ -5,9 +5,17 @@
 //! recorded parameter. A fresh tape is built for every training iteration,
 //! while the parameter tensors themselves live in the model and are fed in
 //! via [`Tape::param`].
+//!
+//! Each tape owns a [`Workspace`]: node outputs are written into pooled
+//! buffers, and [`Tape::finish`] recycles every node value and gradient back
+//! into the pool so the next iteration's tape (built with
+//! [`Tape::with_workspace`]) allocates almost nothing. Because pooled
+//! buffers are zero-filled on checkout and all ops route through the same
+//! `_into` kernels, a workspace-fed tape is bit-identical to a fresh one.
 
 use crate::ops;
 use crate::tensor::Tensor;
+use crate::workspace::{Workspace, WorkspaceStats};
 use std::cell::RefCell;
 
 /// A handle to a node on a [`Tape`].
@@ -36,12 +44,47 @@ struct Node {
 pub struct Tape {
     nodes: RefCell<Vec<Node>>,
     grads: RefCell<Vec<Option<Tensor>>>,
+    ws: RefCell<Workspace>,
 }
 
 impl Tape {
-    /// Creates an empty tape.
+    /// Creates an empty tape with an empty workspace.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Creates an empty tape backed by an existing workspace, so node
+    /// outputs reuse buffers recycled by a previous tape's [`Tape::finish`].
+    pub fn with_workspace(ws: Workspace) -> Self {
+        Self {
+            nodes: RefCell::new(Vec::new()),
+            grads: RefCell::new(Vec::new()),
+            ws: RefCell::new(ws),
+        }
+    }
+
+    /// Consumes the tape, recycling every node value and gradient into the
+    /// workspace, and returns the workspace for the next iteration.
+    pub fn finish(self) -> Workspace {
+        let Tape { nodes, grads, ws } = self;
+        let mut ws = ws.into_inner();
+        for node in nodes.into_inner() {
+            ws.recycle(node.value);
+        }
+        for g in grads.into_inner().into_iter().flatten() {
+            ws.recycle(g);
+        }
+        ws
+    }
+
+    /// Snapshot of the tape workspace's reuse counters.
+    pub fn workspace_stats(&self) -> WorkspaceStats {
+        self.ws.borrow().stats()
+    }
+
+    /// Checks out a zeroed output tensor from the tape workspace.
+    fn alloc(&self, dims: &[usize]) -> Tensor {
+        self.ws.borrow_mut().take_tensor(dims)
     }
 
     fn push(&self, value: Tensor, backward: Option<BackwardFn>, is_param: bool) -> Var {
@@ -104,7 +147,10 @@ impl Tape {
     pub fn matmul(&self, a: Var, b: Var) -> Var {
         let av = self.value(a);
         let bv = self.value(b);
-        let out = ops::matmul(&av, &bv);
+        assert_eq!(av.shape().rank(), 2, "matmul lhs must be rank-2");
+        assert_eq!(bv.shape().rank(), 2, "matmul rhs must be rank-2");
+        let mut out = self.alloc(&[av.dims()[0], bv.dims()[1]]);
+        ops::matmul_into(&av, &bv, out.data_mut());
         let (aid, bid) = (a.id, b.id);
         self.push(
             out,
@@ -120,7 +166,13 @@ impl Tape {
 
     /// Element-wise sum of two same-shaped variables.
     pub fn add(&self, a: Var, b: Var) -> Var {
-        let out = ops::add(&self.value(a), &self.value(b));
+        let mut out;
+        {
+            let nodes = self.nodes.borrow();
+            let (av, bv) = (&nodes[a.id].value, &nodes[b.id].value);
+            out = self.alloc(av.dims());
+            ops::add_into(av, bv, out.data_mut());
+        }
         let (aid, bid) = (a.id, b.id);
         self.push(
             out,
@@ -135,7 +187,8 @@ impl Tape {
     pub fn mul(&self, a: Var, b: Var) -> Var {
         let av = self.value(a);
         let bv = self.value(b);
-        let out = ops::mul(&av, &bv);
+        let mut out = self.alloc(av.dims());
+        ops::mul_into(&av, &bv, out.data_mut());
         let (aid, bid) = (a.id, b.id);
         self.push(
             out,
@@ -148,7 +201,13 @@ impl Tape {
 
     /// Multiplies a variable by a scalar constant.
     pub fn scale(&self, a: Var, s: f32) -> Var {
-        let out = ops::scale(&self.value(a), s);
+        let mut out;
+        {
+            let nodes = self.nodes.borrow();
+            let av = &nodes[a.id].value;
+            out = self.alloc(av.dims());
+            ops::scale_into(av, s, out.data_mut());
+        }
         let aid = a.id;
         self.push(
             out,
@@ -159,7 +218,13 @@ impl Tape {
 
     /// Adds a rank-1 bias to every row of a rank-2 variable.
     pub fn add_bias(&self, x: Var, bias: Var) -> Var {
-        let out = ops::add_bias(&self.value(x), &self.value(bias));
+        let mut out;
+        {
+            let nodes = self.nodes.borrow();
+            let (xv, bv) = (&nodes[x.id].value, &nodes[bias.id].value);
+            out = self.alloc(xv.dims());
+            ops::add_bias_into(xv, bv, out.data_mut());
+        }
         let (xid, bid) = (x.id, bias.id);
         self.push(
             out,
@@ -173,7 +238,8 @@ impl Tape {
     /// Rectified linear unit.
     pub fn relu(&self, a: Var) -> Var {
         let av = self.value(a);
-        let out = ops::relu(&av);
+        let mut out = self.alloc(av.dims());
+        ops::relu_into(&av, out.data_mut());
         let aid = a.id;
         self.push(
             out,
@@ -188,7 +254,8 @@ impl Tape {
     /// Leaky ReLU with the given negative slope.
     pub fn leaky_relu(&self, a: Var, slope: f32) -> Var {
         let av = self.value(a);
-        let out = ops::leaky_relu(&av, slope);
+        let mut out = self.alloc(av.dims());
+        ops::leaky_relu_into(&av, slope, out.data_mut());
         let aid = a.id;
         self.push(
             out,
@@ -202,7 +269,13 @@ impl Tape {
 
     /// Logistic sigmoid.
     pub fn sigmoid(&self, a: Var) -> Var {
-        let out = ops::sigmoid(&self.value(a));
+        let mut out;
+        {
+            let nodes = self.nodes.borrow();
+            let av = &nodes[a.id].value;
+            out = self.alloc(av.dims());
+            ops::sigmoid_into(av, out.data_mut());
+        }
         let outv = out.clone();
         let aid = a.id;
         self.push(
@@ -217,7 +290,13 @@ impl Tape {
 
     /// Hyperbolic tangent.
     pub fn tanh(&self, a: Var) -> Var {
-        let out = ops::tanh(&self.value(a));
+        let mut out;
+        {
+            let nodes = self.nodes.borrow();
+            let av = &nodes[a.id].value;
+            out = self.alloc(av.dims());
+            ops::tanh_into(av, out.data_mut());
+        }
         let outv = out.clone();
         let aid = a.id;
         self.push(
@@ -232,9 +311,16 @@ impl Tape {
 
     /// Gathers rows by index: the indexing operation of a GNN layer.
     pub fn gather_rows(&self, x: Var, idx: Vec<u32>) -> Var {
-        let xv = self.value(x);
-        let rows = xv.dims()[0];
-        let out = ops::gather_rows(&xv, &idx);
+        let mut out;
+        let rows;
+        {
+            let nodes = self.nodes.borrow();
+            let xv = &nodes[x.id].value;
+            assert_eq!(xv.shape().rank(), 2, "gather_rows input must be rank-2");
+            rows = xv.dims()[0];
+            out = self.alloc(&[idx.len(), xv.dims()[1]]);
+            ops::gather_rows_into(xv, &idx, out.data_mut());
+        }
         let xid = x.id;
         self.push(
             out,
@@ -247,7 +333,14 @@ impl Tape {
 
     /// Scatter-adds rows into a `[rows, f]` output: the `Index-add` reduction.
     pub fn index_add_rows(&self, rows: usize, src: Var, idx: Vec<u32>) -> Var {
-        let out = ops::index_add_rows(rows, &self.value(src), &idx);
+        let mut out;
+        {
+            let nodes = self.nodes.borrow();
+            let sv = &nodes[src.id].value;
+            assert_eq!(sv.shape().rank(), 2, "index_add_rows src must be rank-2");
+            out = self.alloc(&[rows, sv.dims()[1]]);
+            ops::index_add_rows_into(rows, sv, &idx, out.data_mut());
+        }
         let sid = src.id;
         self.push(
             out,
@@ -263,7 +356,8 @@ impl Tape {
     pub fn scale_rows(&self, x: Var, s: Var) -> Var {
         let xv = self.value(x);
         let sv = self.value(s);
-        let out = ops::scale_rows(&xv, &sv);
+        let mut out = self.alloc(xv.dims());
+        ops::scale_rows_into(&xv, &sv, out.data_mut());
         let (xid, sid) = (x.id, s.id);
         self.push(
             out,
@@ -288,7 +382,13 @@ impl Tape {
 
     /// Scales row `i` by the constant `s[i]` (e.g. 1/degree normalization).
     pub fn scale_rows_const(&self, x: Var, s: Tensor) -> Var {
-        let out = ops::scale_rows(&self.value(x), &s);
+        let mut out;
+        {
+            let nodes = self.nodes.borrow();
+            let xv = &nodes[x.id].value;
+            out = self.alloc(xv.dims());
+            ops::scale_rows_into(xv, &s, out.data_mut());
+        }
         let xid = x.id;
         self.push(
             out,
@@ -299,7 +399,13 @@ impl Tape {
 
     /// Per-segment softmax of a rank-1 score vector (GAT edge attention).
     pub fn segment_softmax(&self, scores: Var, seg: Vec<u32>, num_segments: usize) -> Var {
-        let out = ops::segment_softmax(&self.value(scores), &seg, num_segments);
+        let mut out;
+        {
+            let nodes = self.nodes.borrow();
+            let sv = &nodes[scores.id].value;
+            out = self.alloc(&[sv.numel()]);
+            ops::segment_softmax_into(sv, &seg, num_segments, out.data_mut());
+        }
         let outv = out.clone();
         let sid = scores.id;
         self.push(
@@ -325,10 +431,17 @@ impl Tape {
 
     /// Concatenates two rank-2 variables along the column dimension.
     pub fn concat_cols(&self, a: Var, b: Var) -> Var {
-        let av = self.value(a);
-        let bv = self.value(b);
-        let (n1, n2) = (av.dims()[1], bv.dims()[1]);
-        let out = ops::concat_cols(&av, &bv);
+        let mut out;
+        let (n1, n2);
+        {
+            let nodes = self.nodes.borrow();
+            let (av, bv) = (&nodes[a.id].value, &nodes[b.id].value);
+            assert_eq!(av.shape().rank(), 2, "concat_cols lhs must be rank-2");
+            assert_eq!(bv.shape().rank(), 2, "concat_cols rhs must be rank-2");
+            (n1, n2) = (av.dims()[1], bv.dims()[1]);
+            out = self.alloc(&[av.dims()[0], n1 + n2]);
+            ops::concat_cols_into(av, bv, out.data_mut());
+        }
         let (aid, bid) = (a.id, b.id);
         self.push(
             out,
@@ -428,19 +541,29 @@ impl Tape {
         let mut grads: Vec<Option<Tensor>> = vec![None; nodes.len()];
         grads[loss.id] = Some(Tensor::scalar(1.0));
         for id in (0..=loss.id).rev() {
-            let Some(g) = grads[id].clone() else {
+            // Take the gradient out instead of cloning it; the backward
+            // closure only reads it, and it is restored right after.
+            let Some(g) = grads[id].take() else {
                 continue;
             };
             if let Some(backward) = &nodes[id].backward {
                 for (pid, pg) in backward(&g) {
                     match &mut grads[pid] {
-                        Some(existing) => *existing = ops::add(existing, &pg),
+                        Some(existing) => {
+                            ops::add_assign(existing, &pg);
+                            self.ws.borrow_mut().recycle(pg);
+                        }
                         slot @ None => *slot = Some(pg),
                     }
                 }
             }
+            grads[id] = Some(g);
         }
-        *self.grads.borrow_mut() = grads;
+        let old = std::mem::replace(&mut *self.grads.borrow_mut(), grads);
+        let mut ws = self.ws.borrow_mut();
+        for g in old.into_iter().flatten() {
+            ws.recycle(g);
+        }
     }
 }
 

@@ -34,9 +34,11 @@ pub mod ops;
 pub mod optim;
 pub mod shape;
 pub mod tensor;
+pub mod workspace;
 
 pub use autograd::{Tape, Var};
 pub use init::{kaiming_uniform, xavier_uniform, zeros_like};
 pub use optim::{Adam, Optimizer, Sgd};
 pub use shape::Shape;
 pub use tensor::Tensor;
+pub use workspace::{Workspace, WorkspaceStats};

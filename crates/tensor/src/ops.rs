@@ -2,22 +2,31 @@
 //!
 //! These are the reference implementations used both directly by the autograd
 //! engine and as ground truth for the composed micro-kernels in
-//! `wisegraph-kernels`. All functions allocate fresh output tensors.
+//! `wisegraph-kernels`. Every hot operation exists in two forms: an `_into`
+//! variant that writes into a caller-provided buffer (a [`crate::Workspace`]
+//! slice, a reused accumulator, …) and an allocating wrapper that creates the
+//! output and delegates. The wrappers and the `_into` variants run identical
+//! floating-point operations in identical order, so workspace-based execution
+//! is bit-identical to the allocating path.
+//!
+//! `_into` variants expect `out` to be zero-filled (as `vec![0.0; n]` or
+//! `Workspace::take` provide); operations that accumulate rely on it.
 
 use crate::tensor::Tensor;
 
-/// Computes the matrix product `a @ b` of two rank-2 tensors.
+/// Computes `a @ b` into a zeroed `out` buffer of `m * n` elements.
 ///
 /// # Panics
 ///
-/// Panics if the inner dimensions do not match or either input is not rank-2.
-pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
+/// Panics if the inner dimensions do not match, either input is not rank-2,
+/// or `out` has the wrong length.
+pub fn matmul_into(a: &Tensor, b: &Tensor, out: &mut [f32]) {
     assert_eq!(a.shape().rank(), 2, "matmul lhs must be rank-2");
     assert_eq!(b.shape().rank(), 2, "matmul rhs must be rank-2");
     let (m, k) = (a.dims()[0], a.dims()[1]);
     let (k2, n) = (b.dims()[0], b.dims()[1]);
     assert_eq!(k, k2, "matmul inner dimensions differ: {k} vs {k2}");
-    let mut out = vec![0.0f32; m * n];
+    assert_eq!(out.len(), m * n, "matmul output buffer length mismatch");
     let ad = a.data();
     let bd = b.data();
     for i in 0..m {
@@ -33,22 +42,35 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
             }
         }
     }
-    Tensor::from_vec(out, &[m, n])
 }
 
-/// Computes `aᵀ @ b` without materializing the transpose.
+/// Computes the matrix product `a @ b` of two rank-2 tensors.
 ///
 /// # Panics
 ///
-/// Panics if the leading dimensions do not match or either input is not
-/// rank-2.
-pub fn matmul_at_b(a: &Tensor, b: &Tensor) -> Tensor {
+/// Panics if the inner dimensions do not match or either input is not rank-2.
+pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
+    assert_eq!(a.shape().rank(), 2, "matmul lhs must be rank-2");
+    assert_eq!(b.shape().rank(), 2, "matmul rhs must be rank-2");
+    let (m, n) = (a.dims()[0], b.dims()[1]);
+    let mut out = vec![0.0f32; m * n];
+    matmul_into(a, b, &mut out);
+    Tensor::from_vec(out, &[m, n])
+}
+
+/// Computes `aᵀ @ b` into a zeroed `out` buffer of `k * n` elements.
+///
+/// # Panics
+///
+/// Panics if the leading dimensions do not match, either input is not
+/// rank-2, or `out` has the wrong length.
+pub fn matmul_at_b_into(a: &Tensor, b: &Tensor, out: &mut [f32]) {
     assert_eq!(a.shape().rank(), 2, "matmul_at_b lhs must be rank-2");
     assert_eq!(b.shape().rank(), 2, "matmul_at_b rhs must be rank-2");
     let (m, k) = (a.dims()[0], a.dims()[1]);
     let (m2, n) = (b.dims()[0], b.dims()[1]);
     assert_eq!(m, m2, "matmul_at_b leading dimensions differ: {m} vs {m2}");
-    let mut out = vec![0.0f32; k * n];
+    assert_eq!(out.len(), k * n, "matmul_at_b output buffer length mismatch");
     let ad = a.data();
     let bd = b.data();
     for i in 0..m {
@@ -64,22 +86,37 @@ pub fn matmul_at_b(a: &Tensor, b: &Tensor) -> Tensor {
             }
         }
     }
-    Tensor::from_vec(out, &[k, n])
 }
 
-/// Computes `a @ bᵀ` without materializing the transpose.
+/// Computes `aᵀ @ b` without materializing the transpose.
 ///
 /// # Panics
 ///
-/// Panics if the trailing dimensions do not match or either input is not
+/// Panics if the leading dimensions do not match or either input is not
 /// rank-2.
-pub fn matmul_a_bt(a: &Tensor, b: &Tensor) -> Tensor {
+pub fn matmul_at_b(a: &Tensor, b: &Tensor) -> Tensor {
+    assert_eq!(a.shape().rank(), 2, "matmul_at_b lhs must be rank-2");
+    assert_eq!(b.shape().rank(), 2, "matmul_at_b rhs must be rank-2");
+    let (k, n) = (a.dims()[1], b.dims()[1]);
+    let mut out = vec![0.0f32; k * n];
+    matmul_at_b_into(a, b, &mut out);
+    Tensor::from_vec(out, &[k, n])
+}
+
+/// Computes `a @ bᵀ` into an `out` buffer of `m * n` elements (every
+/// element is overwritten).
+///
+/// # Panics
+///
+/// Panics if the trailing dimensions do not match, either input is not
+/// rank-2, or `out` has the wrong length.
+pub fn matmul_a_bt_into(a: &Tensor, b: &Tensor, out: &mut [f32]) {
     assert_eq!(a.shape().rank(), 2, "matmul_a_bt lhs must be rank-2");
     assert_eq!(b.shape().rank(), 2, "matmul_a_bt rhs must be rank-2");
     let (m, k) = (a.dims()[0], a.dims()[1]);
     let (n, k2) = (b.dims()[0], b.dims()[1]);
     assert_eq!(k, k2, "matmul_a_bt trailing dimensions differ: {k} vs {k2}");
-    let mut out = vec![0.0f32; m * n];
+    assert_eq!(out.len(), m * n, "matmul_a_bt output buffer length mismatch");
     let ad = a.data();
     let bd = b.data();
     for i in 0..m {
@@ -93,23 +130,49 @@ pub fn matmul_a_bt(a: &Tensor, b: &Tensor) -> Tensor {
             out[i * n + j] = acc;
         }
     }
+}
+
+/// Computes `a @ bᵀ` without materializing the transpose.
+///
+/// # Panics
+///
+/// Panics if the trailing dimensions do not match or either input is not
+/// rank-2.
+pub fn matmul_a_bt(a: &Tensor, b: &Tensor) -> Tensor {
+    assert_eq!(a.shape().rank(), 2, "matmul_a_bt lhs must be rank-2");
+    assert_eq!(b.shape().rank(), 2, "matmul_a_bt rhs must be rank-2");
+    let (m, n) = (a.dims()[0], b.dims()[0]);
+    let mut out = vec![0.0f32; m * n];
+    matmul_a_bt_into(a, b, &mut out);
     Tensor::from_vec(out, &[m, n])
 }
 
-fn zip_map(a: &Tensor, b: &Tensor, f: impl Fn(f32, f32) -> f32) -> Tensor {
+fn zip_map_into(a: &Tensor, b: &Tensor, out: &mut [f32], f: impl Fn(f32, f32) -> f32) {
     assert!(
         a.shape().same_as(b.shape()),
         "element-wise op shape mismatch: {} vs {}",
         a.shape(),
         b.shape()
     );
-    let data = a
-        .data()
-        .iter()
-        .zip(b.data().iter())
-        .map(|(&x, &y)| f(x, y))
-        .collect();
-    Tensor::from_vec(data, a.dims())
+    assert_eq!(out.len(), a.numel(), "element-wise output buffer mismatch");
+    for (o, (&x, &y)) in out.iter_mut().zip(a.data().iter().zip(b.data().iter())) {
+        *o = f(x, y);
+    }
+}
+
+fn zip_map(a: &Tensor, b: &Tensor, f: impl Fn(f32, f32) -> f32) -> Tensor {
+    let mut out = vec![0.0f32; a.numel()];
+    zip_map_into(a, b, &mut out, f);
+    Tensor::from_vec(out, a.dims())
+}
+
+/// Element-wise addition into `out` (every element is overwritten).
+///
+/// # Panics
+///
+/// Panics if the shapes differ or `out` has the wrong length.
+pub fn add_into(a: &Tensor, b: &Tensor, out: &mut [f32]) {
+    zip_map_into(a, b, out, |x, y| x + y);
 }
 
 /// Element-wise addition.
@@ -121,6 +184,23 @@ pub fn add(a: &Tensor, b: &Tensor) -> Tensor {
     zip_map(a, b, |x, y| x + y)
 }
 
+/// In-place element-wise accumulation: `acc += other`.
+///
+/// # Panics
+///
+/// Panics if the shapes differ.
+pub fn add_assign(acc: &mut Tensor, other: &Tensor) {
+    assert!(
+        acc.shape().same_as(other.shape()),
+        "element-wise op shape mismatch: {} vs {}",
+        acc.shape(),
+        other.shape()
+    );
+    for (o, &x) in acc.data_mut().iter_mut().zip(other.data().iter()) {
+        *o += x;
+    }
+}
+
 /// Element-wise subtraction.
 ///
 /// # Panics
@@ -128,6 +208,15 @@ pub fn add(a: &Tensor, b: &Tensor) -> Tensor {
 /// Panics if the shapes differ.
 pub fn sub(a: &Tensor, b: &Tensor) -> Tensor {
     zip_map(a, b, |x, y| x - y)
+}
+
+/// Element-wise multiplication into `out` (every element is overwritten).
+///
+/// # Panics
+///
+/// Panics if the shapes differ or `out` has the wrong length.
+pub fn mul_into(a: &Tensor, b: &Tensor, out: &mut [f32]) {
+    zip_map_into(a, b, out, |x, y| x * y);
 }
 
 /// Element-wise multiplication.
@@ -139,16 +228,43 @@ pub fn mul(a: &Tensor, b: &Tensor) -> Tensor {
     zip_map(a, b, |x, y| x * y)
 }
 
+/// Multiplies every element by a scalar, writing into `out`.
+///
+/// # Panics
+///
+/// Panics if `out` has the wrong length.
+pub fn scale_into(a: &Tensor, s: f32, out: &mut [f32]) {
+    map_into(a, |x| x * s, out);
+}
+
 /// Multiplies every element by a scalar.
 pub fn scale(a: &Tensor, s: f32) -> Tensor {
-    let data = a.data().iter().map(|&x| x * s).collect();
-    Tensor::from_vec(data, a.dims())
+    map(a, |x| x * s)
+}
+
+/// Applies a unary function element-wise, writing into `out` (every element
+/// is overwritten).
+///
+/// # Panics
+///
+/// Panics if `out` has the wrong length.
+pub fn map_into(a: &Tensor, f: impl Fn(f32) -> f32, out: &mut [f32]) {
+    assert_eq!(out.len(), a.numel(), "map output buffer length mismatch");
+    for (o, &x) in out.iter_mut().zip(a.data().iter()) {
+        *o = f(x);
+    }
 }
 
 /// Applies a unary function element-wise.
 pub fn map(a: &Tensor, f: impl Fn(f32) -> f32) -> Tensor {
-    let data = a.data().iter().map(|&x| f(x)).collect();
-    Tensor::from_vec(data, a.dims())
+    let mut out = vec![0.0f32; a.numel()];
+    map_into(a, f, &mut out);
+    Tensor::from_vec(out, a.dims())
+}
+
+/// Rectified linear unit into `out`: `max(x, 0)`.
+pub fn relu_into(a: &Tensor, out: &mut [f32]) {
+    map_into(a, |x| x.max(0.0), out);
 }
 
 /// Rectified linear unit: `max(x, 0)`.
@@ -156,14 +272,29 @@ pub fn relu(a: &Tensor) -> Tensor {
     map(a, |x| x.max(0.0))
 }
 
+/// Leaky ReLU with the given negative slope, into `out`.
+pub fn leaky_relu_into(a: &Tensor, slope: f32, out: &mut [f32]) {
+    map_into(a, |x| if x >= 0.0 { x } else { slope * x }, out);
+}
+
 /// Leaky ReLU with the given negative slope.
 pub fn leaky_relu(a: &Tensor, slope: f32) -> Tensor {
     map(a, |x| if x >= 0.0 { x } else { slope * x })
 }
 
+/// Logistic sigmoid into `out`.
+pub fn sigmoid_into(a: &Tensor, out: &mut [f32]) {
+    map_into(a, |x| 1.0 / (1.0 + (-x).exp()), out);
+}
+
 /// Logistic sigmoid.
 pub fn sigmoid(a: &Tensor) -> Tensor {
     map(a, |x| 1.0 / (1.0 + (-x).exp()))
+}
+
+/// Hyperbolic tangent into `out`.
+pub fn tanh_into(a: &Tensor, out: &mut [f32]) {
+    map_into(a, f32::tanh, out);
 }
 
 /// Hyperbolic tangent.
@@ -177,18 +308,31 @@ pub fn tanh(a: &Tensor) -> Tensor {
 ///
 /// Panics if `x` is not rank-2, `bias` is not rank-1, or the widths differ.
 pub fn add_bias(x: &Tensor, bias: &Tensor) -> Tensor {
+    let mut out = vec![0.0f32; x.numel()];
+    add_bias_into(x, bias, &mut out);
+    Tensor::from_vec(out, x.dims())
+}
+
+/// Adds a rank-1 bias to every row of a rank-2 tensor, writing into `out`
+/// (every element is overwritten).
+///
+/// # Panics
+///
+/// Panics if `x` is not rank-2, `bias` is not rank-1, the widths differ, or
+/// `out` has the wrong length.
+pub fn add_bias_into(x: &Tensor, bias: &Tensor, out: &mut [f32]) {
     assert_eq!(x.shape().rank(), 2, "add_bias input must be rank-2");
     assert_eq!(bias.shape().rank(), 1, "add_bias bias must be rank-1");
     let (m, n) = (x.dims()[0], x.dims()[1]);
     assert_eq!(n, bias.dims()[0], "bias width mismatch");
+    assert_eq!(out.len(), m * n, "add_bias output buffer length mismatch");
     let bd = bias.data();
-    let mut out = x.data().to_vec();
+    out.copy_from_slice(x.data());
     for i in 0..m {
         for j in 0..n {
             out[i * n + j] += bd[j];
         }
     }
-    Tensor::from_vec(out, &[m, n])
 }
 
 /// Sums all elements, producing a scalar tensor.
@@ -208,14 +352,26 @@ pub fn mean(a: &Tensor) -> Tensor {
 /// Panics if `x` is not rank-2.
 pub fn sum_rows(x: &Tensor) -> Tensor {
     assert_eq!(x.shape().rank(), 2, "sum_rows input must be rank-2");
-    let (m, n) = (x.dims()[0], x.dims()[1]);
+    let n = x.dims()[1];
     let mut out = vec![0.0f32; n];
+    sum_rows_into(x, &mut out);
+    Tensor::from_vec(out, &[n])
+}
+
+/// Sums each column of a rank-2 tensor into a zeroed rank-1 `out` buffer.
+///
+/// # Panics
+///
+/// Panics if `x` is not rank-2 or `out` has the wrong length.
+pub fn sum_rows_into(x: &Tensor, out: &mut [f32]) {
+    assert_eq!(x.shape().rank(), 2, "sum_rows input must be rank-2");
+    let (m, n) = (x.dims()[0], x.dims()[1]);
+    assert_eq!(out.len(), n, "sum_rows output buffer length mismatch");
     for i in 0..m {
         for j in 0..n {
             out[j] += x.data()[i * n + j];
         }
     }
-    Tensor::from_vec(out, &[n])
 }
 
 /// Row-wise numerically stable softmax of a rank-2 tensor.
@@ -224,9 +380,21 @@ pub fn sum_rows(x: &Tensor) -> Tensor {
 ///
 /// Panics if `x` is not rank-2.
 pub fn softmax_rows(x: &Tensor) -> Tensor {
+    let mut out = vec![0.0f32; x.numel()];
+    softmax_rows_into(x, &mut out);
+    Tensor::from_vec(out, x.dims())
+}
+
+/// Row-wise numerically stable softmax, writing into `out` (every element
+/// is overwritten).
+///
+/// # Panics
+///
+/// Panics if `x` is not rank-2 or `out` has the wrong length.
+pub fn softmax_rows_into(x: &Tensor, out: &mut [f32]) {
     assert_eq!(x.shape().rank(), 2, "softmax_rows input must be rank-2");
     let (m, n) = (x.dims()[0], x.dims()[1]);
-    let mut out = vec![0.0f32; m * n];
+    assert_eq!(out.len(), m * n, "softmax_rows output buffer length mismatch");
     for i in 0..m {
         let row = x.row(i);
         let maxv = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
@@ -240,7 +408,6 @@ pub fn softmax_rows(x: &Tensor) -> Tensor {
             out[i * n + j] /= denom;
         }
     }
-    Tensor::from_vec(out, &[m, n])
 }
 
 /// Row-wise log-softmax of a rank-2 tensor.
@@ -249,9 +416,20 @@ pub fn softmax_rows(x: &Tensor) -> Tensor {
 ///
 /// Panics if `x` is not rank-2.
 pub fn log_softmax_rows(x: &Tensor) -> Tensor {
+    let mut out = vec![0.0f32; x.numel()];
+    log_softmax_rows_into(x, &mut out);
+    Tensor::from_vec(out, x.dims())
+}
+
+/// Row-wise log-softmax, writing into `out` (every element is overwritten).
+///
+/// # Panics
+///
+/// Panics if `x` is not rank-2 or `out` has the wrong length.
+pub fn log_softmax_rows_into(x: &Tensor, out: &mut [f32]) {
     assert_eq!(x.shape().rank(), 2, "log_softmax_rows input must be rank-2");
     let (m, n) = (x.dims()[0], x.dims()[1]);
-    let mut out = vec![0.0f32; m * n];
+    assert_eq!(out.len(), m * n, "log_softmax_rows output buffer mismatch");
     for i in 0..m {
         let row = x.row(i);
         let maxv = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
@@ -260,7 +438,6 @@ pub fn log_softmax_rows(x: &Tensor) -> Tensor {
             out[i * n + j] = v - lse;
         }
     }
-    Tensor::from_vec(out, &[m, n])
 }
 
 /// Gathers rows of `x` by index: `out[i, :] = x[idx[i], :]`.
@@ -273,14 +450,28 @@ pub fn log_softmax_rows(x: &Tensor) -> Tensor {
 /// Panics if `x` is not rank-2 or any index is out of bounds.
 pub fn gather_rows(x: &Tensor, idx: &[u32]) -> Tensor {
     assert_eq!(x.shape().rank(), 2, "gather_rows input must be rank-2");
-    let (m, n) = (x.dims()[0], x.dims()[1]);
+    let n = x.dims()[1];
     let mut out = vec![0.0f32; idx.len() * n];
+    gather_rows_into(x, idx, &mut out);
+    Tensor::from_vec(out, &[idx.len(), n])
+}
+
+/// Gathers rows of `x` by index into `out` (every element is overwritten):
+/// `out[i, :] = x[idx[i], :]`.
+///
+/// # Panics
+///
+/// Panics if `x` is not rank-2, any index is out of bounds, or `out` has
+/// the wrong length.
+pub fn gather_rows_into(x: &Tensor, idx: &[u32], out: &mut [f32]) {
+    assert_eq!(x.shape().rank(), 2, "gather_rows input must be rank-2");
+    let (m, n) = (x.dims()[0], x.dims()[1]);
+    assert_eq!(out.len(), idx.len() * n, "gather_rows output buffer mismatch");
     for (i, &r) in idx.iter().enumerate() {
         let r = r as usize;
         assert!(r < m, "gather index {r} out of bounds for {m} rows");
         out[i * n..(i + 1) * n].copy_from_slice(x.row(r));
     }
-    Tensor::from_vec(out, &[idx.len(), n])
 }
 
 /// Scatter-adds rows of `src` into a zeroed `[rows, f]` output:
@@ -294,6 +485,22 @@ pub fn gather_rows(x: &Tensor, idx: &[u32]) -> Tensor {
 /// number of source rows, or any index is out of bounds.
 pub fn index_add_rows(rows: usize, src: &Tensor, idx: &[u32]) -> Tensor {
     assert_eq!(src.shape().rank(), 2, "index_add_rows src must be rank-2");
+    let n = src.dims()[1];
+    let mut out = vec![0.0f32; rows * n];
+    index_add_rows_into(rows, src, idx, &mut out);
+    Tensor::from_vec(out, &[rows, n])
+}
+
+/// Scatter-adds rows of `src` into a zeroed (or partially accumulated)
+/// `[rows, f]` buffer: `out[idx[i], :] += src[i, :]`.
+///
+/// # Panics
+///
+/// Panics if `src` is not rank-2, the index list length differs from the
+/// number of source rows, any index is out of bounds, or `out` has the
+/// wrong length.
+pub fn index_add_rows_into(rows: usize, src: &Tensor, idx: &[u32], out: &mut [f32]) {
+    assert_eq!(src.shape().rank(), 2, "index_add_rows src must be rank-2");
     assert_eq!(
         src.dims()[0],
         idx.len(),
@@ -302,7 +509,7 @@ pub fn index_add_rows(rows: usize, src: &Tensor, idx: &[u32]) -> Tensor {
         idx.len()
     );
     let n = src.dims()[1];
-    let mut out = vec![0.0f32; rows * n];
+    assert_eq!(out.len(), rows * n, "index_add_rows output buffer mismatch");
     for (i, &r) in idx.iter().enumerate() {
         let r = r as usize;
         assert!(r < rows, "scatter index {r} out of bounds for {rows} rows");
@@ -312,7 +519,6 @@ pub fn index_add_rows(rows: usize, src: &Tensor, idx: &[u32]) -> Tensor {
             *o += s;
         }
     }
-    Tensor::from_vec(out, &[rows, n])
 }
 
 /// Scales each row `i` of a rank-2 tensor by `s[i]`.
@@ -321,18 +527,31 @@ pub fn index_add_rows(rows: usize, src: &Tensor, idx: &[u32]) -> Tensor {
 ///
 /// Panics if `x` is not rank-2, `s` is not rank-1, or the row counts differ.
 pub fn scale_rows(x: &Tensor, s: &Tensor) -> Tensor {
+    let mut out = vec![0.0f32; x.numel()];
+    scale_rows_into(x, s, &mut out);
+    Tensor::from_vec(out, x.dims())
+}
+
+/// Scales each row `i` of a rank-2 tensor by `s[i]`, writing into `out`
+/// (every element is overwritten).
+///
+/// # Panics
+///
+/// Panics if `x` is not rank-2, `s` is not rank-1, the row counts differ,
+/// or `out` has the wrong length.
+pub fn scale_rows_into(x: &Tensor, s: &Tensor, out: &mut [f32]) {
     assert_eq!(x.shape().rank(), 2, "scale_rows input must be rank-2");
     assert_eq!(s.shape().rank(), 1, "scale_rows scales must be rank-1");
     let (m, n) = (x.dims()[0], x.dims()[1]);
     assert_eq!(m, s.dims()[0], "scale_rows row-count mismatch");
+    assert_eq!(out.len(), m * n, "scale_rows output buffer length mismatch");
     let sd = s.data();
-    let mut out = x.data().to_vec();
+    out.copy_from_slice(x.data());
     for i in 0..m {
         for v in &mut out[i * n..(i + 1) * n] {
             *v *= sd[i];
         }
     }
-    Tensor::from_vec(out, &[m, n])
 }
 
 /// Softmax over segments: entries sharing `seg[i]` are normalized together.
@@ -347,8 +566,27 @@ pub fn scale_rows(x: &Tensor, s: &Tensor) -> Tensor {
 /// Panics if `scores` is not rank-1, lengths differ, or a segment id is out
 /// of bounds.
 pub fn segment_softmax(scores: &Tensor, seg: &[u32], num_segments: usize) -> Tensor {
+    let mut out = vec![0.0f32; scores.numel()];
+    segment_softmax_into(scores, seg, num_segments, &mut out);
+    Tensor::from_vec(out, &[scores.numel()])
+}
+
+/// Softmax over segments, writing into `out` (every element is
+/// overwritten). See [`segment_softmax`].
+///
+/// # Panics
+///
+/// Panics if `scores` is not rank-1, lengths differ, a segment id is out of
+/// bounds, or `out` has the wrong length.
+pub fn segment_softmax_into(
+    scores: &Tensor,
+    seg: &[u32],
+    num_segments: usize,
+    out: &mut [f32],
+) {
     assert_eq!(scores.shape().rank(), 1, "segment_softmax scores rank-1");
     assert_eq!(scores.numel(), seg.len(), "segment_softmax length mismatch");
+    assert_eq!(out.len(), seg.len(), "segment_softmax output buffer mismatch");
     let sd = scores.data();
     let mut maxv = vec![f32::NEG_INFINITY; num_segments];
     for (&v, &s) in sd.iter().zip(seg.iter()) {
@@ -359,7 +597,6 @@ pub fn segment_softmax(scores: &Tensor, seg: &[u32], num_segments: usize) -> Ten
         }
     }
     let mut denom = vec![0.0f32; num_segments];
-    let mut out = vec![0.0f32; sd.len()];
     for (i, (&v, &s)) in sd.iter().zip(seg.iter()).enumerate() {
         let e = (v - maxv[s as usize]).exp();
         out[i] = e;
@@ -368,7 +605,6 @@ pub fn segment_softmax(scores: &Tensor, seg: &[u32], num_segments: usize) -> Ten
     for (o, &s) in out.iter_mut().zip(seg.iter()) {
         *o /= denom[s as usize];
     }
-    Tensor::from_vec(out, &[sd.len()])
 }
 
 /// Concatenates two rank-2 tensors along the column dimension.
@@ -379,15 +615,30 @@ pub fn segment_softmax(scores: &Tensor, seg: &[u32], num_segments: usize) -> Ten
 pub fn concat_cols(a: &Tensor, b: &Tensor) -> Tensor {
     assert_eq!(a.shape().rank(), 2, "concat_cols lhs must be rank-2");
     assert_eq!(b.shape().rank(), 2, "concat_cols rhs must be rank-2");
+    let (m, n1, n2) = (a.dims()[0], a.dims()[1], b.dims()[1]);
+    let mut out = vec![0.0f32; m * (n1 + n2)];
+    concat_cols_into(a, b, &mut out);
+    Tensor::from_vec(out, &[m, n1 + n2])
+}
+
+/// Concatenates two rank-2 tensors along the column dimension into `out`
+/// (every element is overwritten).
+///
+/// # Panics
+///
+/// Panics if either input is not rank-2, the row counts differ, or `out`
+/// has the wrong length.
+pub fn concat_cols_into(a: &Tensor, b: &Tensor, out: &mut [f32]) {
+    assert_eq!(a.shape().rank(), 2, "concat_cols lhs must be rank-2");
+    assert_eq!(b.shape().rank(), 2, "concat_cols rhs must be rank-2");
     let (m, n1) = (a.dims()[0], a.dims()[1]);
     let (m2, n2) = (b.dims()[0], b.dims()[1]);
     assert_eq!(m, m2, "concat_cols row-count mismatch");
-    let mut out = vec![0.0f32; m * (n1 + n2)];
+    assert_eq!(out.len(), m * (n1 + n2), "concat_cols output buffer mismatch");
     for i in 0..m {
         out[i * (n1 + n2)..i * (n1 + n2) + n1].copy_from_slice(a.row(i));
         out[i * (n1 + n2) + n1..(i + 1) * (n1 + n2)].copy_from_slice(b.row(i));
     }
-    Tensor::from_vec(out, &[m, n1 + n2])
 }
 
 /// Mean cross-entropy between row-wise logits and integer class labels.

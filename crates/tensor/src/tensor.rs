@@ -5,9 +5,11 @@ use std::fmt;
 
 /// A dense, row-major tensor of `f32` values.
 ///
-/// `Tensor` owns its storage as a flat `Vec<f32>`. All operations in this
-/// crate produce freshly allocated tensors; in-place mutation is exposed only
-/// through [`Tensor::data_mut`] and the explicitly named `*_inplace` helpers.
+/// `Tensor` owns its storage as a flat `Vec<f32>`. The operations in
+/// [`crate::ops`] come in allocating form (returning a fresh tensor) and in
+/// `_into` form (writing into a caller-provided buffer, typically checked
+/// out of a [`crate::Workspace`]); in-place mutation is otherwise exposed
+/// only through [`Tensor::data_mut`].
 #[derive(Clone, PartialEq)]
 pub struct Tensor {
     data: Vec<f32>,

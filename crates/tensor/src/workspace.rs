@@ -1,0 +1,293 @@
+//! Reusable scratch-buffer pool for the execution hot path.
+//!
+//! gTask execution runs thousands of small kernels per layer per epoch;
+//! allocating a fresh buffer for every intermediate makes the allocator the
+//! bottleneck. A [`Workspace`] is a per-thread (never shared — it is
+//! deliberately `!Sync`-by-convention, owned by exactly one worker) pool of
+//! `f32` and `u32` buffers keyed by power-of-two size class. Buffers are
+//! checked out with [`Workspace::take`], used as kernel outputs, and
+//! returned with [`Workspace::give`] (or, wrapped in a [`Tensor`], with
+//! [`Workspace::recycle`]) so the next kernel of the same shape pays a
+//! `memset` instead of a `malloc`.
+//!
+//! Two invariants keep the workspace path bit-identical to plain
+//! allocation:
+//!
+//! 1. every checked-out buffer is zero-filled, exactly like `vec![0.0; n]`;
+//! 2. the pool only changes *where* memory comes from, never what is
+//!    computed — the allocating `ops` wrappers and the `_into` variants
+//!    they delegate to run the same floating-point operations in the same
+//!    order.
+//!
+//! The counters ([`Workspace::stats`]) let tests and benches assert that
+//! reuse actually happens instead of silently regressing to
+//! alloc-per-call.
+
+use crate::tensor::Tensor;
+
+/// Snapshot of a workspace's reuse counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct WorkspaceStats {
+    /// Buffers allocated fresh because no pooled buffer fit.
+    pub buffers_created: u64,
+    /// Buffers served from the pool.
+    pub buffers_reused: u64,
+    /// Buffers currently parked in the pool, in bytes of capacity.
+    pub resident_bytes: u64,
+    /// High-water mark of `resident_bytes` over the workspace's lifetime.
+    pub peak_resident_bytes: u64,
+}
+
+impl WorkspaceStats {
+    /// Fraction of checkouts served from the pool (0 when nothing was
+    /// checked out).
+    pub fn reuse_ratio(&self) -> f64 {
+        let total = self.buffers_created + self.buffers_reused;
+        if total == 0 {
+            0.0
+        } else {
+            self.buffers_reused as f64 / total as f64
+        }
+    }
+
+    /// Element-wise sum of two snapshots (peaks take the max — the pools
+    /// are disjoint per worker, so summing peaks would overstate a single
+    /// worker's footprint; the merged peak is a lower bound on the true
+    /// simultaneous peak).
+    pub fn merge(&self, other: &WorkspaceStats) -> WorkspaceStats {
+        WorkspaceStats {
+            buffers_created: self.buffers_created + other.buffers_created,
+            buffers_reused: self.buffers_reused + other.buffers_reused,
+            resident_bytes: self.resident_bytes + other.resident_bytes,
+            peak_resident_bytes: self
+                .peak_resident_bytes
+                .max(other.peak_resident_bytes),
+        }
+    }
+}
+
+/// Number of power-of-two size classes (buffers up to 2^63 elements).
+const NUM_CLASSES: usize = 64;
+
+/// A per-thread scratch-buffer pool keyed by power-of-two size class.
+#[derive(Default)]
+pub struct Workspace {
+    f32_pool: Vec<Vec<Vec<f32>>>,
+    u32_pool: Vec<Vec<Vec<u32>>>,
+    created: u64,
+    reused: u64,
+    resident_bytes: u64,
+    peak_resident_bytes: u64,
+}
+
+/// Size class of a buffer length: index of the smallest power of two that
+/// holds `len` elements.
+fn size_class(len: usize) -> usize {
+    len.max(1).next_power_of_two().trailing_zeros() as usize
+}
+
+impl Workspace {
+    /// Creates an empty workspace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn ensure_classes(&mut self) {
+        if self.f32_pool.is_empty() {
+            self.f32_pool = (0..NUM_CLASSES).map(|_| Vec::new()).collect();
+            self.u32_pool = (0..NUM_CLASSES).map(|_| Vec::new()).collect();
+        }
+    }
+
+    /// Checks out a zero-filled `f32` buffer of exactly `len` elements.
+    ///
+    /// The buffer's contents are indistinguishable from `vec![0.0; len]`;
+    /// only its provenance differs.
+    pub fn take(&mut self, len: usize) -> Vec<f32> {
+        self.ensure_classes();
+        let class = size_class(len);
+        match self.f32_pool[class].pop() {
+            Some(mut v) => {
+                self.reused += 1;
+                self.resident_bytes = self
+                    .resident_bytes
+                    .saturating_sub((v.capacity() * 4) as u64);
+                v.clear();
+                v.resize(len, 0.0);
+                v
+            }
+            None => {
+                self.created += 1;
+                let mut v = Vec::with_capacity(len.max(1).next_power_of_two());
+                v.resize(len, 0.0);
+                v
+            }
+        }
+    }
+
+    /// Checks out a zero-filled `u32` buffer of exactly `len` elements
+    /// (index streams).
+    pub fn take_u32(&mut self, len: usize) -> Vec<u32> {
+        self.ensure_classes();
+        let class = size_class(len);
+        match self.u32_pool[class].pop() {
+            Some(mut v) => {
+                self.reused += 1;
+                self.resident_bytes = self
+                    .resident_bytes
+                    .saturating_sub((v.capacity() * 4) as u64);
+                v.clear();
+                v.resize(len, 0);
+                v
+            }
+            None => {
+                self.created += 1;
+                let mut v = Vec::with_capacity(len.max(1).next_power_of_two());
+                v.resize(len, 0);
+                v
+            }
+        }
+    }
+
+    /// Returns an `f32` buffer to the pool.
+    pub fn give(&mut self, v: Vec<f32>) {
+        if v.capacity() == 0 {
+            return;
+        }
+        self.ensure_classes();
+        let class = size_class(v.capacity());
+        self.resident_bytes += (v.capacity() * 4) as u64;
+        self.peak_resident_bytes = self.peak_resident_bytes.max(self.resident_bytes);
+        self.f32_pool[class].push(v);
+    }
+
+    /// Returns a `u32` buffer to the pool.
+    pub fn give_u32(&mut self, v: Vec<u32>) {
+        if v.capacity() == 0 {
+            return;
+        }
+        self.ensure_classes();
+        let class = size_class(v.capacity());
+        self.resident_bytes += (v.capacity() * 4) as u64;
+        self.peak_resident_bytes = self.peak_resident_bytes.max(self.resident_bytes);
+        self.u32_pool[class].push(v);
+    }
+
+    /// Checks out a zero tensor of the given shape, backed by a pooled
+    /// buffer.
+    pub fn take_tensor(&mut self, dims: &[usize]) -> Tensor {
+        let n: usize = dims.iter().product();
+        Tensor::from_vec(self.take(n), dims)
+    }
+
+    /// Returns a tensor's backing buffer to the pool.
+    pub fn recycle(&mut self, t: Tensor) {
+        self.give(t.into_vec());
+    }
+
+    /// Current counter snapshot.
+    pub fn stats(&self) -> WorkspaceStats {
+        WorkspaceStats {
+            buffers_created: self.created,
+            buffers_reused: self.reused,
+            resident_bytes: self.resident_bytes,
+            peak_resident_bytes: self.peak_resident_bytes,
+        }
+    }
+
+    /// Resets the created/reused counters (pooled buffers are kept).
+    pub fn reset_counters(&mut self) {
+        self.created = 0;
+        self.reused = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn take_is_zeroed_like_fresh_allocation() {
+        let mut ws = Workspace::new();
+        let mut v = ws.take(10);
+        assert_eq!(v, vec![0.0; 10]);
+        v.iter_mut().for_each(|x| *x = 7.0);
+        ws.give(v);
+        // Same size class: must come back zeroed despite the dirty write.
+        let v2 = ws.take(10);
+        assert_eq!(v2, vec![0.0; 10]);
+    }
+
+    #[test]
+    fn counters_track_create_and_reuse() {
+        let mut ws = Workspace::new();
+        let a = ws.take(100);
+        let b = ws.take(100);
+        assert_eq!(ws.stats().buffers_created, 2);
+        assert_eq!(ws.stats().buffers_reused, 0);
+        ws.give(a);
+        ws.give(b);
+        assert!(ws.stats().resident_bytes >= 2 * 100 * 4);
+        let _c = ws.take(100);
+        let _d = ws.take(128); // same power-of-two class as 100
+        let s = ws.stats();
+        assert_eq!(s.buffers_created, 2);
+        assert_eq!(s.buffers_reused, 2);
+        assert!(s.peak_resident_bytes >= s.resident_bytes);
+    }
+
+    #[test]
+    fn size_classes_separate_small_and_large() {
+        let mut ws = Workspace::new();
+        let small = ws.take(4);
+        ws.give(small);
+        // A much larger request must not receive the small buffer.
+        let large = ws.take(1000);
+        assert_eq!(large.len(), 1000);
+        assert_eq!(ws.stats().buffers_created, 2);
+    }
+
+    #[test]
+    fn tensor_roundtrip_recycles_storage() {
+        let mut ws = Workspace::new();
+        let t = ws.take_tensor(&[3, 4]);
+        assert_eq!(t.dims(), &[3, 4]);
+        ws.recycle(t);
+        let t2 = ws.take_tensor(&[4, 3]);
+        assert_eq!(ws.stats().buffers_reused, 1);
+        assert!(t2.data().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn u32_streams_pool_independently() {
+        let mut ws = Workspace::new();
+        let s = ws.take_u32(16);
+        ws.give_u32(s);
+        let s2 = ws.take_u32(9);
+        assert_eq!(s2, vec![0u32; 9]);
+        let st = ws.stats();
+        assert_eq!((st.buffers_created, st.buffers_reused), (1, 1));
+    }
+
+    #[test]
+    fn merge_sums_counts_and_maxes_peak() {
+        let a = WorkspaceStats {
+            buffers_created: 1,
+            buffers_reused: 2,
+            resident_bytes: 10,
+            peak_resident_bytes: 50,
+        };
+        let b = WorkspaceStats {
+            buffers_created: 3,
+            buffers_reused: 4,
+            resident_bytes: 20,
+            peak_resident_bytes: 40,
+        };
+        let m = a.merge(&b);
+        assert_eq!(m.buffers_created, 4);
+        assert_eq!(m.buffers_reused, 6);
+        assert_eq!(m.resident_bytes, 30);
+        assert_eq!(m.peak_resident_bytes, 50);
+        assert!((m.reuse_ratio() - 0.6).abs() < 1e-12);
+    }
+}

@@ -2,8 +2,13 @@
 # Canonical offline check for this repository: builds the whole workspace
 # in release mode and runs every test, all without touching a crate
 # registry. CI and pre-merge runs should invoke exactly this script.
+#
+# Tests run in both profiles: debug catches overflow/debug-assert issues,
+# release catches optimizer-dependent ones and reuses the artifacts the
+# build step already produced.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 cargo build --release --offline --workspace
 cargo test -q --offline --workspace
+cargo test --release -q --offline --workspace
