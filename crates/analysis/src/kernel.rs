@@ -1,0 +1,431 @@
+//! Kernel and engine verification (codes `K001`–`K004`).
+//!
+//! A compiled [`KernelProgram`] is a straight-line sequence of
+//! micro-kernels over a virtual register file. Legality is simple enough
+//! to check exactly:
+//!
+//! * every register read must be preceded by a write, ids must be in
+//!   range, and the task's work must reach the global accumulator through
+//!   a `ScatterAdd` (`K001`);
+//! * no micro-kernel may alias an output register with one of its inputs —
+//!   the interpreter checks registers out of a recycling pool, so in-place
+//!   writes would corrupt the operand (`K002`);
+//! * the engine's chunk-to-slot mapping must be a deterministic partition
+//!   of the task range (`K003`);
+//! * a program with per-destination normalization must run under a
+//!   destination-complete plan (`K004`).
+
+use crate::{push_capped, Code, Diagnostic, Span};
+use std::ops::Range;
+use wisegraph_gtask::PartitionPlan;
+use wisegraph_graph::Graph;
+use wisegraph_kernels::engine::chunk_ranges;
+use wisegraph_kernels::micro::{plan_is_dst_complete, KernelProgram, MicroKernel, Reg};
+
+/// The registers a micro-kernel reads and the registers it writes.
+pub fn accesses(op: &MicroKernel) -> (Vec<Reg>, Vec<Reg>) {
+    use MicroKernel::*;
+    match *op {
+        LoadStream { out, .. } => (vec![], vec![out]),
+        Unique {
+            stream,
+            values,
+            map,
+        } => (vec![stream], vec![values, map]),
+        GatherRows { idx, out, .. } => (vec![idx], vec![out]),
+        GatherRegRows { src, idx, out } => (vec![src, idx], vec![out]),
+        GatherReg2D {
+            src,
+            idx1,
+            idx2,
+            out,
+        } => (vec![src, idx1, idx2], vec![out]),
+        Gather2DGlobal {
+            idx1, idx2, out, ..
+        } => (vec![idx1, idx2], vec![out]),
+        PairwiseReg { x, w, out } => (vec![x, w], vec![out]),
+        MatMatGlobal { x, out, .. } => (vec![x], vec![out]),
+        PerRowVecMat { x, w, out } => (vec![x, w], vec![out]),
+        PairwiseGlobal { x, out, .. } => (vec![x], vec![out]),
+        GatherWeight { idx, out, .. } => (vec![idx], vec![out]),
+        Elementwise { a, b, out, .. } => {
+            let mut reads = vec![a];
+            reads.extend(b);
+            (reads, vec![out])
+        }
+        Squeeze { x, out } => (vec![x], vec![out]),
+        SegmentSoftmax { scores, seg, out } => (vec![scores, seg], vec![out]),
+        ScaleRows { x, s, out } => (vec![x, s], vec![out]),
+        ScatterAdd { data, idx } => (vec![data, idx], vec![]),
+    }
+}
+
+/// Verifies the register discipline of a compiled program (`K001`/`K002`).
+pub fn verify_program(prog: &KernelProgram) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let mut defined = vec![false; prog.num_regs];
+    let mut found = Vec::new();
+    let mut stores = 0usize;
+    for (pc, op) in prog.ops.iter().enumerate() {
+        let (reads, writes) = accesses(op);
+        for &Reg(r) in &reads {
+            if r >= prog.num_regs {
+                found.push(Diagnostic::error(
+                    Code::KernelUseBeforeDef,
+                    Span::KernelOp(pc),
+                    format!(
+                        "reads register r{r}, out of range (the program declares {} registers)",
+                        prog.num_regs
+                    ),
+                ));
+            } else if !defined[r] {
+                found.push(
+                    Diagnostic::error(
+                        Code::KernelUseBeforeDef,
+                        Span::KernelOp(pc),
+                        format!("reads register r{r} before any micro-kernel writes it"),
+                    )
+                    .with_suggestion("loads must precede computes, computes precede stores"),
+                );
+            }
+        }
+        for (wi, &Reg(w)) in writes.iter().enumerate() {
+            if reads.contains(&Reg(w)) {
+                found.push(
+                    Diagnostic::error(
+                        Code::KernelAliasing,
+                        Span::KernelOp(pc),
+                        format!("output register r{w} aliases an input of the same micro-kernel"),
+                    )
+                    .with_suggestion(
+                        "registers are checked out of a recycling pool; in-place writes \
+                         corrupt the operand",
+                    ),
+                );
+            }
+            if writes[..wi].contains(&Reg(w)) {
+                found.push(Diagnostic::error(
+                    Code::KernelAliasing,
+                    Span::KernelOp(pc),
+                    format!("register r{w} is written twice by the same micro-kernel"),
+                ));
+            }
+            if w >= prog.num_regs {
+                found.push(Diagnostic::error(
+                    Code::KernelUseBeforeDef,
+                    Span::KernelOp(pc),
+                    format!(
+                        "writes register r{w}, out of range (the program declares {} registers)",
+                        prog.num_regs
+                    ),
+                ));
+            } else {
+                if defined[w] {
+                    found.push(Diagnostic::warning(
+                        Code::KernelAliasing,
+                        Span::KernelOp(pc),
+                        format!(
+                            "register r{w} is overwritten; the earlier value is dead \
+                             (harmless, but wastes a pool checkout)"
+                        ),
+                    ));
+                }
+                defined[w] = true;
+            }
+        }
+        if matches!(op, MicroKernel::ScatterAdd { .. }) {
+            stores += 1;
+        }
+    }
+    push_capped(&mut out, found);
+    if stores == 0 {
+        out.push(
+            Diagnostic::error(
+                Code::KernelUseBeforeDef,
+                Span::Global,
+                "the program never scatter-adds into the global accumulator; \
+                 every task's work would be discarded",
+            )
+            .with_suggestion("a compiled program must end in a ScatterAdd store"),
+        );
+    }
+    out
+}
+
+/// Verifies an explicit chunk-to-slot mapping: `ranges[i]` is the task
+/// range worker slot `i` owns. Legal mappings partition `0..num_tasks`
+/// into at most `threads` contiguous, ascending, disjoint ranges (`K003`).
+pub fn verify_chunk_ranges(
+    ranges: &[Range<usize>],
+    num_tasks: usize,
+    threads: usize,
+) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    if ranges.len() > threads {
+        out.push(Diagnostic::error(
+            Code::KernelChunkMapping,
+            Span::Global,
+            format!(
+                "{} chunks for {threads} worker slots; reduction order would \
+                 depend on slot reuse",
+                ranges.len()
+            ),
+        ));
+    }
+    let mut expect = 0usize;
+    for (i, r) in ranges.iter().enumerate() {
+        if r.is_empty() {
+            out.push(Diagnostic::warning(
+                Code::KernelChunkMapping,
+                Span::Chunk(i),
+                "chunk is empty; its worker slot does no work",
+            ));
+            continue;
+        }
+        if r.start > expect {
+            out.push(Diagnostic::error(
+                Code::KernelChunkMapping,
+                Span::Chunk(i),
+                format!("tasks {expect}..{} are assigned to no chunk", r.start),
+            ));
+        } else if r.start < expect {
+            out.push(Diagnostic::error(
+                Code::KernelChunkMapping,
+                Span::Chunk(i),
+                format!(
+                    "chunk starts at task {} but tasks below {expect} are already owned; \
+                     overlapping chunks double-count tasks",
+                    r.start
+                ),
+            ));
+        }
+        expect = expect.max(r.end);
+    }
+    if expect < num_tasks {
+        out.push(Diagnostic::error(
+            Code::KernelChunkMapping,
+            Span::Global,
+            format!("tasks {expect}..{num_tasks} are assigned to no chunk"),
+        ));
+    }
+    out
+}
+
+/// Verifies the engine's own deterministic chunk-to-slot mapping for a
+/// task count and thread count (`K003`). A finding here is an engine bug.
+pub fn verify_chunk_mapping(num_tasks: usize, threads: usize) -> Vec<Diagnostic> {
+    if num_tasks == 0 || threads == 0 {
+        return Vec::new();
+    }
+    verify_chunk_ranges(&chunk_ranges(num_tasks, threads), num_tasks, threads)
+}
+
+/// Verifies plan/program compatibility: a program carrying per-destination
+/// normalization needs every destination's in-edges in one task (`K004`).
+pub fn verify_plan_compat(
+    g: &Graph,
+    plan: &PartitionPlan,
+    prog: &KernelProgram,
+) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    if prog.requires_dst_complete && !plan_is_dst_complete(g, plan) {
+        out.push(
+            Diagnostic::error(
+                Code::KernelPlanIncompatible,
+                Span::Global,
+                "the program normalizes per destination (segment softmax) but the plan \
+                 splits some destination's in-edges across tasks",
+            )
+            .with_suggestion(
+                "use a destination-complete table (e.g. vertex-centric or dst-and-type)",
+            ),
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wisegraph_dfg::NodeId;
+    use wisegraph_graph::AttrKind;
+    use wisegraph_gtask::{partition, PartitionTable};
+    use wisegraph_kernels::micro::compile;
+    use wisegraph_models::ModelKind;
+
+    fn program(ops: Vec<MicroKernel>, num_regs: usize) -> KernelProgram {
+        KernelProgram {
+            ops,
+            num_regs,
+            out_rows: 4,
+            out_width: 2,
+            reduce_node: NodeId(0),
+            prologue: vec![],
+            requires_dst_complete: false,
+        }
+    }
+
+    fn paper_graph() -> Graph {
+        Graph::new(
+            5,
+            2,
+            vec![0, 1, 0, 1, 2, 2, 3, 4, 3, 4, 0],
+            vec![0, 0, 1, 1, 1, 2, 2, 2, 3, 3, 4],
+            vec![0, 0, 0, 0, 1, 0, 1, 1, 1, 1, 0],
+        )
+    }
+
+    #[test]
+    fn compiled_models_are_clean() {
+        let g = paper_graph();
+        for model in [ModelKind::Gcn, ModelKind::Rgcn, ModelKind::Gat, ModelKind::Sage] {
+            let dfg = model.layer_dfg(8, 4);
+            let prog = compile(&dfg, &g).expect("model compiles");
+            let diags = verify_program(&prog);
+            assert!(diags.is_empty(), "{model:?}: {diags:#?}");
+        }
+    }
+
+    #[test]
+    fn store_before_load_is_k001() {
+        let prog = program(
+            vec![
+                MicroKernel::ScatterAdd {
+                    data: Reg(0),
+                    idx: Reg(1),
+                },
+                MicroKernel::LoadStream {
+                    attr: AttrKind::DstId,
+                    out: Reg(1),
+                },
+            ],
+            2,
+        );
+        let diags = verify_program(&prog);
+        assert!(diags.iter().any(|d| d.code == Code::KernelUseBeforeDef
+            && d.message.contains("before any micro-kernel writes")));
+    }
+
+    #[test]
+    fn out_of_range_register_is_k001() {
+        let prog = program(
+            vec![MicroKernel::LoadStream {
+                attr: AttrKind::SrcId,
+                out: Reg(9),
+            }],
+            2,
+        );
+        let diags = verify_program(&prog);
+        assert!(diags
+            .iter()
+            .any(|d| d.code == Code::KernelUseBeforeDef && d.message.contains("out of range")));
+    }
+
+    #[test]
+    fn missing_store_is_k001() {
+        let prog = program(
+            vec![MicroKernel::LoadStream {
+                attr: AttrKind::SrcId,
+                out: Reg(0),
+            }],
+            1,
+        );
+        let diags = verify_program(&prog);
+        assert!(diags
+            .iter()
+            .any(|d| d.code == Code::KernelUseBeforeDef && d.message.contains("scatter-adds")));
+    }
+
+    #[test]
+    fn in_place_write_is_k002() {
+        let prog = program(
+            vec![
+                MicroKernel::LoadStream {
+                    attr: AttrKind::SrcId,
+                    out: Reg(0),
+                },
+                MicroKernel::Elementwise {
+                    op: wisegraph_kernels::micro::EwOp::Relu,
+                    a: Reg(0),
+                    b: None,
+                    out: Reg(0),
+                },
+                MicroKernel::ScatterAdd {
+                    data: Reg(0),
+                    idx: Reg(0),
+                },
+            ],
+            1,
+        );
+        let diags = verify_program(&prog);
+        assert!(diags
+            .iter()
+            .any(|d| d.code == Code::KernelAliasing && d.message.contains("aliases")));
+    }
+
+    #[test]
+    fn unique_into_one_register_is_k002() {
+        let prog = program(
+            vec![
+                MicroKernel::LoadStream {
+                    attr: AttrKind::SrcId,
+                    out: Reg(0),
+                },
+                MicroKernel::Unique {
+                    stream: Reg(0),
+                    values: Reg(1),
+                    map: Reg(1),
+                },
+                MicroKernel::ScatterAdd {
+                    data: Reg(1),
+                    idx: Reg(1),
+                },
+            ],
+            2,
+        );
+        let diags = verify_program(&prog);
+        assert!(diags
+            .iter()
+            .any(|d| d.code == Code::KernelAliasing && d.message.contains("written twice")));
+    }
+
+    #[test]
+    fn engine_mapping_is_clean_across_shapes() {
+        for (n, t) in [(0, 3), (1, 1), (5, 2), (7, 3), (8, 4), (1000, 16)] {
+            let diags = verify_chunk_mapping(n, t);
+            assert!(diags.is_empty(), "tasks={n} threads={t}: {diags:#?}");
+        }
+    }
+
+    #[test]
+    fn gap_and_overlap_are_k003() {
+        let gap = verify_chunk_ranges(&[0..2, 3..6], 6, 2);
+        assert!(gap.iter().any(|d| d.code == Code::KernelChunkMapping
+            && d.message.contains("assigned to no chunk")));
+        let overlap = verify_chunk_ranges(&[0..3, 2..6], 6, 2);
+        assert!(overlap.iter().any(|d| d.code == Code::KernelChunkMapping
+            && d.message.contains("overlapping")));
+        let too_many = verify_chunk_ranges(&[0..2, 2..4, 4..6], 6, 2);
+        assert!(too_many.iter().any(|d| d.code == Code::KernelChunkMapping
+            && d.message.contains("worker slots")));
+        let short = verify_chunk_ranges(std::slice::from_ref(&(0..2)), 6, 2);
+        assert!(short.iter().any(|d| d.code == Code::KernelChunkMapping
+            && d.message.contains("2..6")));
+    }
+
+    #[test]
+    fn softmax_under_split_destinations_is_k004() {
+        let g = paper_graph();
+        let dfg = ModelKind::Gat.layer_dfg(8, 4);
+        let prog = compile(&dfg, &g).expect("GAT compiles");
+        assert!(prog.requires_dst_complete);
+        let bad = partition(&g, &PartitionTable::edge_batch(3));
+        assert!(!plan_is_dst_complete(&g, &bad));
+        let diags = verify_plan_compat(&g, &bad, &prog);
+        assert!(diags
+            .iter()
+            .any(|d| d.code == Code::KernelPlanIncompatible));
+        let good = partition(&g, &PartitionTable::vertex_centric());
+        assert!(verify_plan_compat(&g, &good, &prog).is_empty());
+    }
+}

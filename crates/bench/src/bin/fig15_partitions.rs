@@ -24,8 +24,8 @@ fn dump_csv(name: &str, g: &wisegraph_graph::Graph, assignment: &[u32]) {
     let path = format!("fig15_{name}.csv");
     let mut f = std::fs::File::create(&path).expect("create csv");
     writeln!(f, "src,dst,task").unwrap();
-    for e in 0..g.num_edges() {
-        writeln!(f, "{},{},{}", g.src()[e], g.dst()[e], assignment[e]).unwrap();
+    for (e, task) in assignment.iter().enumerate().take(g.num_edges()) {
+        writeln!(f, "{},{},{}", g.src()[e], g.dst()[e], task).unwrap();
     }
     eprintln!("wrote {path}");
 }

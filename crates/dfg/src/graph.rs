@@ -61,6 +61,28 @@ impl Dfg {
         NodeId(self.nodes.len() - 1)
     }
 
+    /// Appends a node without validating inputs or re-inferring its shape.
+    ///
+    /// The builder API ([`Dfg::add_node`]) panics on malformed nodes, which
+    /// is right for model code but makes ill-formed graphs impossible to
+    /// construct when testing checkers. This constructor trusts the caller
+    /// completely: dangling input ids, forward references, and wrong shapes
+    /// are all accepted and only surface when a verifier (or executor)
+    /// walks the graph.
+    pub fn add_node_unchecked(
+        &mut self,
+        kind: OpKind,
+        inputs: Vec<NodeId>,
+        shape: SymShape,
+    ) -> NodeId {
+        self.nodes.push(Node {
+            kind,
+            inputs,
+            shape,
+        });
+        NodeId(self.nodes.len() - 1)
+    }
+
     /// Declares a dense input tensor.
     pub fn input(&mut self, name: &str, shape: SymShape) -> NodeId {
         self.add_node(

@@ -262,8 +262,8 @@ fn refine(c: &Coarse, part: &mut [u32], k: usize, rounds: usize) {
             break;
         }
         let mut moved_any = false;
-        for v in 0..c.adj.len() {
-            if part[v] as usize != max_c || weights[max_c] <= budget {
+        for (v, p) in part.iter_mut().enumerate().take(c.adj.len()) {
+            if *p as usize != max_c || weights[max_c] <= budget {
                 continue;
             }
             let min_c = (0..k).min_by_key(|&c0| weights[c0]).expect("k > 0");
@@ -272,7 +272,7 @@ fn refine(c: &Coarse, part: &mut [u32], k: usize, rounds: usize) {
             }
             weights[max_c] -= c.vweight[v];
             weights[min_c] += c.vweight[v];
-            part[v] = min_c as u32;
+            *p = min_c as u32;
             moved_any = true;
         }
         if !moved_any {

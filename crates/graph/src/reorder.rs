@@ -55,8 +55,8 @@ pub fn label_propagation_order(g: &Graph, rounds: usize) -> Vec<u32> {
     for _ in 0..rounds {
         for v in 0..n {
             // Adopt the most frequent neighbor label (min label on ties).
-            let mut counts: std::collections::HashMap<u32, usize> =
-                std::collections::HashMap::new();
+            let mut counts: std::collections::BTreeMap<u32, usize> =
+                std::collections::BTreeMap::new();
             for (nbr, _) in csr.neighbors(v).chain(out.neighbors(v)) {
                 *counts.entry(label[nbr as usize]).or_insert(0) += 1;
             }

@@ -27,6 +27,28 @@ use wisegraph_graph::Graph;
 use wisegraph_gtask::PartitionPlan;
 use wisegraph_tensor::{ops, Tensor, WorkspaceStats};
 
+/// The deterministic chunk-to-slot assignment shared by [`Engine::execute`]
+/// and [`execute_parallel_alloc`]: tasks split into at most `threads`
+/// contiguous ranges in ascending order, and chunk `i` always runs on
+/// worker slot `i`. Exposed as a pure function so the static verifier
+/// (`wisegraph-analysis`) can prove the mapping covers every task exactly
+/// once without running anything.
+///
+/// # Panics
+///
+/// Panics if `threads == 0`.
+pub fn chunk_ranges(
+    num_tasks: usize,
+    threads: usize,
+) -> Vec<std::ops::Range<usize>> {
+    assert!(threads > 0, "need at least one worker");
+    let chunk = num_tasks.div_ceil(threads).max(1);
+    (0..num_tasks)
+        .step_by(chunk)
+        .map(|start| start..(start + chunk).min(num_tasks))
+        .collect()
+}
+
 /// Persistent state of one worker: its task workspace and the partial
 /// accumulator it scatters into.
 #[derive(Default)]
@@ -102,13 +124,12 @@ impl Engine {
             }
         }
 
-        let chunk = plan.tasks.len().div_ceil(self.threads()).max(1);
         let partials: Vec<Tensor> = std::thread::scope(|scope| {
-            let handles: Vec<_> = plan
-                .tasks
-                .chunks(chunk)
+            let handles: Vec<_> = chunk_ranges(plan.tasks.len(), self.threads())
+                .into_iter()
                 .enumerate()
-                .map(|(wi, tasks)| {
+                .map(|(wi, range)| {
+                    let tasks = &plan.tasks[range];
                     let program = &program;
                     let all_globals = &all_globals;
                     let slot = &self.slots[wi];
@@ -223,12 +244,11 @@ pub fn execute_parallel_alloc(
         }
     }
 
-    let chunk = plan.tasks.len().div_ceil(threads).max(1);
     let partials: Vec<Tensor> = std::thread::scope(|scope| {
-        let handles: Vec<_> = plan
-            .tasks
-            .chunks(chunk)
-            .map(|tasks| {
+        let handles: Vec<_> = chunk_ranges(plan.tasks.len(), threads)
+            .into_iter()
+            .map(|range| {
+                let tasks = &plan.tasks[range];
                 let program = &program;
                 let all_globals = &all_globals;
                 scope.spawn(move || {
@@ -262,6 +282,21 @@ mod tests {
     use wisegraph_gtask::{partition, PartitionTable};
     use wisegraph_models::ModelKind;
     use wisegraph_tensor::init;
+
+    #[test]
+    fn chunk_ranges_cover_every_task_exactly_once() {
+        for (n, t) in [(0usize, 3usize), (1, 4), (7, 2), (8, 4), (9, 4), (100, 7)] {
+            let ranges = chunk_ranges(n, t);
+            assert!(ranges.len() <= t, "{n} tasks / {t} threads: {ranges:?}");
+            let mut next = 0;
+            for r in &ranges {
+                assert_eq!(r.start, next, "{n} tasks / {t} threads: {ranges:?}");
+                assert!(r.end > r.start, "empty chunk in {ranges:?}");
+                next = r.end;
+            }
+            assert_eq!(next, n, "{n} tasks / {t} threads: {ranges:?}");
+        }
+    }
 
     #[test]
     fn parallel_matches_sequential_and_interpreter() {

@@ -17,7 +17,7 @@
 //!   Figure 18).
 
 use crate::oppart::OpPartition;
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, HashMap, HashSet};
 use wisegraph_dfg::{Binding, Dfg, NodeId, OpKind};
 use wisegraph_sim::{ComputeClass, DeviceSpec, KernelCost};
 
@@ -226,7 +226,10 @@ pub fn generate_kernels(
             let mut flops = 0.0;
             let mut bytes = 0.0;
             let mut max_rows: f64 = 1.0;
-            let mut external_reads: HashMap<NodeId, f64> = HashMap::new();
+            // Keyed by `NodeId`'s total order: the float accumulation
+            // below must visit producers in a fixed order, or the summed
+            // byte cost (and thus plan choice) varies run to run.
+            let mut external_reads: BTreeMap<NodeId, f64> = BTreeMap::new();
             for &id in group {
                 let node = dfg.node(id);
                 let node_f = node_flops(dfg, binding, id);

@@ -301,7 +301,7 @@ fn reg_stream(regs: &[Option<RegValue>], r: Reg) -> &[u32] {
 
 /// Writes a register, recycling whatever value it held before.
 fn set_reg(regs: &mut [Option<RegValue>], ws: &mut Workspace, r: Reg, v: RegValue) {
-    match std::mem::replace(&mut regs[r.0], Some(v)) {
+    match regs[r.0].replace(v) {
         Some(RegValue::Tensor(t)) => ws.recycle(t),
         Some(RegValue::Stream(s)) => ws.give_u32(s),
         None => {}
@@ -376,7 +376,7 @@ pub fn compile(dfg: &Dfg, g: &Graph) -> Result<KernelProgram, CompileError> {
     }
 
     let mut ops_out: Vec<MicroKernel> = Vec::new();
-    let mut regs: HashMap<NodeId, Reg> = HashMap::new();
+    let mut reg_of: HashMap<NodeId, Reg> = HashMap::new();
     let mut prologue: Vec<NodeId> = Vec::new();
     let mut requires_dst_complete = false;
     let mut next_reg = 0usize;
@@ -393,10 +393,10 @@ pub fn compile(dfg: &Dfg, g: &Graph) -> Result<KernelProgram, CompileError> {
         Register(Reg),
     }
     let resolve = |p: NodeId,
-                       regs: &HashMap<NodeId, Reg>,
+                       reg_of: &HashMap<NodeId, Reg>,
                        prologue: &mut Vec<NodeId>|
      -> Operand {
-        if let Some(&r) = regs.get(&p) {
+        if let Some(&r) = reg_of.get(&p) {
             return Operand::Register(r);
         }
         if let OpKind::Input { name, .. } = &dfg.node(p).kind {
@@ -420,7 +420,7 @@ pub fn compile(dfg: &Dfg, g: &Graph) -> Result<KernelProgram, CompileError> {
             OpKind::EdgeAttr(a) => {
                 let out = alloc();
                 ops_out.push(MicroKernel::LoadStream { attr: *a, out });
-                regs.insert(id, out);
+                reg_of.insert(id, out);
             }
             OpKind::UniqueValues(a) | OpKind::UniqueMap(a) => {
                 let (values, map) = *unique_regs.entry(*a).or_insert_with(|| {
@@ -435,7 +435,7 @@ pub fn compile(dfg: &Dfg, g: &Graph) -> Result<KernelProgram, CompileError> {
                     });
                     (values, map)
                 });
-                regs.insert(
+                reg_of.insert(
                     id,
                     if matches!(node.kind, OpKind::UniqueValues(_)) {
                         values
@@ -445,11 +445,11 @@ pub fn compile(dfg: &Dfg, g: &Graph) -> Result<KernelProgram, CompileError> {
                 );
             }
             OpKind::Index => {
-                let idx = regs[&node.inputs[1]];
+                let idx = reg_of[&node.inputs[1]];
                 let out = alloc();
                 let data = node.inputs[0];
                 let rank = dfg.node(data).shape.len();
-                match resolve(data, &regs, &mut prologue) {
+                match resolve(data, &reg_of, &mut prologue) {
                     Operand::Global(src) if rank == 2 => {
                         ops_out.push(MicroKernel::GatherRows { src, idx, out });
                     }
@@ -460,13 +460,13 @@ pub fn compile(dfg: &Dfg, g: &Graph) -> Result<KernelProgram, CompileError> {
                         ops_out.push(MicroKernel::GatherRegRows { src, idx, out });
                     }
                 }
-                regs.insert(id, out);
+                reg_of.insert(id, out);
             }
             OpKind::Index2D => {
-                let idx1 = regs[&node.inputs[1]];
-                let idx2 = regs[&node.inputs[2]];
+                let idx1 = reg_of[&node.inputs[1]];
+                let idx2 = reg_of[&node.inputs[2]];
                 let out = alloc();
-                match resolve(node.inputs[0], &regs, &mut prologue) {
+                match resolve(node.inputs[0], &reg_of, &mut prologue) {
                     Operand::Global(src) => ops_out.push(MicroKernel::Gather2DGlobal {
                         src,
                         idx1,
@@ -480,13 +480,13 @@ pub fn compile(dfg: &Dfg, g: &Graph) -> Result<KernelProgram, CompileError> {
                         out,
                     }),
                 }
-                regs.insert(id, out);
+                reg_of.insert(id, out);
             }
             OpKind::Linear => {
-                let x = *regs.get(&node.inputs[0]).ok_or_else(|| {
+                let x = *reg_of.get(&node.inputs[0]).ok_or_else(|| {
                     CompileError("Linear lhs must be task-local".into())
                 })?;
-                let w = match resolve(node.inputs[1], &regs, &mut prologue) {
+                let w = match resolve(node.inputs[1], &reg_of, &mut prologue) {
                     Operand::Global(name) => name,
                     Operand::Register(_) => {
                         return Err(CompileError(
@@ -496,21 +496,21 @@ pub fn compile(dfg: &Dfg, g: &Graph) -> Result<KernelProgram, CompileError> {
                 };
                 let out = alloc();
                 ops_out.push(MicroKernel::MatMatGlobal { x, w, out });
-                regs.insert(id, out);
+                reg_of.insert(id, out);
             }
             OpKind::PerEdgeLinear => {
-                let x = regs[&node.inputs[0]];
-                let w = regs[&node.inputs[1]];
+                let x = reg_of[&node.inputs[0]];
+                let w = reg_of[&node.inputs[1]];
                 let out = alloc();
                 ops_out.push(MicroKernel::PerRowVecMat { x, w, out });
-                regs.insert(id, out);
+                reg_of.insert(id, out);
             }
             OpKind::PairwiseLinear => {
-                let x = *regs.get(&node.inputs[0]).ok_or_else(|| {
+                let x = *reg_of.get(&node.inputs[0]).ok_or_else(|| {
                     CompileError("PairwiseLinear lhs must be task-local".into())
                 })?;
                 let out = alloc();
-                match resolve(node.inputs[1], &regs, &mut prologue) {
+                match resolve(node.inputs[1], &reg_of, &mut prologue) {
                     Operand::Global(w) => {
                         ops_out.push(MicroKernel::PairwiseGlobal { x, w, out })
                     }
@@ -518,11 +518,11 @@ pub fn compile(dfg: &Dfg, g: &Graph) -> Result<KernelProgram, CompileError> {
                         ops_out.push(MicroKernel::PairwiseReg { x, w, out })
                     }
                 }
-                regs.insert(id, out);
+                reg_of.insert(id, out);
             }
             OpKind::Add | OpKind::Mul | OpKind::Relu | OpKind::LeakyRelu => {
-                let a = regs[&node.inputs[0]];
-                let b = node.inputs.get(1).map(|p| regs[p]);
+                let a = reg_of[&node.inputs[0]];
+                let b = node.inputs.get(1).map(|p| reg_of[p]);
                 let op = match node.kind {
                     OpKind::Add => EwOp::Add,
                     OpKind::Mul => EwOp::Mul,
@@ -531,32 +531,32 @@ pub fn compile(dfg: &Dfg, g: &Graph) -> Result<KernelProgram, CompileError> {
                 };
                 let out = alloc();
                 ops_out.push(MicroKernel::Elementwise { op, a, b, out });
-                regs.insert(id, out);
+                reg_of.insert(id, out);
             }
             OpKind::SqueezeCol => {
-                let x = regs[&node.inputs[0]];
+                let x = reg_of[&node.inputs[0]];
                 let out = alloc();
                 ops_out.push(MicroKernel::Squeeze { x, out });
-                regs.insert(id, out);
+                reg_of.insert(id, out);
             }
             OpKind::SegmentSoftmax => {
-                let scores = regs[&node.inputs[0]];
-                let seg = regs[&node.inputs[1]];
+                let scores = reg_of[&node.inputs[0]];
+                let seg = reg_of[&node.inputs[1]];
                 let out = alloc();
                 ops_out.push(MicroKernel::SegmentSoftmax { scores, seg, out });
                 requires_dst_complete = true;
-                regs.insert(id, out);
+                reg_of.insert(id, out);
             }
             OpKind::ScaleRowsByScalar => {
-                let x = regs[&node.inputs[0]];
-                let sreg = regs[&node.inputs[1]];
+                let x = reg_of[&node.inputs[0]];
+                let sreg = reg_of[&node.inputs[1]];
                 let out = alloc();
                 ops_out.push(MicroKernel::ScaleRows { x, s: sreg, out });
-                regs.insert(id, out);
+                reg_of.insert(id, out);
             }
             OpKind::IndexAdd { .. } if id == reduce => {
-                let data = regs[&node.inputs[0]];
-                let idx = regs[&node.inputs[1]];
+                let data = reg_of[&node.inputs[0]];
+                let idx = reg_of[&node.inputs[1]];
                 ops_out.push(MicroKernel::ScatterAdd { data, idx });
             }
             other => {

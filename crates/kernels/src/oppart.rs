@@ -75,9 +75,9 @@ impl OpPartition {
         let live = dfg.live_set();
         let mut dense = Vec::new();
         let mut rest = Vec::new();
-        for i in 0..dfg.len() {
+        for (i, &is_live) in live.iter().enumerate().take(dfg.len()) {
             let id = NodeId(i);
-            if !live[i] || is_source(dfg, id) {
+            if !is_live || is_source(dfg, id) {
                 continue;
             }
             match dfg.node(id).kind {

@@ -367,9 +367,9 @@ pub fn sum_rows_into(x: &Tensor, out: &mut [f32]) {
     assert_eq!(x.shape().rank(), 2, "sum_rows input must be rank-2");
     let (m, n) = (x.dims()[0], x.dims()[1]);
     assert_eq!(out.len(), n, "sum_rows output buffer length mismatch");
-    for i in 0..m {
-        for j in 0..n {
-            out[j] += x.data()[i * n + j];
+    for row in x.data().chunks_exact(n).take(m) {
+        for (o, v) in out.iter_mut().zip(row) {
+            *o += v;
         }
     }
 }

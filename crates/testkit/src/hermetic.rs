@@ -157,6 +157,306 @@ pub fn scan_str(text: &str, origin: &str) -> Vec<Violation> {
     out
 }
 
+/// One determinism/safety finding in a shipped source file.
+#[derive(Clone, Debug)]
+pub struct SourceViolation {
+    /// Source file the finding appears in.
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Which rule fired (`unsafe`, `SystemTime`, `hashmap-iteration`).
+    pub pattern: String,
+    /// The offending line, trimmed.
+    pub excerpt: String,
+}
+
+impl std::fmt::Display for SourceViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file, self.line, self.pattern, self.excerpt
+        )
+    }
+}
+
+/// Scans every shipped `.rs` file under `root` for `unsafe` blocks and
+/// nondeterminism sources: `SystemTime` and iteration over `HashMap`s
+/// (whose order varies run to run — shipped code must iterate `BTreeMap`s
+/// or sorted vectors instead).
+///
+/// "Shipped" excludes `target/`, `.git/`, and `tests/`, `benches/`,
+/// `examples/` directories; `#[cfg(test)]` modules inside shipped files
+/// are skipped too (tests may iterate however they like).
+pub fn scan_sources(root: impl AsRef<Path>) -> Vec<SourceViolation> {
+    let mut files = Vec::new();
+    collect_sources(root.as_ref(), &mut files);
+    files.sort();
+    let mut out = Vec::new();
+    for f in files {
+        let text = fs::read_to_string(&f)
+            .unwrap_or_else(|e| panic!("cannot read {}: {e}", f.display()));
+        out.extend(scan_source_str(&text, &f.display().to_string()));
+    }
+    out
+}
+
+fn collect_sources(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if !matches!(&*name, "target" | ".git" | "tests" | "benches" | "examples") {
+                collect_sources(&path, out);
+            }
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+}
+
+/// Scans one source file's text. `origin` labels findings (usually the
+/// file path). Line-based and approximate by design: string literals and
+/// `//` comments are stripped before matching, `#[cfg(test)]` items are
+/// skipped by brace counting.
+pub fn scan_source_str(text: &str, origin: &str) -> Vec<SourceViolation> {
+    // Pass 1: strip literals/comments and mark test-only lines.
+    let mut lines = Vec::new(); // (1-based line, cleaned, raw)
+    let mut pending_test = false; // saw `#[cfg(test)]`, awaiting the item
+    let mut in_test = false;
+    let mut test_depth = 0i64;
+    for (idx, raw) in text.lines().enumerate() {
+        let cleaned = strip_literals(raw);
+        let opens = cleaned.matches('{').count() as i64;
+        let closes = cleaned.matches('}').count() as i64;
+        if in_test {
+            test_depth += opens - closes;
+            if test_depth <= 0 {
+                in_test = false;
+            }
+            continue;
+        }
+        if cleaned.contains("#[cfg(test)]") {
+            pending_test = true;
+            continue;
+        }
+        if pending_test {
+            if opens > 0 {
+                test_depth = opens - closes;
+                in_test = test_depth > 0;
+                pending_test = false;
+                continue;
+            }
+            if cleaned.contains(';') {
+                // `mod tests;` — an out-of-line module; the tests/ dir
+                // exclusion covers its file.
+                pending_test = false;
+                continue;
+            }
+            // Attribute stack (`#[cfg(test)]` + more attributes): keep
+            // waiting for the item's opening brace.
+            continue;
+        }
+        lines.push((idx + 1, cleaned, raw.trim().to_string()));
+    }
+
+    // Pass 2: which identifiers name HashMaps in this file?
+    let mut maps: Vec<String> = Vec::new();
+    for (_, cleaned, _) in &lines {
+        collect_hashmap_idents(cleaned, &mut maps);
+    }
+    maps.sort();
+    maps.dedup();
+
+    // Pass 3: findings.
+    let mut out = Vec::new();
+    let mut push = |line: usize, pattern: &str, raw: &str| {
+        out.push(SourceViolation {
+            file: origin.to_string(),
+            line,
+            pattern: pattern.to_string(),
+            excerpt: raw.to_string(),
+        });
+    };
+    for (line, cleaned, raw) in &lines {
+        if contains_word(cleaned, "unsafe") {
+            push(*line, "unsafe", raw);
+        }
+        if cleaned.contains("SystemTime") {
+            push(*line, "SystemTime", raw);
+        }
+        if let Some(ident) = hashmap_iteration(cleaned, &maps) {
+            push(
+                *line,
+                "hashmap-iteration",
+                &format!("`{ident}` is a HashMap: {raw}"),
+            );
+        }
+    }
+    out
+}
+
+/// Replaces string and char literals with empty ones and drops `//`
+/// comments, so pattern matching sees only code.
+fn strip_literals(line: &str) -> String {
+    let chars: Vec<char> = line.chars().collect();
+    let mut out = String::with_capacity(line.len());
+    let mut i = 0;
+    while i < chars.len() {
+        let c = chars[i];
+        if c == '/' && chars.get(i + 1) == Some(&'/') {
+            break;
+        }
+        if c == '"' {
+            i += 1;
+            while i < chars.len() && chars[i] != '"' {
+                i += if chars[i] == '\\' { 2 } else { 1 };
+            }
+            i += 1;
+            out.push_str("\"\"");
+            continue;
+        }
+        if c == '\'' {
+            // `'x'` / `'\n'` are char literals; `'a` (no closing quote
+            // nearby) is a lifetime and passes through.
+            if chars.get(i + 1) == Some(&'\\') {
+                i += 2;
+                while i < chars.len() && chars[i] != '\'' {
+                    i += 1;
+                }
+                i += 1;
+                out.push_str("''");
+                continue;
+            }
+            if chars.get(i + 2) == Some(&'\'') {
+                i += 3;
+                out.push_str("''");
+                continue;
+            }
+        }
+        out.push(c);
+        i += 1;
+    }
+    out
+}
+
+fn is_ident_char(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// `true` if `word` appears delimited by non-identifier characters.
+fn contains_word(s: &str, word: &str) -> bool {
+    let mut from = 0;
+    while let Some(pos) = s[from..].find(word) {
+        let start = from + pos;
+        let end = start + word.len();
+        let ok_before = start == 0 || !s[..start].ends_with(is_ident_char);
+        let ok_after = !s[end..].starts_with(is_ident_char);
+        if ok_before && ok_after {
+            return true;
+        }
+        from = end;
+    }
+    false
+}
+
+/// Last identifier of `s`, ignoring trailing whitespace.
+fn trailing_ident(s: &str) -> Option<String> {
+    let t = s.trim_end();
+    let rev: String = t.chars().rev().take_while(|&c| is_ident_char(c)).collect();
+    if rev.is_empty() || rev.chars().all(|c| c.is_ascii_digit()) {
+        None
+    } else {
+        Some(rev.chars().rev().collect())
+    }
+}
+
+/// Strips a trailing module path (`std::collections::`) from `s`.
+fn strip_path_prefix(s: &str) -> &str {
+    let mut s = s;
+    while let Some(rest) = s.strip_suffix("::") {
+        s = rest.trim_end_matches(is_ident_char);
+    }
+    s
+}
+
+/// Records identifiers bound to `HashMap`s on this line: type ascriptions
+/// (`name: HashMap<`, `name: &mut HashMap<`) and constructor assignments
+/// (`name = HashMap::new()`, `name = HashMap::with_capacity(..)`).
+fn collect_hashmap_idents(cleaned: &str, out: &mut Vec<String>) {
+    let mut from = 0;
+    while let Some(pos) = cleaned[from..].find("HashMap") {
+        let at = from + pos;
+        from = at + "HashMap".len();
+        let before = strip_path_prefix(&cleaned[..at]);
+        let after = &cleaned[from..];
+        let binder = if after.starts_with('<') {
+            // `name: HashMap<..>` — strip reference sigils between the
+            // colon and the type.
+            let b = before
+                .trim_end()
+                .trim_end_matches('&')
+                .trim_end();
+            let b = b.strip_suffix("mut").unwrap_or(b).trim_end();
+            b.strip_suffix(':').map(str::to_string)
+        } else if after.starts_with("::new") || after.starts_with("::with_capacity") {
+            before.trim_end().strip_suffix('=').map(str::to_string)
+        } else {
+            None
+        };
+        if let Some(b) = binder {
+            if let Some(ident) = trailing_ident(&b) {
+                out.push(ident);
+            }
+        }
+    }
+}
+
+/// If this line iterates one of `maps`, returns the map's name. Covers
+/// explicit iterator methods and `for _ in [&[mut ]]name` loops.
+fn hashmap_iteration(cleaned: &str, maps: &[String]) -> Option<String> {
+    const METHODS: [&str; 7] = [
+        ".iter()",
+        ".iter_mut()",
+        ".keys()",
+        ".values()",
+        ".values_mut()",
+        ".into_iter()",
+        ".drain(",
+    ];
+    for m in METHODS {
+        let mut from = 0;
+        while let Some(pos) = cleaned[from..].find(m) {
+            let at = from + pos;
+            from = at + m.len();
+            if let Some(ident) = trailing_ident(&cleaned[..at]) {
+                if maps.contains(&ident) {
+                    return Some(ident);
+                }
+            }
+        }
+    }
+    // `for k in &name {` / `for (k, v) in name {`
+    if let Some(rest) = cleaned.trim_start().strip_prefix("for ") {
+        if let Some((_, tail)) = rest.split_once(" in ") {
+            let expr = tail.trim_start().trim_start_matches('&');
+            let expr = expr.strip_prefix("mut ").unwrap_or(expr).trim_start();
+            let ident: String = expr.chars().take_while(|&c| is_ident_char(c)).collect();
+            let after = &expr[ident.len()..];
+            // Only a bare binding (`name {`): method calls were handled
+            // above and field accesses are not resolvable per-file.
+            if after.trim_start().starts_with('{') && maps.contains(&ident) {
+                return Some(ident);
+            }
+        }
+    }
+    None
+}
+
 fn is_dep_section(section: &str) -> bool {
     section == "dependencies"
         || section == "dev-dependencies"
@@ -259,5 +559,75 @@ c = { path = "../c" }
         let v = scan_str(toml, "test");
         assert_eq!(v.len(), 1);
         assert_eq!(v[0].dependency, "libc");
+    }
+
+    #[test]
+    fn unsafe_blocks_are_flagged_with_location() {
+        let src = "fn f(p: *const u8) -> u8 {\n    unsafe { *p }\n}\n";
+        let v = scan_source_str(src, "x.rs");
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].pattern, "unsafe");
+        assert_eq!(v[0].line, 2);
+        assert_eq!(v[0].file, "x.rs");
+    }
+
+    #[test]
+    fn system_time_is_flagged() {
+        let src = "use std::time::SystemTime;\n";
+        let v = scan_source_str(src, "x.rs");
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].pattern, "SystemTime");
+    }
+
+    #[test]
+    fn hashmap_iteration_is_flagged_for_known_maps() {
+        let src = "use std::collections::HashMap;\n\
+                   fn f(counts: &HashMap<u32, usize>, v: Vec<u32>) {\n\
+                   \x20   for (k, c) in counts.iter() {\n\
+                   \x20       let _ = (k, c);\n\
+                   \x20   }\n\
+                   \x20   for x in v.iter() {\n\
+                   \x20       let _ = x;\n\
+                   \x20   }\n\
+                   }\n";
+        let v = scan_source_str(src, "x.rs");
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].pattern, "hashmap-iteration");
+        assert_eq!(v[0].line, 3);
+        assert!(v[0].excerpt.contains("counts"));
+    }
+
+    #[test]
+    fn hashmap_lookups_and_for_loops_by_name() {
+        let src = "fn g() {\n\
+                   \x20   let mut m = std::collections::HashMap::new();\n\
+                   \x20   m.insert(1u32, 2u32);\n\
+                   \x20   let _ = m.get(&1);\n\
+                   \x20   for kv in &m {\n\
+                   \x20       let _ = kv;\n\
+                   \x20   }\n\
+                   }\n";
+        let v = scan_source_str(src, "x.rs");
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].line, 5, "only the loop, not insert/get: {v:?}");
+    }
+
+    #[test]
+    fn cfg_test_modules_comments_and_strings_are_skipped() {
+        let src = "fn shipped() {}\n\
+                   // unsafe in a comment is fine\n\
+                   const MSG: &str = \"unsafe SystemTime\";\n\
+                   #[cfg(test)]\n\
+                   mod tests {\n\
+                   \x20   fn helper(m: std::collections::HashMap<u32, u32>) {\n\
+                   \x20       unsafe { std::hint::unreachable_unchecked() }\n\
+                   \x20       for k in m.keys() {\n\
+                   \x20           let _ = k;\n\
+                   \x20       }\n\
+                   \x20   }\n\
+                   }\n\
+                   fn also_shipped() {}\n";
+        let v = scan_source_str(src, "x.rs");
+        assert!(v.is_empty(), "{v:?}");
     }
 }

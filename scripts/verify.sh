@@ -5,10 +5,15 @@
 #
 # Tests run in both profiles: debug catches overflow/debug-assert issues,
 # release catches optimizer-dependent ones and reuses the artifacts the
-# build step already produced.
+# build step already produced. After the tests, two static gates run:
+# clippy with warnings denied, and wisegraph-lint (the pre-execution
+# plan/DFG/kernel verifier, DESIGN.md §8) over every built-in model ×
+# partition strategy.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 cargo build --release --offline --workspace
 cargo test -q --offline --workspace
 cargo test --release -q --offline --workspace
+cargo clippy --all-targets --offline --workspace -- -D warnings
+cargo run --release --offline --bin wisegraph-lint

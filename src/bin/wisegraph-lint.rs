@@ -1,0 +1,126 @@
+//! `wisegraph-lint`: the pre-execution static verification gate.
+//!
+//! Runs every pass of `wisegraph-analysis` over every built-in model ×
+//! candidate partition strategy on a synthetic RMAT graph:
+//!
+//! * the model DFG is verified (well-formedness + dimension inference),
+//!   and every repo rewrite (`cse`, `prune_dead`, each transformation
+//!   candidate) is checked for interface preservation;
+//! * every table from `enumerate_tables` is partitioned with the greedy
+//!   partitioner and the resulting plan, compiled program, and engine
+//!   chunk mapping are verified for several thread counts.
+//!
+//! Exits nonzero if any pass reports an error, printing each diagnostic;
+//! `scripts/verify.sh` runs this after the test suite.
+
+use std::process::ExitCode;
+use wisegraph::analysis::prelude::*;
+use wisegraph::analysis::verify_execution;
+use wisegraph::dfg::passes::{cse, prune_dead};
+use wisegraph::dfg::transform;
+use wisegraph::dfg::Binding;
+use wisegraph::graph::generate::{rmat, RmatParams};
+use wisegraph::gtask::restriction::enumerate_tables;
+use wisegraph::gtask::partition;
+use wisegraph::kernels::micro::{compile, plan_is_dst_complete};
+use wisegraph::models::ModelKind;
+
+/// Thread counts the chunk-mapping pass is exercised with.
+const THREAD_COUNTS: [usize; 3] = [1, 2, 8];
+
+/// `Exact(k)` batch sizes for table enumeration.
+const BATCH_SIZES: [u64; 2] = [4, 32];
+
+fn main() -> ExitCode {
+    let params = RmatParams {
+        num_vertices: 300,
+        num_edges: 2400,
+        a: 0.57,
+        b: 0.19,
+        c: 0.19,
+        num_edge_types: 4,
+        seed: 7,
+    };
+    let g = rmat(&params);
+    let binding = Binding::from_graph(&g);
+    println!(
+        "wisegraph-lint: RMAT graph with {} vertices, {} edges, {} edge types",
+        g.num_vertices(),
+        g.num_edges(),
+        g.num_edge_types()
+    );
+
+    let mut errors = 0usize;
+    let mut warnings = 0usize;
+    let mut combos = 0usize;
+    let mut skipped = 0usize;
+    let fail = |ctx: &str, report: &Report, errors: &mut usize, warnings: &mut usize| {
+        for d in &report.diagnostics {
+            println!("{ctx}: {d}");
+        }
+        *errors += report.error_count();
+        *warnings += report.warning_count();
+    };
+
+    for model in [
+        ModelKind::Gcn,
+        ModelKind::Rgcn,
+        ModelKind::Gat,
+        ModelKind::Sage,
+    ] {
+        let dfg = model.layer_dfg(8, 6);
+
+        // Pass 1: the model DFG itself.
+        let mut dfg_report = Report::new();
+        dfg_report.extend(verify_dfg(&dfg, Some(&binding)));
+
+        // Pass 2: every repo rewrite must preserve the interface.
+        dfg_report.extend(verify_rewrite(&dfg, &cse(&dfg), "cse"));
+        dfg_report.extend(verify_rewrite(&dfg, &prune_dead(&dfg), "prune_dead"));
+        for (ci, cand) in transform::candidates(&dfg, &binding).iter().enumerate() {
+            dfg_report.extend(verify_rewrite(&dfg, cand, &format!("candidate #{ci}")));
+            dfg_report.extend(verify_dfg(cand, Some(&binding)));
+        }
+        fail(&format!("{model:?}"), &dfg_report, &mut errors, &mut warnings);
+
+        // Pass 3: every candidate table × thread count.
+        let indexing: Vec<_> = effective_indexing_attrs(&dfg).into_iter().collect();
+        let dst_complete_only = compile(&dfg, &g)
+            .map(|p| p.requires_dst_complete)
+            .unwrap_or(false);
+        for table in enumerate_tables(&indexing, &BATCH_SIZES) {
+            let plan = partition(&g, &table);
+            if dst_complete_only && !plan_is_dst_complete(&g, &plan) {
+                // The program can never legally run under this plan;
+                // verify_execution would (correctly) flag K004. Count it
+                // as a skip, not a lint failure: strategy search already
+                // filters these combinations out.
+                skipped += 1;
+                continue;
+            }
+            for threads in THREAD_COUNTS {
+                combos += 1;
+                let report = verify_execution(&dfg, &g, &plan, threads);
+                if !report.is_clean() || report.warning_count() > 0 {
+                    fail(
+                        &format!("{model:?} × [{table}] × {threads} threads"),
+                        &report,
+                        &mut errors,
+                        &mut warnings,
+                    );
+                }
+            }
+        }
+    }
+
+    println!(
+        "wisegraph-lint: {combos} model×strategy×threads combinations verified, \
+         {skipped} dst-incomplete combinations skipped, {errors} error(s), \
+         {warnings} warning(s)"
+    );
+    if errors > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -18,12 +18,15 @@
 //! - [`baselines`]: tensor-centric / graph-centric / multi-GPU baseline
 //!   executors;
 //! - [`core`]: the end-to-end WiseGraph workflow (plan generation, joint
-//!   optimization, strategy search, training).
+//!   optimization, strategy search, training);
+//! - [`analysis`]: the pre-execution static verifier — plan, DFG, and
+//!   kernel legality checks behind the `wisegraph-lint` binary.
 //!
 //! # Quickstart
 //!
 //! See `examples/quickstart.rs` for an end-to-end optimization run.
 
+pub use wisegraph_analysis as analysis;
 pub use wisegraph_baselines as baselines;
 pub use wisegraph_core as core;
 pub use wisegraph_dfg as dfg;

@@ -5,7 +5,7 @@
 //! registry or git dependency cannot land silently.
 
 use std::path::{Path, PathBuf};
-use wisegraph_testkit::hermetic::scan_workspace;
+use wisegraph_testkit::hermetic::{scan_sources, scan_workspace};
 
 fn workspace_root() -> PathBuf {
     // CARGO_MANIFEST_DIR of this integration test is the workspace root
@@ -49,8 +49,8 @@ fn the_scan_covers_the_root_and_every_crate_manifest() {
     collect_manifests(&workspace_root(), &mut manifests);
     assert_eq!(
         manifests.len(),
-        12,
-        "expected root + 11 crate manifests, found: {manifests:?}"
+        13,
+        "expected root + 12 crate manifests, found: {manifests:?}"
     );
     // Every member listed in crates/ has a manifest.
     for crate_dir in std::fs::read_dir(workspace_root().join("crates"))
@@ -63,6 +63,23 @@ fn the_scan_covers_the_root_and_every_crate_manifest() {
             crate_dir.path()
         );
     }
+}
+
+#[test]
+fn no_unsafe_or_nondeterminism_in_shipped_sources() {
+    // Shipped (non-test) code must stay safe and run-to-run deterministic:
+    // no `unsafe` blocks, no `SystemTime`, and no iteration over `HashMap`s
+    // (whose order varies between runs — sort first or use a BTreeMap).
+    let violations = scan_sources(workspace_root());
+    assert!(
+        violations.is_empty(),
+        "unsafe/nondeterminism findings in shipped sources:\n{}",
+        violations
+            .iter()
+            .map(|v| format!("  {v}"))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
 }
 
 #[test]

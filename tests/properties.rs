@@ -81,7 +81,7 @@ proptest! {
         let n = seg.len();
         let scores = init::uniform_tensor(&[n], -3.0, 3.0, seed);
         let out = ops::segment_softmax(&scores, &seg, 10);
-        let mut sums = vec![0.0f32; 10];
+        let mut sums = [0.0f32; 10];
         for (i, &s) in seg.iter().enumerate() {
             sums[s as usize] += out.data()[i];
         }
@@ -155,6 +155,33 @@ proptest! {
         prop_assert!(more_flops >= base);
         prop_assert!(more_bytes >= base);
         prop_assert!(base >= dev.launch_latency);
+    }
+
+    /// The greedy partitioner's output is accepted by the static plan
+    /// verifier for *arbitrary* partition tables — including tables no
+    /// built-in strategy constructs (many restricted attributes at once,
+    /// tight and loose bounds mixed).
+    fn plan_verifier_accepts_partitioner_output(
+        g in arb_graph(80, 600),
+        bits in 0u32..65_536,
+        k in 1u64..24,
+    ) {
+        // Two bits per attribute: 2 → Exact(k·(i+1)), 3 → Min, else Free.
+        let mut table = PartitionTable::new();
+        for (i, &attr) in AttrKind::ALL.iter().enumerate() {
+            match (bits >> (2 * i)) & 3 {
+                2 => table = table.exact(attr, k * (i as u64 + 1)),
+                3 => table = table.min(attr),
+                _ => {}
+            }
+        }
+        let plan = partition(&g, &table);
+        let diags = wisegraph::analysis::plan::verify_plan(&g, &plan);
+        let errors: Vec<_> = diags
+            .iter()
+            .filter(|d| d.severity == wisegraph::analysis::Severity::Error)
+            .collect();
+        prop_assert!(errors.is_empty(), "table {table}: {errors:#?}");
     }
 
     /// Relabeling a graph by any generated permutation preserves every
