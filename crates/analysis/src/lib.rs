@@ -10,7 +10,7 @@
 //! runs, and fails fast with a precise, structured [`Diagnostic`] instead
 //! of silently training on a corrupt partition.
 //!
-//! Three passes:
+//! Four passes:
 //!
 //! - [`plan`]: exact-once edge coverage, `Exact`/`Min` restriction
 //!   satisfaction, non-empty and monotone gTask bounds (codes `P...`);
@@ -19,7 +19,10 @@
 //!   `cse`/`prune_dead`/unique-extraction (codes `D...`);
 //! - [`kernel`]: micro-kernel sequence legality (loads precede computes
 //!   precede stores per register), workspace aliasing hazards, and the
-//!   engine's deterministic chunk-to-slot mapping (codes `K...`).
+//!   engine's deterministic chunk-to-slot mapping (codes `K...`);
+//! - [`obscheck`]: span-instrumentation coverage of the execution entry
+//!   points, so the observability layer cannot silently erode (code
+//!   `O001`).
 //!
 //! [`verify_execution`] composes all applicable passes for one
 //! (DFG, graph, plan, engine) combination; the `wisegraph-lint` binary
@@ -28,6 +31,7 @@
 
 pub mod dfgcheck;
 pub mod kernel;
+pub mod obscheck;
 pub mod plan;
 
 use std::fmt;
@@ -87,6 +91,9 @@ pub enum Code {
     KernelChunkMapping,
     /// The compiled program and the partition plan cannot run together.
     KernelPlanIncompatible,
+    /// An execution entry point runs without an enclosing observability
+    /// span (or the instrumentation-coverage table is stale).
+    ObsUncovered,
 }
 
 impl Code {
@@ -104,6 +111,7 @@ impl Code {
             Code::KernelAliasing => "K002",
             Code::KernelChunkMapping => "K003",
             Code::KernelPlanIncompatible => "K004",
+            Code::ObsUncovered => "O001",
         }
     }
 }
@@ -324,6 +332,7 @@ pub mod prelude {
     pub use crate::kernel::{
         verify_chunk_mapping, verify_chunk_ranges, verify_plan_compat, verify_program,
     };
+    pub use crate::obscheck::verify_instrumentation;
     pub use crate::plan::verify_plan;
     pub use crate::{Code, Diagnostic, Report, Severity, Span};
 }

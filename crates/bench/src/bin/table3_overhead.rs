@@ -12,7 +12,7 @@
 //! Expected shape: joint optimization is a one-shot cost comparable to the
 //! setup steps and a small fraction of convergence.
 
-use std::time::Instant;
+use wisegraph_obs::clock::Stopwatch;
 use wisegraph_baselines::single::LayerDims;
 use wisegraph_bench::{build_dataset, fmt_s, print_table};
 use wisegraph_core::WiseGraph;
@@ -28,19 +28,19 @@ fn main() {
         names.push(kind.short_name());
         // "Disk to DRAM": generating/ingesting the graph stands in for
         // reading it from disk; measured for real, scaled to paper size.
-        let t0 = Instant::now();
+        let t0 = Stopwatch::start();
         let (g, spec) = build_dataset(kind);
-        let ingest = t0.elapsed().as_secs_f64() * spec.scale();
+        let ingest = t0.elapsed_seconds() * spec.scale();
 
         // "Train initialization": building features/weights.
-        let t0 = Instant::now();
+        let t0 = Stopwatch::start();
         let _feats = wisegraph_tensor::init::uniform_tensor(
             &[g.num_vertices(), spec.feature_dim],
             -1.0,
             1.0,
             7,
         );
-        let init = t0.elapsed().as_secs_f64() * spec.scale();
+        let init = t0.elapsed_seconds() * spec.scale();
 
         // "Joint optimization": the real three-stage search, measured.
         let dims = LayerDims {
@@ -50,9 +50,9 @@ fn main() {
             layers: 3,
         };
         let wg = WiseGraph::new(dev);
-        let t0 = Instant::now();
+        let t0 = Stopwatch::start();
         let out = wg.optimize(&g, ModelKind::Sage, &dims);
-        let joint_cpu = t0.elapsed().as_secs_f64();
+        let joint_cpu = t0.elapsed_seconds();
         let stats = wg.stats();
 
         // GPU-parallel projection at paper scale: bandwidth-bound

@@ -11,14 +11,15 @@
 use crate::plan::{ExecutionPlan, OpPartitionKind};
 use crate::optimizer::WiseGraph;
 use std::collections::HashMap;
-use std::time::Instant;
 use wisegraph_baselines::single::LayerDims;
 use wisegraph_graph::sample::{neighbor_sample, SampleConfig};
 use wisegraph_graph::{Csr, Graph};
 use wisegraph_gtask::{partition, PartitionTable};
 use wisegraph_kernels::engine::Engine;
 use wisegraph_models::ModelKind;
-use wisegraph_tensor::{init, WorkspaceStats};
+use wisegraph_obs::clock::Stopwatch;
+use wisegraph_obs::{keys, Class, Counters};
+use wisegraph_tensor::init;
 
 /// Relative performance of reusing one searched plan across fresh samples,
 /// versus re-optimizing per sample (Figure 21a's `full-opt` vs `reuse`).
@@ -75,7 +76,7 @@ pub fn sampling_overhead(
 ) -> (f64, f64) {
     assert!(threads > 0, "need at least one thread");
     let csr = Csr::in_of(g);
-    let start = Instant::now();
+    let t = Stopwatch::start();
     let subs: Vec<_> = (0..num_samples)
         .map(|i| {
             neighbor_sample(
@@ -88,9 +89,9 @@ pub fn sampling_overhead(
             )
         })
         .collect();
-    let sample_time = start.elapsed().as_secs_f64();
+    let sample_time = t.elapsed_seconds();
 
-    let start = Instant::now();
+    let t = Stopwatch::start();
     std::thread::scope(|s| {
         for chunk in subs.chunks(num_samples.div_ceil(threads)) {
             s.spawn(move || {
@@ -101,25 +102,27 @@ pub fn sampling_overhead(
             });
         }
     });
-    let partition_time = start.elapsed().as_secs_f64();
+    let partition_time = t.elapsed_seconds();
     (sample_time, sample_time + partition_time)
 }
 
 /// Deterministic work accounting for the partition fan-out in
 /// [`sampling_overhead`]: draws the same subgraphs, splits them across
 /// `threads` workers exactly as the timed path does
-/// (`chunks(num_samples.div_ceil(threads))`), and returns the number of
-/// edges partitioned by each worker.
-///
-/// The longest entry is the fan-out's critical path, so overhead claims
-/// can be asserted on work counters instead of noisy wall-clock times.
+/// (`chunks(num_samples.div_ceil(threads))`), and records the number of
+/// edges partitioned by each worker under the `fanout.*` counter keys:
+/// `fanout.worker.NN.edges` per worker, [`keys::FANOUT_TOTAL_EDGES`]
+/// summed across workers, and [`keys::FANOUT_CRITICAL_EDGES`] — the
+/// longest per-worker entry, i.e. the fan-out's critical path — so
+/// overhead claims can be asserted on work counters instead of noisy
+/// wall-clock times. All keys are [`Class::Work`].
 pub fn partition_fanout_work(
     g: &Graph,
     table: &PartitionTable,
     cfg: &SampleConfig,
     num_samples: usize,
     threads: usize,
-) -> Vec<u64> {
+) -> Counters {
     assert!(threads > 0, "need at least one thread");
     let csr = Csr::in_of(g);
     let subs: Vec<_> = (0..num_samples)
@@ -134,14 +137,17 @@ pub fn partition_fanout_work(
             )
         })
         .collect();
-    subs.chunks(num_samples.div_ceil(threads))
-        .map(|chunk| {
-            chunk
-                .iter()
-                .map(|sub| partition(&sub.graph, table).total_edges() as u64)
-                .sum()
-        })
-        .collect()
+    let mut c = Counters::new();
+    for (w, chunk) in subs.chunks(num_samples.div_ceil(threads)).enumerate() {
+        let edges: u64 = chunk
+            .iter()
+            .map(|sub| partition(&sub.graph, table).total_edges() as u64)
+            .sum();
+        c.add(keys::fanout_worker_edges(w), edges);
+        c.add(keys::FANOUT_TOTAL_EDGES, edges);
+        c.record_max(keys::FANOUT_CRITICAL_EDGES, edges, Class::Work);
+    }
+    c
 }
 
 /// Executes one GCN layer on each of `num_samples` sampled subgraphs
@@ -164,7 +170,7 @@ pub fn sampled_execution_reuse(
     num_samples: usize,
     threads: usize,
     (f_in, f_out): (usize, usize),
-) -> WorkspaceStats {
+) -> Counters {
     let csr = Csr::in_of(g);
     let engine = Engine::new(threads);
     let dfg = ModelKind::Gcn.layer_dfg(f_in, f_out);
@@ -270,23 +276,35 @@ mod tests {
         let table = PartitionTable::two_d(8);
         let w1 = partition_fanout_work(&g, &table, &cfg, 8, 1);
         let w4 = partition_fanout_work(&g, &table, &cfg, 8, 4);
-        assert_eq!(w1.len(), 1);
-        assert_eq!(w4.len(), 4, "8 samples over 4 workers → 4 chunks of 2");
-        let total = w1[0];
+        let workers = |c: &Counters| {
+            (0..8)
+                .map(|i| c.count(&keys::fanout_worker_edges(i)))
+                .filter(|&e| e > 0)
+                .count()
+        };
+        assert_eq!(workers(&w1), 1);
+        assert_eq!(workers(&w4), 4, "8 samples over 4 workers → 4 chunks of 2");
+        let total = w1.count(keys::FANOUT_TOTAL_EDGES);
         assert!(total > 0, "samples must contain edges");
         assert_eq!(
-            w4.iter().sum::<u64>(),
+            w1.count(keys::FANOUT_CRITICAL_EDGES),
+            total,
+            "one worker's critical path is the whole job"
+        );
+        assert_eq!(
+            w4.count(keys::FANOUT_TOTAL_EDGES),
             total,
             "fan-out must conserve total partitioning work"
         );
-        let critical = *w4.iter().max().unwrap();
+        let critical = w4.count(keys::FANOUT_CRITICAL_EDGES);
         assert!(
             critical < total,
             "critical path {critical} must shrink below the serial total {total}"
         );
+        let again = partition_fanout_work(&g, &table, &cfg, 8, 4);
         assert_eq!(
-            partition_fanout_work(&g, &table, &cfg, 8, 4),
-            w4,
+            wisegraph_obs::counters_to_json(&again),
+            wisegraph_obs::counters_to_json(&w4),
             "work accounting must be deterministic run to run"
         );
         // The timed path still exists and agrees on shape; its durations
@@ -311,12 +329,12 @@ mod tests {
             2,
             (16, 8),
         );
-        assert!(stats.buffers_reused > 0, "samples after the first must reuse");
         assert!(
-            stats.reuse_ratio() > 0.5,
-            "pool should serve most checkouts, ratio {}",
-            stats.reuse_ratio()
+            stats.count(keys::POOL_REUSED) > 0,
+            "samples after the first must reuse"
         );
+        let ratio = wisegraph_obs::pool_reuse_ratio(&stats);
+        assert!(ratio > 0.5, "pool should serve most checkouts, ratio {ratio}");
     }
 
     #[test]

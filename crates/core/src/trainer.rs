@@ -48,6 +48,7 @@ pub fn train_full_graph_ws(
     lr: f32,
     ws: &mut Workspace,
 ) -> Vec<EpochStats> {
+    let _sp = wisegraph_obs::span!("train.full_graph", epochs = epochs);
     let feats = features_tensor(
         &data.features,
         data.graph.num_vertices(),
@@ -56,6 +57,7 @@ pub fn train_full_graph_ws(
     let mut opt = Adam::new(lr);
     (0..epochs)
         .map(|epoch| {
+            let _esp = wisegraph_obs::span!("train.epoch", epoch = epoch);
             let loss = train_epoch_ws(
                 model,
                 &mut opt,
@@ -142,18 +144,24 @@ mod tests {
         let warm = ws.stats();
         train_full_graph_ws(&mut model, &data, 3, 0.01, &mut ws);
         let after = ws.stats();
+        use wisegraph_obs::{keys, pool_reuse_ratio};
         assert!(
-            after.buffers_reused > warm.buffers_reused,
+            after.count(keys::POOL_REUSED) > warm.count(keys::POOL_REUSED),
             "later epochs must draw from the pool"
         );
         // Bounded creation: three more epochs of identical shapes must not
         // grow the pool.
         assert_eq!(
-            after.buffers_created, warm.buffers_created,
+            after.count(keys::POOL_CREATED),
+            warm.count(keys::POOL_CREATED),
             "steady-state epochs must not allocate new buffers"
         );
-        assert!(after.peak_resident_bytes > 0);
-        assert!(after.reuse_ratio() > 0.5, "ratio {}", after.reuse_ratio());
+        assert!(after.count(keys::POOL_PEAK) > 0);
+        assert!(
+            pool_reuse_ratio(&after) > 0.5,
+            "ratio {}",
+            pool_reuse_ratio(&after)
+        );
     }
 
     #[test]

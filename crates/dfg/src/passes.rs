@@ -21,6 +21,7 @@ fn node_key(kind: &OpKind, inputs: &[NodeId]) -> String {
 /// (same operation, same canonical inputs). Pure by construction — every
 /// operation in the IR is deterministic.
 pub fn cse(dfg: &Dfg) -> Dfg {
+    let mut sp = wisegraph_obs::span!("dfg.cse", nodes = dfg.len());
     let mut out = Dfg::new();
     let mut canon: Vec<NodeId> = Vec::with_capacity(dfg.len());
     let mut seen: HashMap<String, NodeId> = HashMap::new();
@@ -40,12 +41,14 @@ pub fn cse(dfg: &Dfg) -> Dfg {
     for &o in dfg.outputs() {
         out.mark_output(canon[o.0]);
     }
+    sp.arg("nodes_after", out.len());
     out
 }
 
 /// Dead-node elimination: rebuilds the DFG with only output-reachable
 /// nodes.
 pub fn prune_dead(dfg: &Dfg) -> Dfg {
+    let mut sp = wisegraph_obs::span!("dfg.prune_dead", nodes = dfg.len());
     let live = dfg.live_set();
     let mut out = Dfg::new();
     let mut remap: Vec<Option<NodeId>> = vec![None; dfg.len()];
@@ -63,6 +66,7 @@ pub fn prune_dead(dfg: &Dfg) -> Dfg {
     for &o in dfg.outputs() {
         out.mark_output(remap[o.0].expect("output is live"));
     }
+    sp.arg("nodes_after", out.len());
     out
 }
 

@@ -25,6 +25,7 @@ use wisegraph_graph::{AttrKind, Graph};
 /// number of `Exact` restrictions — the light-weight method the paper uses
 /// so plans can be regenerated per candidate table.
 pub fn partition(g: &Graph, table: &PartitionTable) -> PartitionPlan {
+    let mut sp = wisegraph_obs::span!("gtask.partition", edges = g.num_edges());
     let exact = table.exact_attrs();
     let min_attrs = table.min_attrs();
 
@@ -96,6 +97,7 @@ pub fn partition(g: &Graph, table: &PartitionTable) -> PartitionPlan {
     }
     close(&mut current, &mut seen, &mut tasks);
 
+    sp.arg("tasks", tasks.len());
     PartitionPlan {
         table: table.clone(),
         tasks,

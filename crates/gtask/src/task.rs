@@ -119,6 +119,43 @@ impl PartitionPlan {
         self.tasks.iter().map(GTask::num_edges).max().unwrap_or(0)
     }
 
+    /// Reports the plan's shape into a counter registry under the
+    /// `partition.*` keys: task and edge totals, max/median task sizes,
+    /// and the edge-weighted dedup ratio (`Σ uniq(attr) / Σ edges`) per
+    /// restricted attribute — the quantity WiseGraph's restriction tables
+    /// exist to drive below 1. Everything recorded is
+    /// [`Class::Work`](wisegraph_obs::Class::Work): a pure function of
+    /// graph and table.
+    pub fn record_counters(&self, c: &mut wisegraph_obs::Counters) {
+        use wisegraph_obs::{keys, Class};
+        c.add(keys::PARTITION_TASKS, self.num_tasks() as u64);
+        c.add(keys::PARTITION_EDGES, self.total_edges() as u64);
+        c.record_max(
+            keys::PARTITION_MAX_TASK_EDGES,
+            self.max_task_edges() as u64,
+            Class::Work,
+        );
+        c.record_max(
+            keys::PARTITION_MEDIAN_TASK_EDGES,
+            self.median_task_edges() as u64,
+            Class::Work,
+        );
+        let total = self.total_edges().max(1) as f64;
+        let mut uniq_totals: BTreeMap<AttrKind, usize> = BTreeMap::new();
+        for t in &self.tasks {
+            for (&attr, &u) in &t.uniq {
+                *uniq_totals.entry(attr).or_insert(0) += u;
+            }
+        }
+        for (attr, uniq_sum) in uniq_totals {
+            c.set_gauge(
+                keys::partition_dedup_ratio(&attr.to_string()),
+                uniq_sum as f64 / total,
+                Class::Work,
+            );
+        }
+    }
+
     /// Task-id assignment per edge (for visualization, Figure 15).
     pub fn task_of_edge(&self, num_edges: usize) -> Vec<u32> {
         let mut out = vec![u32::MAX; num_edges];
@@ -185,5 +222,25 @@ mod tests {
         assert!(plan.median_task_edges() >= 1);
         let assignment = plan.task_of_edge(g.num_edges());
         assert!(assignment.iter().all(|&t| t != u32::MAX));
+    }
+
+    #[test]
+    fn recorded_counters_describe_the_plan() {
+        use wisegraph_obs::keys;
+        let g = paper_graph();
+        let plan = partition(&g, &PartitionTable::vertex_centric());
+        let mut c = wisegraph_obs::Counters::new();
+        plan.record_counters(&mut c);
+        assert_eq!(c.count(keys::PARTITION_TASKS), plan.num_tasks() as u64);
+        assert_eq!(c.count(keys::PARTITION_EDGES), g.num_edges() as u64);
+        assert_eq!(
+            c.count(keys::PARTITION_MAX_TASK_EDGES),
+            plan.max_task_edges() as u64
+        );
+        // Vertex-centric: 5 unique destinations over 11 edges.
+        let dedup = c
+            .gauge(&keys::partition_dedup_ratio(&AttrKind::DstId.to_string()))
+            .expect("dst dedup ratio recorded");
+        assert!((dedup - 5.0 / 11.0).abs() < 1e-12, "{dedup}");
     }
 }

@@ -25,7 +25,8 @@ use std::sync::Mutex;
 use wisegraph_dfg::Dfg;
 use wisegraph_graph::Graph;
 use wisegraph_gtask::PartitionPlan;
-use wisegraph_tensor::{ops, Tensor, WorkspaceStats};
+use wisegraph_obs::{keys, span, with_lane, Class, Counters};
+use wisegraph_tensor::{ops, Tensor};
 
 /// The deterministic chunk-to-slot assignment shared by [`Engine::execute`]
 /// and [`execute_parallel_alloc`]: tasks split into at most `threads`
@@ -80,13 +81,16 @@ impl Engine {
         self.slots.len()
     }
 
-    /// Merged workspace counters across all worker slots (counts sum;
-    /// peak resident bytes take the per-worker maximum).
-    pub fn stats(&self) -> WorkspaceStats {
-        self.slots
-            .iter()
-            .map(|s| s.lock().expect("engine slot poisoned").tws.stats())
-            .fold(WorkspaceStats::default(), |a, b| a.merge(&b))
+    /// Merged counters across all worker slots, honoring each metric's
+    /// policy (counts sum; peaks take the per-worker maximum), plus the
+    /// engine's own `engine.threads`.
+    pub fn stats(&self) -> Counters {
+        let mut c = Counters::new();
+        for s in &self.slots {
+            c.merge(&s.lock().expect("engine slot poisoned").tws.stats());
+        }
+        c.record_max(keys::ENGINE_THREADS, self.threads() as u64, Class::Resource);
+        c
     }
 
     /// Executes a compiled plan across the engine's workers and returns the
@@ -106,6 +110,11 @@ impl Engine {
         plan: &PartitionPlan,
         globals: &HashMap<String, Tensor>,
     ) -> Result<Vec<Tensor>, CompileError> {
+        let _sp = span!(
+            "engine.execute",
+            tasks = plan.tasks.len(),
+            threads = self.threads()
+        );
         let program = compile(dfg, g)?;
         if program.requires_dst_complete && !plan_is_dst_complete(g, plan) {
             return Err(CompileError(
@@ -115,6 +124,7 @@ impl Engine {
         }
         let mut all_globals = globals.clone();
         if !program.prologue.is_empty() {
+            let _psp = span!("engine.prologue", nodes = program.prologue.len());
             let pre = eval_edge_independent(dfg, g, globals);
             for id in &program.prologue {
                 let v = pre.get(id).cloned().ok_or_else(|| {
@@ -133,35 +143,43 @@ impl Engine {
                     let program = &program;
                     let all_globals = &all_globals;
                     let slot = &self.slots[wi];
+                    // Lane 0 belongs to the driver thread; worker slot `wi`
+                    // records on lane `wi + 1`, making the trace's track
+                    // layout a function of the deterministic slot
+                    // assignment rather than of OS thread identity.
                     scope.spawn(move || {
-                        let mut slot = slot.lock().expect("engine slot poisoned");
-                        // Reuse last call's accumulator when the shape still
-                        // fits; `fill(0.0)` makes it indistinguishable from a
-                        // fresh zero tensor.
-                        let mut acc = match slot.acc.take() {
-                            Some(mut t)
-                                if t.dims()
-                                    == [program.out_rows, program.out_width] =>
-                            {
-                                t.data_mut().fill(0.0);
-                                t
+                        with_lane(wi as u32 + 1, || {
+                            let _wsp =
+                                span!("engine.worker", slot = wi, tasks = tasks.len());
+                            let mut slot = slot.lock().expect("engine slot poisoned");
+                            // Reuse last call's accumulator when the shape still
+                            // fits; `fill(0.0)` makes it indistinguishable from a
+                            // fresh zero tensor.
+                            let mut acc = match slot.acc.take() {
+                                Some(mut t)
+                                    if t.dims()
+                                        == [program.out_rows, program.out_width] =>
+                                {
+                                    t.data_mut().fill(0.0);
+                                    t
+                                }
+                                _ => Tensor::zeros(&[
+                                    program.out_rows,
+                                    program.out_width,
+                                ]),
+                            };
+                            for task in tasks {
+                                run_task_ws(
+                                    program,
+                                    g,
+                                    all_globals,
+                                    &task.edges,
+                                    &mut acc,
+                                    &mut slot.tws,
+                                );
                             }
-                            _ => Tensor::zeros(&[
-                                program.out_rows,
-                                program.out_width,
-                            ]),
-                        };
-                        for task in tasks {
-                            run_task_ws(
-                                program,
-                                g,
-                                all_globals,
-                                &task.edges,
-                                &mut acc,
-                                &mut slot.tws,
-                            );
-                        }
-                        acc
+                            acc
+                        })
                     })
                 })
                 .collect();
@@ -174,6 +192,7 @@ impl Engine {
         // Reduce in ascending worker order (same order as the sequential
         // `acc = acc + p` of the allocating path), then park the partials
         // back in their slots for the next call.
+        let _rsp = span!("engine.reduce", partials = partials.len());
         let mut acc = Tensor::zeros(&[program.out_rows, program.out_width]);
         for p in &partials {
             ops::add_assign(&mut acc, p);
@@ -382,10 +401,22 @@ mod tests {
         // Identical inputs → bit-identical outputs.
         assert_eq!(first[0].data(), second[0].data());
         // The second call must be served (almost) entirely from the pool.
-        assert!(after_second.buffers_reused > after_first.buffers_reused);
+        assert!(
+            after_second.count(keys::POOL_REUSED) > after_first.count(keys::POOL_REUSED)
+        );
         assert_eq!(
-            after_second.buffers_created, after_first.buffers_created,
+            after_second.count(keys::POOL_CREATED),
+            after_first.count(keys::POOL_CREATED),
             "steady state must not allocate new buffers"
+        );
+        // Work counters double exactly: the second call does the same work.
+        assert_eq!(
+            after_second.count(keys::KERNEL_EDGES),
+            2 * after_first.count(keys::KERNEL_EDGES)
+        );
+        assert_eq!(
+            after_second.count(keys::KERNEL_FLOPS),
+            2 * after_first.count(keys::KERNEL_FLOPS)
         );
     }
 

@@ -21,7 +21,8 @@ use wisegraph_dfg::{Dfg, NodeId, OpKind};
 use wisegraph_dfg::op::LEAKY_SLOPE;
 use wisegraph_graph::{AttrKind, Graph};
 use wisegraph_gtask::PartitionPlan;
-use wisegraph_tensor::{ops, Tensor, Workspace, WorkspaceStats};
+use wisegraph_obs::{keys, span, Class, Counters};
+use wisegraph_tensor::{ops, Tensor, Workspace};
 
 /// A virtual register holding one per-task value.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -245,6 +246,18 @@ enum RegValue {
     Stream(Vec<u32>),
 }
 
+/// Exact work totals accumulated while a worker executes tasks: pure
+/// functions of program and inputs ([`Class::Work`]), independent of how
+/// tasks are spread over workers.
+#[derive(Default)]
+struct KernelWork {
+    tasks: u64,
+    edges: u64,
+    flops: u64,
+    bytes_gathered: u64,
+    bytes_scattered: u64,
+}
+
 /// Per-worker execution state: a register file reused across tasks plus the
 /// scratch-buffer pool ([`Workspace`]) backing the register values.
 ///
@@ -256,6 +269,7 @@ enum RegValue {
 pub struct TaskWorkspace {
     regs: Vec<Option<RegValue>>,
     ws: Workspace,
+    work: KernelWork,
 }
 
 impl TaskWorkspace {
@@ -264,14 +278,22 @@ impl TaskWorkspace {
         Self::default()
     }
 
-    /// Counter snapshot of the underlying buffer pool.
-    pub fn stats(&self) -> WorkspaceStats {
-        self.ws.stats()
+    /// Counter snapshot: the buffer pool's `pool.*` resource counters plus
+    /// this worker's `kernel.*` work totals (tasks, edges, FLOPs, bytes
+    /// gathered/scattered).
+    pub fn stats(&self) -> Counters {
+        let mut c = self.ws.stats();
+        c.add_class(keys::KERNEL_TASKS, self.work.tasks, Class::Work);
+        c.add_class(keys::KERNEL_EDGES, self.work.edges, Class::Work);
+        c.add_class(keys::KERNEL_FLOPS, self.work.flops, Class::Work);
+        c.add_class(keys::KERNEL_BYTES_GATHERED, self.work.bytes_gathered, Class::Work);
+        c.add_class(keys::KERNEL_BYTES_SCATTERED, self.work.bytes_scattered, Class::Work);
+        c
     }
 
     /// Clears the register file for a new task, recycling held values.
     fn prepare(&mut self, num_regs: usize) {
-        let TaskWorkspace { regs, ws } = self;
+        let TaskWorkspace { regs, ws, work: _ } = self;
         for slot in regs.iter_mut() {
             match slot.take() {
                 Some(RegValue::Tensor(t)) => ws.recycle(t),
@@ -656,8 +678,12 @@ pub fn run_task_ws(
     out: &mut Tensor,
     tws: &mut TaskWorkspace,
 ) {
+    let mut sp = span!("kernel.task", edges = edges.len(), ops = program.ops.len());
     tws.prepare(program.num_regs);
-    let TaskWorkspace { regs, ws } = tws;
+    let TaskWorkspace { regs, ws, work } = tws;
+    work.tasks += 1;
+    work.edges += edges.len() as u64;
+    let flops_before = work.flops;
     for op in &program.ops {
         match op {
             MicroKernel::LoadStream { attr, out } => {
@@ -665,6 +691,7 @@ pub fn run_task_ws(
                 for (slot, &e) in s.iter_mut().zip(edges.iter()) {
                     *slot = g.edge_attr(*attr, e) as u32;
                 }
+                work.bytes_gathered += 4 * edges.len() as u64;
                 set_reg(regs, ws, *out, RegValue::Stream(s));
             }
             MicroKernel::Unique {
@@ -684,6 +711,7 @@ pub fn run_task_ws(
                     let n = srct.dims()[1];
                     let mut buf = ws.take(i.len() * n);
                     ops::gather_rows_into(srct, i, &mut buf);
+                    work.bytes_gathered += (4 * i.len() * n) as u64;
                     t = Tensor::from_vec(buf, &[i.len(), n]);
                 }
                 set_reg(regs, ws, *out, RegValue::Tensor(t));
@@ -696,6 +724,7 @@ pub fn run_task_ws(
                     let n = srct.dims()[1];
                     let mut buf = ws.take(i.len() * n);
                     ops::gather_rows_into(srct, i, &mut buf);
+                    work.bytes_gathered += (4 * i.len() * n) as u64;
                     t = Tensor::from_vec(buf, &[i.len(), n]);
                 }
                 set_reg(regs, ws, *out, RegValue::Tensor(t));
@@ -719,6 +748,7 @@ pub fn run_task_ws(
                         data[i * rest..(i + 1) * rest]
                             .copy_from_slice(&srct.data()[off..off + rest]);
                     }
+                    work.bytes_gathered += (4 * i1.len() * rest) as u64;
                     t = Tensor::from_vec(data, &[i1.len(), rest]);
                 }
                 set_reg(regs, ws, *out, RegValue::Tensor(t));
@@ -735,6 +765,7 @@ pub fn run_task_ws(
                         data[n * slice..(n + 1) * slice]
                             .copy_from_slice(&w.data()[off..off + slice]);
                     }
+                    work.bytes_gathered += (4 * i.len() * slice) as u64;
                     let mut dims = vec![i.len()];
                     dims.extend_from_slice(&w.dims()[1..]);
                     t = Tensor::from_vec(data, &dims);
@@ -760,6 +791,7 @@ pub fn run_task_ws(
                         data[i * rest..(i + 1) * rest]
                             .copy_from_slice(&srct.data()[off..off + rest]);
                     }
+                    work.bytes_gathered += (4 * i1.len() * rest) as u64;
                     t = Tensor::from_vec(data, &[i1.len(), rest]);
                 }
                 set_reg(regs, ws, *out, RegValue::Tensor(t));
@@ -772,6 +804,7 @@ pub fn run_task_ws(
                     let (u, td, fo) = (xv.dims()[0], wv.dims()[0], wv.dims()[2]);
                     let mut buf = ws.take(u * td * fo);
                     pairwise_into(xv, wv, &mut buf);
+                    work.flops += (2 * u * xv.dims()[1] * td * fo) as u64;
                     t = Tensor::from_vec(buf, &[u, td, fo]);
                 }
                 set_reg(regs, ws, *out, RegValue::Tensor(t));
@@ -784,6 +817,7 @@ pub fn run_task_ws(
                     let (m, n) = (xv.dims()[0], wt.dims()[1]);
                     let mut buf = ws.take(m * n);
                     ops::matmul_into(xv, wt, &mut buf);
+                    work.flops += (2 * m * xv.dims()[1] * n) as u64;
                     t = Tensor::from_vec(buf, &[m, n]);
                 }
                 set_reg(regs, ws, *out, RegValue::Tensor(t));
@@ -811,6 +845,9 @@ pub fn run_task_ws(
                             }
                         }
                     }
+                    // Nominal FLOPs (the zero-skip above is an execution
+                    // shortcut, not less work in the model).
+                    work.flops += (2 * n * f * fo) as u64;
                     t = Tensor::from_vec(data, &[n, fo]);
                 }
                 set_reg(regs, ws, *out, RegValue::Tensor(t));
@@ -823,6 +860,7 @@ pub fn run_task_ws(
                     let (u, td, fo) = (xv.dims()[0], wv.dims()[0], wv.dims()[2]);
                     let mut buf = ws.take(u * td * fo);
                     pairwise_into(xv, wv, &mut buf);
+                    work.flops += (2 * u * xv.dims()[1] * td * fo) as u64;
                     t = Tensor::from_vec(buf, &[u, td, fo]);
                 }
                 set_reg(regs, ws, *out, RegValue::Tensor(t));
@@ -845,6 +883,7 @@ pub fn run_task_ws(
                         }
                         _ => panic!("binary elementwise without second operand"),
                     }
+                    work.flops += av.numel() as u64;
                     t = Tensor::from_vec(buf, av.dims());
                 }
                 set_reg(regs, ws, *out, RegValue::Tensor(t));
@@ -868,6 +907,8 @@ pub fn run_task_ws(
                         segs.iter().copied().max().unwrap_or(0) as usize + 1;
                     let mut buf = ws.take(segs.len());
                     ops::segment_softmax_into(sc, segs, max_seg, &mut buf);
+                    // max + exp + sum + divide passes, ~5 ops per element.
+                    work.flops += 5 * segs.len() as u64;
                     t = Tensor::from_vec(buf, &[segs.len()]);
                 }
                 set_reg(regs, ws, *out, RegValue::Tensor(t));
@@ -879,6 +920,7 @@ pub fn run_task_ws(
                     let sv = reg_tensor(regs, *s);
                     let mut buf = ws.take(xv.numel());
                     ops::scale_rows_into(xv, sv, &mut buf);
+                    work.flops += xv.numel() as u64;
                     t = Tensor::from_vec(buf, xv.dims());
                 }
                 set_reg(regs, ws, *out, RegValue::Tensor(t));
@@ -894,9 +936,12 @@ pub fn run_task_ws(
                         *o += v;
                     }
                 }
+                work.flops += (i.len() * width) as u64;
+                work.bytes_scattered += (4 * i.len() * width) as u64;
             }
         }
     }
+    sp.arg("flops", work.flops - flops_before);
 }
 
 /// Evaluates the epilogue: the DFG nodes after (or independent of) the
@@ -914,6 +959,7 @@ pub fn run_epilogue(
     reduce_node: NodeId,
     reduced: Tensor,
 ) -> Vec<Tensor> {
+    let _sp = span!("kernel.epilogue");
     let mut values: HashMap<NodeId, Tensor> = HashMap::new();
     values.insert(reduce_node, reduced);
     let live = dfg.live_set();

@@ -1,0 +1,66 @@
+//! The workspace's single monotonic-clock site.
+//!
+//! Determinism is the repo's core testing contract (DESIGN.md §9): work
+//! counters must be bit-identical run to run, so wall-clock time is an
+//! *overlay*, never an input to any computation. All timing flows through
+//! this module — `testkit::hermetic::scan_sources` flags any other use of
+//! `Instant` in shipped code, so a stray timing dependency cannot creep
+//! into a hot path unnoticed.
+
+use std::sync::OnceLock;
+use std::time::Instant;
+
+/// Process-wide anchor; timestamps are nanoseconds since the first call.
+static ANCHOR: OnceLock<Instant> = OnceLock::new();
+
+/// Monotonic nanoseconds since the process's first clock read.
+///
+/// The anchor initializes lazily, so the very first call returns a small
+/// number rather than an epoch-sized one — Chrome trace viewers render
+/// such timelines starting near zero.
+pub fn now_ns() -> u64 {
+    ANCHOR.get_or_init(Instant::now).elapsed().as_nanos() as u64
+}
+
+/// A started stopwatch (the `Instant`-free face of interval timing).
+#[derive(Clone, Copy, Debug)]
+pub struct Stopwatch {
+    start_ns: u64,
+}
+
+impl Stopwatch {
+    /// Starts a stopwatch now.
+    pub fn start() -> Self {
+        Stopwatch { start_ns: now_ns() }
+    }
+
+    /// Nanoseconds elapsed since [`Stopwatch::start`].
+    pub fn elapsed_ns(&self) -> u64 {
+        now_ns().saturating_sub(self.start_ns)
+    }
+
+    /// Seconds elapsed since [`Stopwatch::start`].
+    pub fn elapsed_seconds(&self) -> f64 {
+        self.elapsed_ns() as f64 / 1e9
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clock_is_monotone() {
+        let a = now_ns();
+        let b = now_ns();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn stopwatch_measures_nonnegative_intervals() {
+        let sw = Stopwatch::start();
+        std::hint::black_box((0..1000).sum::<u64>());
+        assert!(sw.elapsed_seconds() >= 0.0);
+        assert!(sw.elapsed_ns() <= now_ns());
+    }
+}

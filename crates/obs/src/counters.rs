@@ -1,0 +1,321 @@
+//! The unified work-counter registry.
+//!
+//! Every component that used to keep ad-hoc bookkeeping (the buffer pool's
+//! create/reuse counts, the engine's per-worker merges, the sampled-training
+//! fan-out accounting, the pipeline simulator's idle times) now reports into
+//! one value type: [`Counters`], an ordered map from dotted metric names to
+//! classed, merge-policied values.
+//!
+//! Three [`Class`]es encode the determinism contract (DESIGN.md §9):
+//!
+//! - [`Class::Work`] — pure functions of the inputs (edges processed, FLOPs,
+//!   bytes moved, partition shapes, simulated times). Bit-identical across
+//!   runs *and* across engine thread counts.
+//! - [`Class::Resource`] — deterministic for a fixed configuration but
+//!   legitimately thread-count-dependent (buffer-pool hits/misses, resident
+//!   bytes: more workers means more cold pools).
+//! - [`Class::Timing`] — wall-clock overlays. Never compared.
+//!
+//! The map is a `BTreeMap`, so iteration, merging, and serialization are
+//! deterministic by construction (the hermeticity scanner bans `HashMap`
+//! iteration in shipped code for exactly this reason).
+
+use std::collections::BTreeMap;
+
+/// Determinism class of a metric (see module docs).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Class {
+    /// Input-determined work: identical across runs and thread counts.
+    Work,
+    /// Configuration-determined resource use: identical across runs at a
+    /// fixed thread count.
+    Resource,
+    /// Wall-clock overlay: never part of any determinism comparison.
+    Timing,
+}
+
+impl Class {
+    /// Stable lowercase name used in exports.
+    pub const fn as_str(self) -> &'static str {
+        match self {
+            Class::Work => "work",
+            Class::Resource => "resource",
+            Class::Timing => "timing",
+        }
+    }
+}
+
+/// How two snapshots of the same metric combine under [`Counters::merge`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MergeKind {
+    /// Totals add (edges processed, buffers created).
+    Sum,
+    /// Peaks take the maximum (peak resident bytes, critical-path work).
+    Max,
+    /// The merged-in value wins (gauges: ratios, simulated seconds).
+    Last,
+}
+
+/// A metric value: an exact integer count or an `f64` gauge.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Value {
+    /// Exact event/volume count.
+    Count(u64),
+    /// Derived or continuous quantity. All gauges in this workspace are
+    /// computed by deterministic float math, so bit-comparison is valid.
+    Gauge(f64),
+}
+
+impl Value {
+    /// The count, or 0 for gauges.
+    pub fn as_count(self) -> u64 {
+        match self {
+            Value::Count(c) => c,
+            Value::Gauge(_) => 0,
+        }
+    }
+
+    /// The value as an `f64` (counts convert losslessly up to 2^53).
+    pub fn as_f64(self) -> f64 {
+        match self {
+            Value::Count(c) => c as f64,
+            Value::Gauge(g) => g,
+        }
+    }
+}
+
+/// One registered metric: its value plus the registration spec.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Metric {
+    /// Current value.
+    pub value: Value,
+    /// Determinism class.
+    pub class: Class,
+    /// Merge policy.
+    pub merge: MergeKind,
+}
+
+/// An ordered registry of named metrics.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Counters {
+    map: BTreeMap<String, Metric>,
+}
+
+impl Counters {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of registered metrics.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// `true` when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Adds `delta` to a [`Class::Work`] sum counter.
+    pub fn add(&mut self, name: impl Into<String>, delta: u64) {
+        self.add_class(name, delta, Class::Work);
+    }
+
+    /// Adds `delta` to a sum counter of the given class.
+    pub fn add_class(&mut self, name: impl Into<String>, delta: u64, class: Class) {
+        self.update(name.into(), Value::Count(delta), class, MergeKind::Sum);
+    }
+
+    /// Raises a max counter of the given class to at least `v`.
+    pub fn record_max(&mut self, name: impl Into<String>, v: u64, class: Class) {
+        self.update(name.into(), Value::Count(v), class, MergeKind::Max);
+    }
+
+    /// Sets a gauge of the given class (last write wins on merge).
+    pub fn set_gauge(&mut self, name: impl Into<String>, v: f64, class: Class) {
+        self.update(name.into(), Value::Gauge(v), class, MergeKind::Last);
+    }
+
+    /// Inserts a fully specified metric, replacing any prior value
+    /// (exporters use this to rebuild registries from files).
+    pub fn insert(&mut self, name: impl Into<String>, metric: Metric) {
+        self.map.insert(name.into(), metric);
+    }
+
+    fn update(&mut self, name: String, v: Value, class: Class, merge: MergeKind) {
+        match self.map.get_mut(&name) {
+            Some(m) => {
+                assert!(
+                    m.class == class && m.merge == merge,
+                    "metric `{name}` re-registered with a different spec \
+                     ({:?}/{:?} vs {class:?}/{merge:?})",
+                    m.class,
+                    m.merge
+                );
+                m.value = combine(m.value, v, merge, &name);
+            }
+            None => {
+                self.map.insert(name, Metric { value: v, class, merge });
+            }
+        }
+    }
+
+    /// Folds another registry into this one, metric by metric, honoring
+    /// each metric's merge policy. Specs must agree.
+    pub fn merge(&mut self, other: &Counters) {
+        for (name, m) in &other.map {
+            self.update(name.clone(), m.value, m.class, m.merge);
+        }
+    }
+
+    /// [`Counters::merge`] with every incoming name prefixed by
+    /// `prefix` + `.` — the tool for aggregating per-configuration
+    /// registries into one report without collisions.
+    pub fn merge_prefixed(&mut self, prefix: &str, other: &Counters) {
+        for (name, m) in &other.map {
+            self.update(format!("{prefix}.{name}"), m.value, m.class, m.merge);
+        }
+    }
+
+    /// The count registered under `name` (0 when absent or a gauge).
+    pub fn count(&self, name: &str) -> u64 {
+        self.map.get(name).map_or(0, |m| m.value.as_count())
+    }
+
+    /// The gauge registered under `name`, if any.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        match self.map.get(name) {
+            Some(Metric { value: Value::Gauge(g), .. }) => Some(*g),
+            _ => None,
+        }
+    }
+
+    /// The full metric registered under `name`, if any.
+    pub fn get(&self, name: &str) -> Option<&Metric> {
+        self.map.get(name)
+    }
+
+    /// Iterates metrics in name order (deterministic).
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &Metric)> {
+        self.map.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// A new registry holding only the metrics of the given classes —
+    /// `only(&[Class::Work])` is the determinism-comparison view.
+    pub fn only(&self, classes: &[Class]) -> Counters {
+        let map = self
+            .map
+            .iter()
+            .filter(|(_, m)| classes.contains(&m.class))
+            .map(|(k, m)| (k.clone(), *m))
+            .collect();
+        Counters { map }
+    }
+}
+
+fn combine(old: Value, new: Value, merge: MergeKind, name: &str) -> Value {
+    match (merge, old, new) {
+        (MergeKind::Sum, Value::Count(a), Value::Count(b)) => Value::Count(a + b),
+        (MergeKind::Max, Value::Count(a), Value::Count(b)) => Value::Count(a.max(b)),
+        (MergeKind::Last, _, v) => v,
+        (MergeKind::Sum, Value::Gauge(a), Value::Gauge(b)) => Value::Gauge(a + b),
+        (MergeKind::Max, Value::Gauge(a), Value::Gauge(b)) => {
+            Value::Gauge(a.max(b))
+        }
+        _ => panic!("metric `{name}` merged count/gauge values"),
+    }
+}
+
+/// Fraction of pool checkouts served from the pool, computed from the
+/// standard `pool.buffers_created` / `pool.buffers_reused` counters
+/// (0 when nothing was checked out).
+pub fn pool_reuse_ratio(c: &Counters) -> f64 {
+    let created = c.count(crate::keys::POOL_CREATED);
+    let reused = c.count(crate::keys::POOL_REUSED);
+    let total = created + reused;
+    if total == 0 {
+        0.0
+    } else {
+        reused as f64 / total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sums_max_and_gauges_follow_their_policies() {
+        let mut c = Counters::new();
+        c.add("a.total", 3);
+        c.add("a.total", 4);
+        c.record_max("a.peak", 10, Class::Resource);
+        c.record_max("a.peak", 7, Class::Resource);
+        c.set_gauge("a.ratio", 0.5, Class::Work);
+        c.set_gauge("a.ratio", 0.75, Class::Work);
+        assert_eq!(c.count("a.total"), 7);
+        assert_eq!(c.count("a.peak"), 10);
+        assert_eq!(c.gauge("a.ratio"), Some(0.75));
+        assert_eq!(c.count("missing"), 0);
+    }
+
+    #[test]
+    fn merge_honors_per_metric_policies() {
+        let mut a = Counters::new();
+        a.add("n", 1);
+        a.record_max("p", 5, Class::Resource);
+        let mut b = Counters::new();
+        b.add("n", 2);
+        b.record_max("p", 3, Class::Resource);
+        b.add("only_b", 9);
+        a.merge(&b);
+        assert_eq!(a.count("n"), 3);
+        assert_eq!(a.count("p"), 5);
+        assert_eq!(a.count("only_b"), 9);
+    }
+
+    #[test]
+    fn prefixed_merge_keeps_configurations_separate() {
+        let mut per_run = Counters::new();
+        per_run.add("edges", 100);
+        let mut report = Counters::new();
+        report.merge_prefixed("gcn.t2", &per_run);
+        report.merge_prefixed("gcn.t4", &per_run);
+        assert_eq!(report.count("gcn.t2.edges"), 100);
+        assert_eq!(report.count("gcn.t4.edges"), 100);
+        assert_eq!(report.len(), 2);
+    }
+
+    #[test]
+    fn class_filter_builds_the_determinism_view() {
+        let mut c = Counters::new();
+        c.add("work.edges", 5);
+        c.add_class("pool.created", 2, Class::Resource);
+        c.set_gauge("wall.seconds", 0.1, Class::Timing);
+        let det = c.only(&[Class::Work, Class::Resource]);
+        assert_eq!(det.len(), 2);
+        assert!(det.gauge("wall.seconds").is_none());
+        let work = c.only(&[Class::Work]);
+        assert_eq!(work.len(), 1);
+    }
+
+    #[test]
+    fn registries_compare_bit_identically() {
+        let build = || {
+            let mut c = Counters::new();
+            c.add("x", 2);
+            c.set_gauge("r", 1.0 / 3.0, Class::Work);
+            c
+        };
+        assert_eq!(build(), build());
+    }
+
+    #[test]
+    #[should_panic(expected = "different spec")]
+    fn conflicting_specs_are_programming_errors() {
+        let mut c = Counters::new();
+        c.add("m", 1);
+        c.record_max("m", 2, Class::Work);
+    }
+}

@@ -1,0 +1,216 @@
+//! Exporters: Chrome trace-event JSON and the flat metrics format.
+//!
+//! Two consumers, two shapes:
+//!
+//! - [`trace_to_chrome_json`] writes the trace-event format that
+//!   `chrome://tracing` and [Perfetto](https://ui.perfetto.dev) load
+//!   directly — drop the file onto the UI and the lanes render as tracks.
+//! - [`counters_to_json`] / [`counters_from_json`] round-trip a
+//!   [`Counters`] registry through a flat, diffable document; this is the
+//!   shape of `results/prof_*.json` and the `wisegraph-prof --check`
+//!   baseline.
+
+use crate::counters::{Class, Counters, MergeKind, Metric, Value};
+use crate::json::Json;
+use crate::span::{Phase, Trace, NO_LANE};
+use std::collections::BTreeMap;
+
+/// Schema tag written into every metrics document.
+pub const METRICS_SCHEMA: &str = "wisegraph-obs/v1";
+
+/// Serializes a trace as Chrome trace-event JSON (Perfetto-loadable).
+///
+/// Events go out in deterministic merge order; `ts` is the wall-clock
+/// overlay in microseconds (the format's unit). Each logical lane becomes
+/// a `tid`, so engine worker slots render as separate tracks; threads
+/// without a lane fall back to their raw thread id offset past the lanes.
+pub fn trace_to_chrome_json(trace: &Trace) -> String {
+    const LANE_TRACK_LIMIT: u64 = 1 << 20;
+    let mut events = Vec::new();
+    for e in trace.sorted_events() {
+        let mut ev = BTreeMap::new();
+        ev.insert("name".to_string(), Json::Str(e.name.to_string()));
+        ev.insert(
+            "ph".to_string(),
+            Json::Str(match e.phase {
+                Phase::Begin => "B",
+                Phase::End => "E",
+            }
+            .to_string()),
+        );
+        ev.insert("ts".to_string(), Json::Num(e.ts_ns as f64 / 1000.0));
+        ev.insert("pid".to_string(), Json::Num(1.0));
+        let tid = if e.lane == NO_LANE {
+            LANE_TRACK_LIMIT + e.tid
+        } else {
+            u64::from(e.lane)
+        };
+        ev.insert("tid".to_string(), Json::Num(tid as f64));
+        if !e.args.is_empty() {
+            let args = e
+                .args
+                .iter()
+                .map(|&(k, v)| (k.to_string(), Json::Num(v as f64)))
+                .collect();
+            ev.insert("args".to_string(), Json::Obj(args));
+        }
+        events.push(Json::Obj(ev));
+    }
+    let mut doc = BTreeMap::new();
+    doc.insert("traceEvents".to_string(), Json::Arr(events));
+    doc.insert("displayTimeUnit".to_string(), Json::Str("ms".to_string()));
+    Json::Obj(doc).to_string_compact()
+}
+
+const fn merge_str(m: MergeKind) -> &'static str {
+    match m {
+        MergeKind::Sum => "sum",
+        MergeKind::Max => "max",
+        MergeKind::Last => "last",
+    }
+}
+
+/// Serializes a registry as the flat metrics document:
+///
+/// ```json
+/// {"schema":"wisegraph-obs/v1",
+///  "counters":{"kernel.edges":{"class":"work","merge":"sum","value":812}}}
+/// ```
+///
+/// Keys are sorted and counts are integers, so equal registries produce
+/// byte-identical documents (the determinism gates diff these directly).
+pub fn counters_to_json(c: &Counters) -> String {
+    let mut entries = BTreeMap::new();
+    for (name, m) in c.iter() {
+        let mut entry = BTreeMap::new();
+        entry.insert("class".to_string(), Json::Str(m.class.as_str().to_string()));
+        entry.insert("merge".to_string(), Json::Str(merge_str(m.merge).to_string()));
+        let value = match m.value {
+            Value::Count(n) => Json::Num(n as f64),
+            Value::Gauge(g) => Json::Num(g),
+        };
+        entry.insert("value".to_string(), value);
+        // Gauges and counts both serialize as JSON numbers; record which
+        // side of the enum to rebuild on read.
+        entry.insert(
+            "kind".to_string(),
+            Json::Str(
+                match m.value {
+                    Value::Count(_) => "count",
+                    Value::Gauge(_) => "gauge",
+                }
+                .to_string(),
+            ),
+        );
+        entries.insert(name.to_string(), Json::Obj(entry));
+    }
+    let mut doc = BTreeMap::new();
+    doc.insert("schema".to_string(), Json::Str(METRICS_SCHEMA.to_string()));
+    doc.insert("counters".to_string(), Json::Obj(entries));
+    Json::Obj(doc).to_string_compact()
+}
+
+/// Parses a flat metrics document back into a [`Counters`] registry.
+///
+/// # Errors
+///
+/// Returns a message naming the offending key on schema mismatch or any
+/// malformed entry.
+pub fn counters_from_json(text: &str) -> Result<Counters, String> {
+    let doc = crate::json::parse(text)?;
+    if doc.get("schema").and_then(Json::as_str) != Some(METRICS_SCHEMA) {
+        return Err(format!("not a {METRICS_SCHEMA} metrics document"));
+    }
+    let entries = doc
+        .get("counters")
+        .and_then(Json::as_obj)
+        .ok_or("missing `counters` object")?;
+    let mut out = Counters::new();
+    for (name, entry) in entries {
+        let field = |key: &str| {
+            entry
+                .get(key)
+                .and_then(Json::as_str)
+                .ok_or_else(|| format!("metric `{name}`: missing `{key}`"))
+        };
+        let class = match field("class")? {
+            "work" => Class::Work,
+            "resource" => Class::Resource,
+            "timing" => Class::Timing,
+            other => return Err(format!("metric `{name}`: unknown class `{other}`")),
+        };
+        let merge = match field("merge")? {
+            "sum" => MergeKind::Sum,
+            "max" => MergeKind::Max,
+            "last" => MergeKind::Last,
+            other => return Err(format!("metric `{name}`: unknown merge `{other}`")),
+        };
+        let num = entry
+            .get("value")
+            .and_then(Json::as_num)
+            .ok_or_else(|| format!("metric `{name}`: missing `value`"))?;
+        let value = match field("kind")? {
+            "count" => Value::Count(num as u64),
+            "gauge" => Value::Gauge(num),
+            other => return Err(format!("metric `{name}`: unknown kind `{other}`")),
+        };
+        out.insert(name.clone(), Metric { value, class, merge });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::capture;
+
+    #[test]
+    fn metrics_round_trip_bit_identically() {
+        let mut c = Counters::new();
+        c.add("kernel.edges", 812);
+        c.add_class("pool.buffers_created", 7, Class::Resource);
+        c.record_max("pool.peak_resident_bytes", 4096, Class::Resource);
+        c.set_gauge("partition.dedup_ratio", 1.0 / 3.0, Class::Work);
+        c.set_gauge("wall.seconds", 0.25, Class::Timing);
+        let text = counters_to_json(&c);
+        let back = counters_from_json(&text).expect("parses");
+        assert_eq!(back, c);
+        assert_eq!(counters_to_json(&back), text);
+    }
+
+    #[test]
+    fn schema_mismatch_is_rejected() {
+        assert!(counters_from_json(r#"{"schema":"other","counters":{}}"#).is_err());
+        assert!(counters_from_json("[]").is_err());
+    }
+
+    #[test]
+    fn chrome_export_is_valid_json_with_paired_events() {
+        let ((), trace) = capture(|| {
+            let _s = crate::span!("export.unit", n = 3u64);
+        });
+        let text = trace_to_chrome_json(&trace);
+        let doc = crate::json::parse(&text).expect("valid json");
+        let events = doc
+            .get("traceEvents")
+            .and_then(Json::as_arr)
+            .expect("traceEvents array");
+        let phases: Vec<&str> = events
+            .iter()
+            .filter(|e| e.get("name").and_then(Json::as_str) == Some("export.unit"))
+            .filter_map(|e| e.get("ph").and_then(Json::as_str))
+            .collect();
+        assert_eq!(phases, vec!["B", "E"]);
+        let begin = events
+            .iter()
+            .find(|e| {
+                e.get("name").and_then(Json::as_str) == Some("export.unit")
+                    && e.get("ph").and_then(Json::as_str) == Some("B")
+            })
+            .expect("begin event");
+        assert_eq!(
+            begin.get("args").and_then(|a| a.get("n")).and_then(Json::as_num),
+            Some(3.0)
+        );
+    }
+}

@@ -1,0 +1,481 @@
+//! Structured spans over per-thread ring buffers.
+//!
+//! A span is a named, argument-carrying interval (`span!("kernel.task",
+//! edges = n)`) opened by the [`span!`](crate::span!) macro and closed by
+//! RAII. Recording is designed for the execution hot path:
+//!
+//! - **Disabled by default.** When no capture is active, opening a span is
+//!   one relaxed atomic load — cheap enough to leave instrumentation in
+//!   `run_task_ws` permanently.
+//! - **Per-thread ring buffers.** An enabled span pushes into the calling
+//!   thread's local buffer (no locks, no cross-thread traffic). The buffer
+//!   drains into the global sink when it fills, when a top-level span
+//!   closes, and when the thread ends; the sink is bounded, counting (not
+//!   silently losing) anything past the cap.
+//! - **Deterministic merge.** Every event carries a logical `lane` (set by
+//!   [`with_lane`]; the engine assigns worker slot `i` lane `i + 1`) and a
+//!   per-thread sequence number. [`Trace::sorted_events`] orders by
+//!   `(lane, tid, seq)`, so traces of the same execution have the same
+//!   event order regardless of OS scheduling. Timestamps are a wall-clock
+//!   overlay on top of that order, never the order itself.
+//!
+//! [`capture`] is the only consumer entry point: it serializes concurrent
+//! captures behind a global lock, enables recording, runs the closure, and
+//! drains the sink into a [`Trace`].
+
+use crate::clock;
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+/// Lane value of threads that never called [`with_lane`].
+pub const NO_LANE: u32 = u32::MAX;
+
+/// Local ring capacity: the buffer drains to the sink at this size.
+const LOCAL_CAP: usize = 4096;
+
+/// Global sink capacity; events past it are counted as dropped.
+const GLOBAL_CAP: usize = 1 << 20;
+
+/// Span phase, mirroring Chrome trace-event `B`/`E`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Phase {
+    /// Span opened.
+    Begin,
+    /// Span closed.
+    End,
+}
+
+/// One recorded event.
+#[derive(Clone, Debug)]
+pub struct SpanEvent {
+    /// Span name (static: the instrumentation vocabulary is closed).
+    pub name: &'static str,
+    /// Begin or end.
+    pub phase: Phase,
+    /// Unique id of the recording OS thread (assignment order — an
+    /// overlay, not part of the deterministic order within a lane).
+    pub tid: u64,
+    /// Logical lane ([`with_lane`]), or [`NO_LANE`].
+    pub lane: u32,
+    /// Per-thread sequence number (the deterministic order within a lane).
+    pub seq: u64,
+    /// Wall-clock overlay, nanoseconds (see [`clock`]).
+    pub ts_ns: u64,
+    /// Structured arguments (`Begin`: at open; `End`: attached via
+    /// [`SpanGuard::arg`]).
+    pub args: Vec<(&'static str, u64)>,
+}
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static NEXT_TID: AtomicU64 = AtomicU64::new(1);
+static SINK: Mutex<Sink> = Mutex::new(Sink { events: Vec::new(), dropped: 0 });
+static CAPTURE_LOCK: Mutex<()> = Mutex::new(());
+
+struct Sink {
+    events: Vec<SpanEvent>,
+    dropped: u64,
+}
+
+fn sink() -> MutexGuard<'static, Sink> {
+    SINK.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+struct Local {
+    tid: u64,
+    lane: u32,
+    seq: u64,
+    depth: u32,
+    buf: Vec<SpanEvent>,
+}
+
+impl Local {
+    fn push(&mut self, name: &'static str, phase: Phase, args: Vec<(&'static str, u64)>) {
+        self.seq += 1;
+        self.buf.push(SpanEvent {
+            name,
+            phase,
+            tid: self.tid,
+            lane: self.lane,
+            seq: self.seq,
+            ts_ns: clock::now_ns(),
+            args,
+        });
+        if self.buf.len() >= LOCAL_CAP {
+            self.flush();
+        }
+    }
+
+    fn flush(&mut self) {
+        if self.buf.is_empty() {
+            return;
+        }
+        let mut s = sink();
+        let room = GLOBAL_CAP.saturating_sub(s.events.len());
+        let take = self.buf.len().min(room);
+        s.dropped += (self.buf.len() - take) as u64;
+        s.events.extend(self.buf.drain(..take));
+        self.buf.clear();
+    }
+}
+
+impl Drop for Local {
+    fn drop(&mut self) {
+        self.flush();
+    }
+}
+
+thread_local! {
+    static LOCAL: RefCell<Local> = RefCell::new(Local {
+        tid: NEXT_TID.fetch_add(1, Ordering::Relaxed),
+        lane: NO_LANE,
+        seq: 0,
+        depth: 0,
+        buf: Vec::new(),
+    });
+}
+
+/// `true` while a [`capture`] is active. The `span!` macro checks this
+/// before doing anything else.
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Runs `f` with the calling thread's logical lane set to `lane`,
+/// restoring the previous lane afterwards (also on panic). The engine
+/// gives worker slot `i` lane `i + 1`, keeping lane 0 for the driver.
+pub fn with_lane<R>(lane: u32, f: impl FnOnce() -> R) -> R {
+    struct Restore(u32);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            LOCAL.with(|l| l.borrow_mut().lane = self.0);
+        }
+    }
+    let prev = LOCAL.with(|l| {
+        let mut l = l.borrow_mut();
+        let prev = l.lane;
+        l.lane = lane;
+        prev
+    });
+    let _restore = Restore(prev);
+    f()
+}
+
+/// RAII guard of one open span; created by the [`span!`](crate::span!)
+/// macro, closed (recording the `End` event) on drop.
+pub struct SpanGuard {
+    active: bool,
+    name: &'static str,
+    end_args: Vec<(&'static str, u64)>,
+}
+
+impl SpanGuard {
+    /// Opens a span (no-op unless a capture is [`enabled`]).
+    pub fn begin(name: &'static str, args: &[(&'static str, u64)]) -> SpanGuard {
+        let active = enabled();
+        if active {
+            LOCAL.with(|l| {
+                let mut l = l.borrow_mut();
+                l.depth += 1;
+                l.push(name, Phase::Begin, args.to_vec());
+            });
+        }
+        SpanGuard { active, name, end_args: Vec::new() }
+    }
+
+    /// Attaches a result argument, reported on the span's `End` event —
+    /// for values only known when the work completes (tasks produced,
+    /// nodes after a rewrite).
+    pub fn arg(&mut self, key: &'static str, value: impl IntoArg) {
+        if self.active {
+            self.end_args.push((key, value.into_arg()));
+        }
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if !self.active {
+            return;
+        }
+        let args = std::mem::take(&mut self.end_args);
+        LOCAL.with(|l| {
+            let mut l = l.borrow_mut();
+            l.push(self.name, Phase::End, args);
+            l.depth = l.depth.saturating_sub(1);
+            if l.depth == 0 {
+                // A top-level span closed: make the thread's events visible
+                // without waiting for thread exit (the driver thread of a
+                // capture never exits inside it).
+                l.flush();
+            }
+        });
+    }
+}
+
+/// Argument conversion for the `span!` macro: spans carry `u64` values.
+pub trait IntoArg {
+    /// The value as a `u64` (signed values saturate at 0).
+    fn into_arg(self) -> u64;
+}
+
+macro_rules! impl_into_arg {
+    ($($t:ty),*) => {$(
+        impl IntoArg for $t {
+            fn into_arg(self) -> u64 {
+                u64::try_from(self).unwrap_or(0)
+            }
+        }
+    )*};
+}
+impl_into_arg!(u64, u32, u16, u8, usize, i64, i32, i16, i8, isize);
+
+/// A drained capture: the merged events of every thread that recorded.
+#[derive(Clone, Debug, Default)]
+pub struct Trace {
+    /// All events, in sink-arrival order.
+    pub events: Vec<SpanEvent>,
+    /// Events lost to the global cap (0 in any healthy capture).
+    pub dropped: u64,
+}
+
+impl Trace {
+    /// Events in the deterministic merge order: by `(lane, tid, seq)`.
+    /// For lane-disciplined recorders (one thread per lane) this order is
+    /// a pure function of the execution, independent of OS scheduling.
+    pub fn sorted_events(&self) -> Vec<SpanEvent> {
+        let mut out = self.events.clone();
+        out.sort_by_key(|e| (e.lane, e.tid, e.seq));
+        out
+    }
+
+    /// Number of `Begin` events with the given span name.
+    pub fn span_count(&self, name: &str) -> usize {
+        self.events
+            .iter()
+            .filter(|e| e.phase == Phase::Begin && e.name == name)
+            .count()
+    }
+
+    /// Checks span-nesting well-formedness per recording thread: every
+    /// `End` must match the innermost open `Begin` of its thread.
+    ///
+    /// Tolerated truncation (a capture window can cut a long-lived
+    /// foreign thread mid-span): unmatched `End`s *before the first
+    /// `Begin`* of a thread, and `Begin`s still open when the capture
+    /// ends. A mismatch anywhere else is an error.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first ill-nested event.
+    pub fn check_nesting(&self) -> Result<(), String> {
+        use std::collections::BTreeMap;
+        let mut stacks: BTreeMap<u64, Vec<&'static str>> = BTreeMap::new();
+        let mut seen_begin: BTreeMap<u64, bool> = BTreeMap::new();
+        for e in self.sorted_events() {
+            match e.phase {
+                Phase::Begin => {
+                    stacks.entry(e.tid).or_default().push(e.name);
+                    seen_begin.insert(e.tid, true);
+                }
+                Phase::End => {
+                    let stack = stacks.entry(e.tid).or_default();
+                    match stack.pop() {
+                        Some(open) if open == e.name => {}
+                        Some(open) => {
+                            return Err(format!(
+                                "thread {}: end of `{}` while `{open}` is open",
+                                e.tid, e.name
+                            ));
+                        }
+                        None if !seen_begin.get(&e.tid).copied().unwrap_or(false) => {
+                            // Leading unmatched end: span began before the
+                            // capture window. Ignore.
+                        }
+                        None => {
+                            return Err(format!(
+                                "thread {}: end of `{}` with no open span",
+                                e.tid, e.name
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Flushes the calling thread's local buffer into the sink.
+pub fn flush_thread() {
+    LOCAL.with(|l| l.borrow_mut().flush());
+}
+
+/// Runs `f` with span recording enabled and returns its result plus the
+/// captured [`Trace`].
+///
+/// Captures are process-global and serialize behind an internal lock, so
+/// concurrent callers (parallel tests) wait rather than interleave.
+/// Threads spawned *and joined* inside `f` (the engine's scoped workers)
+/// flush automatically; detached threads that outlive `f` are not part of
+/// the contract.
+pub fn capture<R>(f: impl FnOnce() -> R) -> (R, Trace) {
+    let _serialize = CAPTURE_LOCK.lock().unwrap_or_else(PoisonError::into_inner);
+    {
+        let mut s = sink();
+        s.events.clear();
+        s.dropped = 0;
+    }
+    ENABLED.store(true, Ordering::SeqCst);
+    let out = f();
+    flush_thread();
+    ENABLED.store(false, Ordering::SeqCst);
+    let mut s = sink();
+    let trace = Trace {
+        events: std::mem::take(&mut s.events),
+        dropped: std::mem::replace(&mut s.dropped, 0),
+    };
+    drop(s);
+    (out, trace)
+}
+
+/// Opens a named span, returning its RAII [`SpanGuard`].
+///
+/// ```
+/// let edges = 12usize;
+/// let mut s = wisegraph_obs::span!("kernel.task", edges = edges);
+/// // ... do the work ...
+/// s.arg("flops", 24u64); // reported on the End event
+/// drop(s);
+/// ```
+#[macro_export]
+macro_rules! span {
+    ($name:literal $(, $k:ident = $v:expr)* $(,)?) => {
+        $crate::span::SpanGuard::begin(
+            $name,
+            &[$((stringify!($k), $crate::span::IntoArg::into_arg($v))),*],
+        )
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_spans_record_nothing() {
+        // Not inside a capture: the guard must be inert.
+        assert!(!enabled() || cfg!(any()), "no capture is active in unit tests");
+        let before = sink().events.len();
+        {
+            let _s = crate::span!("unit.noop", x = 1u64);
+        }
+        flush_thread();
+        assert_eq!(sink().events.len(), before);
+    }
+
+    #[test]
+    fn capture_records_nested_spans_in_order() {
+        let ((), trace) = capture(|| {
+            let mut outer = crate::span!("unit.outer", n = 2u64);
+            {
+                let _inner = crate::span!("unit.inner");
+            }
+            outer.arg("done", 1u64);
+        });
+        assert_eq!(trace.dropped, 0);
+        assert_eq!(trace.span_count("unit.outer"), 1);
+        assert_eq!(trace.span_count("unit.inner"), 1);
+        trace.check_nesting().expect("well nested");
+        let names: Vec<(&str, Phase)> = trace
+            .sorted_events()
+            .iter()
+            .filter(|e| e.name.starts_with("unit."))
+            .map(|e| (e.name, e.phase))
+            .collect();
+        assert_eq!(
+            names,
+            vec![
+                ("unit.outer", Phase::Begin),
+                ("unit.inner", Phase::Begin),
+                ("unit.inner", Phase::End),
+                ("unit.outer", Phase::End),
+            ]
+        );
+        let end = trace
+            .events
+            .iter()
+            .find(|e| e.name == "unit.outer" && e.phase == Phase::End)
+            .unwrap();
+        assert_eq!(end.args, vec![("done", 1u64)]);
+    }
+
+    #[test]
+    fn lanes_tag_worker_threads() {
+        let ((), trace) = capture(|| {
+            std::thread::scope(|scope| {
+                for lane in 1..=2u32 {
+                    scope.spawn(move || {
+                        with_lane(lane, || {
+                            let _s = crate::span!("unit.worker", lane = lane);
+                        })
+                    });
+                }
+            });
+        });
+        trace.check_nesting().expect("well nested");
+        let mut lanes: Vec<u32> = trace
+            .events
+            .iter()
+            .filter(|e| e.name == "unit.worker" && e.phase == Phase::Begin)
+            .map(|e| e.lane)
+            .collect();
+        lanes.sort_unstable();
+        assert_eq!(lanes, vec![1, 2]);
+    }
+
+    #[test]
+    fn ill_nested_streams_are_rejected() {
+        let bad = Trace {
+            events: vec![
+                SpanEvent {
+                    name: "a",
+                    phase: Phase::Begin,
+                    tid: 1,
+                    lane: 0,
+                    seq: 1,
+                    ts_ns: 0,
+                    args: Vec::new(),
+                },
+                SpanEvent {
+                    name: "b",
+                    phase: Phase::End,
+                    tid: 1,
+                    lane: 0,
+                    seq: 2,
+                    ts_ns: 0,
+                    args: Vec::new(),
+                },
+            ],
+            dropped: 0,
+        };
+        assert!(bad.check_nesting().is_err());
+    }
+
+    #[test]
+    fn leading_foreign_end_is_tolerated() {
+        let truncated = Trace {
+            events: vec![SpanEvent {
+                name: "foreign",
+                phase: Phase::End,
+                tid: 9,
+                lane: NO_LANE,
+                seq: 1,
+                ts_ns: 0,
+                args: Vec::new(),
+            }],
+            dropped: 0,
+        };
+        truncated.check_nesting().expect("truncation tolerated");
+    }
+}

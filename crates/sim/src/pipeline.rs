@@ -30,6 +30,23 @@ pub struct PipelineResult {
     pub link_idle: f64,
 }
 
+impl PipelineResult {
+    /// Reports the simulated timeline into a counter registry as
+    /// `sim.<prefix>.*` gauges. Simulated seconds are
+    /// [`Class::Work`](wisegraph_obs::Class::Work) — they come from the
+    /// deterministic event model, not from a wall clock.
+    pub fn record_counters(&self, c: &mut wisegraph_obs::Counters, prefix: &str) {
+        use wisegraph_obs::Class;
+        c.set_gauge(format!("sim.{prefix}.makespan_s"), self.makespan, Class::Work);
+        c.set_gauge(
+            format!("sim.{prefix}.compute_idle_s"),
+            self.compute_idle,
+            Class::Work,
+        );
+        c.set_gauge(format!("sim.{prefix}.link_idle_s"), self.link_idle, Class::Work);
+    }
+}
+
 /// Simulates a communicate-then-compute pipeline: chunk `i` must be
 /// received before it is computed; the link and the compute engine are
 /// independent resources.
@@ -38,6 +55,7 @@ pub struct PipelineResult {
 ///
 /// Panics if `chunks == 0`.
 pub fn simulate_recv_compute(stage: &StageWork) -> PipelineResult {
+    let _sp = wisegraph_obs::span!("sim.recv_compute", chunks = stage.chunks);
     assert!(stage.chunks > 0, "need at least one chunk");
     let n = stage.chunks;
     let comm_chunk = stage.comm / n as f64;
@@ -89,6 +107,7 @@ pub fn simulate_compute_send(stage: &StageWork) -> PipelineResult {
 /// Simulates a multi-layer training step where each layer's communication
 /// can overlap the previous layer's computation tail.
 pub fn simulate_layers(stages: &[StageWork]) -> PipelineResult {
+    let _sp = wisegraph_obs::span!("sim.layers", stages = stages.len());
     let mut link_free = 0.0f64;
     let mut compute_free = 0.0f64;
     let mut compute_busy = 0.0;
@@ -171,6 +190,10 @@ mod tests {
         });
         assert!((r.makespan - (2.0 + r.compute_idle)).abs() < 1e-9);
         assert!((r.makespan - (3.0 + r.link_idle)).abs() < 1e-9);
+        let mut c = wisegraph_obs::Counters::new();
+        r.record_counters(&mut c, "step");
+        assert_eq!(c.gauge("sim.step.makespan_s"), Some(r.makespan));
+        assert_eq!(c.gauge("sim.step.link_idle_s"), Some(r.link_idle));
     }
 
     #[test]

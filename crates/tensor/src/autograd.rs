@@ -15,7 +15,8 @@
 
 use crate::ops;
 use crate::tensor::Tensor;
-use crate::workspace::{Workspace, WorkspaceStats};
+use crate::workspace::Workspace;
+use wisegraph_obs::Counters;
 use std::cell::RefCell;
 
 /// A handle to a node on a [`Tape`].
@@ -77,8 +78,8 @@ impl Tape {
         ws
     }
 
-    /// Snapshot of the tape workspace's reuse counters.
-    pub fn workspace_stats(&self) -> WorkspaceStats {
+    /// Snapshot of the tape workspace's reuse counters (`pool.*` keys).
+    pub fn workspace_stats(&self) -> Counters {
         self.ws.borrow().stats()
     }
 

@@ -41,4 +41,4 @@ pub use init::{kaiming_uniform, xavier_uniform, zeros_like};
 pub use optim::{Adam, Optimizer, Sgd};
 pub use shape::Shape;
 pub use tensor::Tensor;
-pub use workspace::{Workspace, WorkspaceStats};
+pub use workspace::Workspace;

@@ -19,52 +19,15 @@
 //!    they delegate to run the same floating-point operations in the same
 //!    order.
 //!
-//! The counters ([`Workspace::stats`]) let tests and benches assert that
-//! reuse actually happens instead of silently regressing to
-//! alloc-per-call.
+//! [`Workspace::stats`] reports into the shared [`Counters`] registry
+//! under the `pool.*` keys ([`wisegraph_obs::keys`]), including a peak
+//! per size class — a pool can look healthy globally while one class
+//! hoards memory, and the per-class peaks make that visible. All pool
+//! metrics are [`Class::Resource`]: deterministic for a fixed
+//! configuration, but legitimately dependent on worker count.
 
 use crate::tensor::Tensor;
-
-/// Snapshot of a workspace's reuse counters.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
-pub struct WorkspaceStats {
-    /// Buffers allocated fresh because no pooled buffer fit.
-    pub buffers_created: u64,
-    /// Buffers served from the pool.
-    pub buffers_reused: u64,
-    /// Buffers currently parked in the pool, in bytes of capacity.
-    pub resident_bytes: u64,
-    /// High-water mark of `resident_bytes` over the workspace's lifetime.
-    pub peak_resident_bytes: u64,
-}
-
-impl WorkspaceStats {
-    /// Fraction of checkouts served from the pool (0 when nothing was
-    /// checked out).
-    pub fn reuse_ratio(&self) -> f64 {
-        let total = self.buffers_created + self.buffers_reused;
-        if total == 0 {
-            0.0
-        } else {
-            self.buffers_reused as f64 / total as f64
-        }
-    }
-
-    /// Element-wise sum of two snapshots (peaks take the max — the pools
-    /// are disjoint per worker, so summing peaks would overstate a single
-    /// worker's footprint; the merged peak is a lower bound on the true
-    /// simultaneous peak).
-    pub fn merge(&self, other: &WorkspaceStats) -> WorkspaceStats {
-        WorkspaceStats {
-            buffers_created: self.buffers_created + other.buffers_created,
-            buffers_reused: self.buffers_reused + other.buffers_reused,
-            resident_bytes: self.resident_bytes + other.resident_bytes,
-            peak_resident_bytes: self
-                .peak_resident_bytes
-                .max(other.peak_resident_bytes),
-        }
-    }
-}
+use wisegraph_obs::{keys, Class, Counters};
 
 /// Number of power-of-two size classes (buffers up to 2^63 elements).
 const NUM_CLASSES: usize = 64;
@@ -78,6 +41,8 @@ pub struct Workspace {
     reused: u64,
     resident_bytes: u64,
     peak_resident_bytes: u64,
+    class_resident: Vec<u64>,
+    class_peak: Vec<u64>,
 }
 
 /// Size class of a buffer length: index of the smallest power of two that
@@ -96,7 +61,21 @@ impl Workspace {
         if self.f32_pool.is_empty() {
             self.f32_pool = (0..NUM_CLASSES).map(|_| Vec::new()).collect();
             self.u32_pool = (0..NUM_CLASSES).map(|_| Vec::new()).collect();
+            self.class_resident = vec![0; NUM_CLASSES];
+            self.class_peak = vec![0; NUM_CLASSES];
         }
+    }
+
+    fn note_park(&mut self, class: usize, bytes: u64) {
+        self.resident_bytes += bytes;
+        self.peak_resident_bytes = self.peak_resident_bytes.max(self.resident_bytes);
+        self.class_resident[class] += bytes;
+        self.class_peak[class] = self.class_peak[class].max(self.class_resident[class]);
+    }
+
+    fn note_unpark(&mut self, class: usize, bytes: u64) {
+        self.resident_bytes = self.resident_bytes.saturating_sub(bytes);
+        self.class_resident[class] = self.class_resident[class].saturating_sub(bytes);
     }
 
     /// Checks out a zero-filled `f32` buffer of exactly `len` elements.
@@ -109,9 +88,7 @@ impl Workspace {
         match self.f32_pool[class].pop() {
             Some(mut v) => {
                 self.reused += 1;
-                self.resident_bytes = self
-                    .resident_bytes
-                    .saturating_sub((v.capacity() * 4) as u64);
+                self.note_unpark(class, (v.capacity() * 4) as u64);
                 v.clear();
                 v.resize(len, 0.0);
                 v
@@ -133,9 +110,7 @@ impl Workspace {
         match self.u32_pool[class].pop() {
             Some(mut v) => {
                 self.reused += 1;
-                self.resident_bytes = self
-                    .resident_bytes
-                    .saturating_sub((v.capacity() * 4) as u64);
+                self.note_unpark(class, (v.capacity() * 4) as u64);
                 v.clear();
                 v.resize(len, 0);
                 v
@@ -156,8 +131,7 @@ impl Workspace {
         }
         self.ensure_classes();
         let class = size_class(v.capacity());
-        self.resident_bytes += (v.capacity() * 4) as u64;
-        self.peak_resident_bytes = self.peak_resident_bytes.max(self.resident_bytes);
+        self.note_park(class, (v.capacity() * 4) as u64);
         self.f32_pool[class].push(v);
     }
 
@@ -168,8 +142,7 @@ impl Workspace {
         }
         self.ensure_classes();
         let class = size_class(v.capacity());
-        self.resident_bytes += (v.capacity() * 4) as u64;
-        self.peak_resident_bytes = self.peak_resident_bytes.max(self.resident_bytes);
+        self.note_park(class, (v.capacity() * 4) as u64);
         self.u32_pool[class].push(v);
     }
 
@@ -185,17 +158,30 @@ impl Workspace {
         self.give(t.into_vec());
     }
 
-    /// Current counter snapshot.
-    pub fn stats(&self) -> WorkspaceStats {
-        WorkspaceStats {
-            buffers_created: self.created,
-            buffers_reused: self.reused,
-            resident_bytes: self.resident_bytes,
-            peak_resident_bytes: self.peak_resident_bytes,
+    /// Current counter snapshot under the shared `pool.*` keys.
+    ///
+    /// Per-worker snapshots combine with [`Counters::merge`]: creates,
+    /// reuses, and resident bytes sum across disjoint pools, while peaks
+    /// take the max (summing peaks would overstate a single worker's
+    /// footprint; the merged peak is a lower bound on the true
+    /// simultaneous peak). Size classes that never parked a buffer are
+    /// omitted.
+    pub fn stats(&self) -> Counters {
+        let mut c = Counters::new();
+        c.add_class(keys::POOL_CREATED, self.created, Class::Resource);
+        c.add_class(keys::POOL_REUSED, self.reused, Class::Resource);
+        c.add_class(keys::POOL_RESIDENT, self.resident_bytes, Class::Resource);
+        c.record_max(keys::POOL_PEAK, self.peak_resident_bytes, Class::Resource);
+        for (class, &peak) in self.class_peak.iter().enumerate() {
+            if peak > 0 {
+                c.record_max(keys::pool_class_peak(class), peak, Class::Resource);
+            }
         }
+        c
     }
 
-    /// Resets the created/reused counters (pooled buffers are kept).
+    /// Resets the created/reused counters (pooled buffers, resident
+    /// accounting, and peaks are kept).
     pub fn reset_counters(&mut self) {
         self.created = 0;
         self.reused = 0;
@@ -205,6 +191,7 @@ impl Workspace {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use wisegraph_obs::pool_reuse_ratio;
 
     #[test]
     fn take_is_zeroed_like_fresh_allocation() {
@@ -223,17 +210,18 @@ mod tests {
         let mut ws = Workspace::new();
         let a = ws.take(100);
         let b = ws.take(100);
-        assert_eq!(ws.stats().buffers_created, 2);
-        assert_eq!(ws.stats().buffers_reused, 0);
+        assert_eq!(ws.stats().count(keys::POOL_CREATED), 2);
+        assert_eq!(ws.stats().count(keys::POOL_REUSED), 0);
         ws.give(a);
         ws.give(b);
-        assert!(ws.stats().resident_bytes >= 2 * 100 * 4);
+        assert!(ws.stats().count(keys::POOL_RESIDENT) >= 2 * 100 * 4);
         let _c = ws.take(100);
         let _d = ws.take(128); // same power-of-two class as 100
         let s = ws.stats();
-        assert_eq!(s.buffers_created, 2);
-        assert_eq!(s.buffers_reused, 2);
-        assert!(s.peak_resident_bytes >= s.resident_bytes);
+        assert_eq!(s.count(keys::POOL_CREATED), 2);
+        assert_eq!(s.count(keys::POOL_REUSED), 2);
+        assert!(s.count(keys::POOL_PEAK) >= s.count(keys::POOL_RESIDENT));
+        assert!((pool_reuse_ratio(&s) - 0.5).abs() < 1e-12);
     }
 
     #[test]
@@ -244,7 +232,26 @@ mod tests {
         // A much larger request must not receive the small buffer.
         let large = ws.take(1000);
         assert_eq!(large.len(), 1000);
-        assert_eq!(ws.stats().buffers_created, 2);
+        assert_eq!(ws.stats().count(keys::POOL_CREATED), 2);
+    }
+
+    #[test]
+    fn per_class_peaks_attribute_memory_to_their_class() {
+        let mut ws = Workspace::new();
+        let small = ws.take(4); // class of 4 elements
+        let large = ws.take(1000); // class of 1024 elements
+        ws.give(small);
+        ws.give(large);
+        let s = ws.stats();
+        let small_key = keys::pool_class_peak(size_class(4));
+        let large_key = keys::pool_class_peak(size_class(1000));
+        assert_eq!(s.count(&small_key), 4 * 4);
+        assert_eq!(s.count(&large_key), 1024 * 4);
+        // Both parked simultaneously: the global peak sees the sum, and
+        // each class peak accounts only its own buffers.
+        assert_eq!(s.count(keys::POOL_PEAK), 4 * 4 + 1024 * 4);
+        // Classes that never parked anything are absent, not zero.
+        assert!(s.get(&keys::pool_class_peak(63)).is_none());
     }
 
     #[test]
@@ -254,7 +261,7 @@ mod tests {
         assert_eq!(t.dims(), &[3, 4]);
         ws.recycle(t);
         let t2 = ws.take_tensor(&[4, 3]);
-        assert_eq!(ws.stats().buffers_reused, 1);
+        assert_eq!(ws.stats().count(keys::POOL_REUSED), 1);
         assert!(t2.data().iter().all(|&v| v == 0.0));
     }
 
@@ -266,28 +273,29 @@ mod tests {
         let s2 = ws.take_u32(9);
         assert_eq!(s2, vec![0u32; 9]);
         let st = ws.stats();
-        assert_eq!((st.buffers_created, st.buffers_reused), (1, 1));
+        assert_eq!(
+            (st.count(keys::POOL_CREATED), st.count(keys::POOL_REUSED)),
+            (1, 1)
+        );
     }
 
     #[test]
-    fn merge_sums_counts_and_maxes_peak() {
-        let a = WorkspaceStats {
-            buffers_created: 1,
-            buffers_reused: 2,
-            resident_bytes: 10,
-            peak_resident_bytes: 50,
-        };
-        let b = WorkspaceStats {
-            buffers_created: 3,
-            buffers_reused: 4,
-            resident_bytes: 20,
-            peak_resident_bytes: 40,
-        };
-        let m = a.merge(&b);
-        assert_eq!(m.buffers_created, 4);
-        assert_eq!(m.buffers_reused, 6);
-        assert_eq!(m.resident_bytes, 30);
-        assert_eq!(m.peak_resident_bytes, 50);
-        assert!((m.reuse_ratio() - 0.6).abs() < 1e-12);
+    fn merged_snapshots_sum_counts_and_max_peaks() {
+        let mut a = Workspace::new();
+        let buf = a.take(64);
+        a.give(buf);
+        let mut b = Workspace::new();
+        let b1 = b.take(64);
+        let b2 = b.take(64);
+        b.give(b1);
+        b.give(b2);
+        let mut merged = a.stats();
+        merged.merge(&b.stats());
+        assert_eq!(merged.count(keys::POOL_CREATED), 3);
+        assert_eq!(merged.count(keys::POOL_PEAK), b.stats().count(keys::POOL_PEAK));
+        assert_eq!(
+            merged.count(keys::POOL_RESIDENT),
+            a.stats().count(keys::POOL_RESIDENT) + b.stats().count(keys::POOL_RESIDENT)
+        );
     }
 }

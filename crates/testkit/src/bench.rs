@@ -26,7 +26,7 @@
 
 pub use std::hint::black_box;
 use std::path::PathBuf;
-use std::time::Instant;
+use wisegraph_obs::clock::Stopwatch;
 
 /// One measured case.
 #[derive(Clone, Debug)]
@@ -172,9 +172,9 @@ impl Group<'_> {
         }
         let mut times: Vec<u128> = Vec::with_capacity(self.samples as usize);
         for _ in 0..self.samples {
-            let t = Instant::now();
+            let t = Stopwatch::start();
             f();
-            times.push(t.elapsed().as_nanos());
+            times.push(u128::from(t.elapsed_ns()));
         }
         times.sort_unstable();
         let record = Record {

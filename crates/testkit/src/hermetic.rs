@@ -164,7 +164,8 @@ pub struct SourceViolation {
     pub file: String,
     /// 1-based line number.
     pub line: usize,
-    /// Which rule fired (`unsafe`, `SystemTime`, `hashmap-iteration`).
+    /// Which rule fired (`unsafe`, `SystemTime`, `hashmap-iteration`,
+    /// `monotonic-clock`).
     pub pattern: String,
     /// The offending line, trimmed.
     pub excerpt: String,
@@ -180,10 +181,23 @@ impl std::fmt::Display for SourceViolation {
     }
 }
 
+/// Files allowed to use `Instant` directly: the observability crate's
+/// clock module is the workspace's single monotonic-clock site — all other
+/// shipped code times via `wisegraph_obs::clock`.
+pub const CLOCK_ALLOWLIST: [&str; 1] = ["crates/obs/src/clock.rs"];
+
+/// `true` when `file` is one of the [`CLOCK_ALLOWLIST`] sites.
+pub fn is_clock_allowlisted(file: &str) -> bool {
+    CLOCK_ALLOWLIST.iter().any(|a| file.ends_with(a))
+}
+
 /// Scans every shipped `.rs` file under `root` for `unsafe` blocks and
-/// nondeterminism sources: `SystemTime` and iteration over `HashMap`s
-/// (whose order varies run to run — shipped code must iterate `BTreeMap`s
-/// or sorted vectors instead).
+/// nondeterminism sources: `SystemTime`, iteration over `HashMap`s (whose
+/// order varies run to run — shipped code must iterate `BTreeMap`s or
+/// sorted vectors instead), and direct `Instant` use outside the
+/// [`CLOCK_ALLOWLIST`] (wall-clock reads must route through the single
+/// site in `wisegraph_obs::clock`, keeping timing an overlay that can
+/// never feed back into deterministic work).
 ///
 /// "Shipped" excludes `target/`, `.git/`, and `tests/`, `benches/`,
 /// `examples/` directories; `#[cfg(test)]` modules inside shipped files
@@ -196,7 +210,13 @@ pub fn scan_sources(root: impl AsRef<Path>) -> Vec<SourceViolation> {
     for f in files {
         let text = fs::read_to_string(&f)
             .unwrap_or_else(|e| panic!("cannot read {}: {e}", f.display()));
-        out.extend(scan_source_str(&text, &f.display().to_string()));
+        let file = f.display().to_string();
+        let allowed_clock = is_clock_allowlisted(&file);
+        out.extend(
+            scan_source_str(&text, &file)
+                .into_iter()
+                .filter(|v| !(allowed_clock && v.pattern == "monotonic-clock")),
+        );
     }
     out
 }
@@ -288,6 +308,9 @@ pub fn scan_source_str(text: &str, origin: &str) -> Vec<SourceViolation> {
         }
         if cleaned.contains("SystemTime") {
             push(*line, "SystemTime", raw);
+        }
+        if contains_word(cleaned, "Instant") {
+            push(*line, "monotonic-clock", raw);
         }
         if let Some(ident) = hashmap_iteration(cleaned, &maps) {
             push(
@@ -577,6 +600,22 @@ c = { path = "../c" }
         let v = scan_source_str(src, "x.rs");
         assert_eq!(v.len(), 1);
         assert_eq!(v[0].pattern, "SystemTime");
+    }
+
+    #[test]
+    fn direct_instant_use_is_flagged() {
+        let src = "use std::time::Instant;\nfn f() { let _t = Instant::now(); }\n";
+        let v = scan_source_str(src, "x.rs");
+        assert_eq!(v.len(), 2, "{v:?}");
+        assert!(v.iter().all(|x| x.pattern == "monotonic-clock"));
+        // An identifier merely containing the word does not fire.
+        assert!(scan_source_str("fn g(instantaneous: u32) {}\n", "x.rs").is_empty());
+    }
+
+    #[test]
+    fn clock_allowlist_matches_by_suffix() {
+        assert!(is_clock_allowlisted("/root/repo/crates/obs/src/clock.rs"));
+        assert!(!is_clock_allowlisted("/root/repo/crates/core/src/sampled.rs"));
     }
 
     #[test]

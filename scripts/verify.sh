@@ -5,10 +5,12 @@
 #
 # Tests run in both profiles: debug catches overflow/debug-assert issues,
 # release catches optimizer-dependent ones and reuses the artifacts the
-# build step already produced. After the tests, two static gates run:
-# clippy with warnings denied, and wisegraph-lint (the pre-execution
-# plan/DFG/kernel verifier, DESIGN.md §8) over every built-in model ×
-# partition strategy.
+# build step already produced. After the tests, three gates run: clippy
+# with warnings denied, wisegraph-lint (the pre-execution
+# plan/DFG/kernel/instrumentation verifier, DESIGN.md §8) over every
+# built-in model × partition strategy, and wisegraph-prof --check (the
+# counter-regression gate, DESIGN.md §9: run-to-run and cross-thread
+# determinism plus tolerance bands against results/prof_baseline.json).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -17,3 +19,4 @@ cargo test -q --offline --workspace
 cargo test --release -q --offline --workspace
 cargo clippy --all-targets --offline --workspace -- -D warnings
 cargo run --release --offline --bin wisegraph-lint
+cargo run --release --offline --bin wisegraph-prof -- --check

@@ -8,7 +8,10 @@
 //!   candidate) is checked for interface preservation;
 //! * every table from `enumerate_tables` is partitioned with the greedy
 //!   partitioner and the resulting plan, compiled program, and engine
-//!   chunk mapping are verified for several thread counts.
+//!   chunk mapping are verified for several thread counts;
+//! * the span-instrumentation coverage of the execution entry points is
+//!   checked against the shipped sources (`O001`), so `wisegraph-prof`'s
+//!   timeline cannot silently lose its subjects.
 //!
 //! Exits nonzero if any pass reports an error, printing each diagnostic;
 //! `scripts/verify.sh` runs this after the test suite.
@@ -112,6 +115,18 @@ fn main() -> ExitCode {
             }
         }
     }
+
+    // Pass 4: span-instrumentation coverage of the shipped sources. When
+    // the binary runs from a checkout (verify.sh does), the sources are
+    // under the manifest dir; installed copies skip the pass gracefully
+    // by reporting the unreadable files.
+    let obs_report =
+        verify_instrumentation(std::path::Path::new(env!("CARGO_MANIFEST_DIR")));
+    fail("instrumentation", &obs_report, &mut errors, &mut warnings);
+    println!(
+        "wisegraph-lint: instrumentation coverage checked for {} source files",
+        wisegraph::analysis::obscheck::REQUIRED.len()
+    );
 
     println!(
         "wisegraph-lint: {combos} model×strategy×threads combinations verified, \

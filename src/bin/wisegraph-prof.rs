@@ -1,0 +1,432 @@
+//! `wisegraph-prof`: the workload profiler and counter-regression gate.
+//!
+//! Runs one layer of each built-in model (GCN, RGCN, GAT, SAGE) under
+//! every compatible partition table on a fixed synthetic RMAT graph,
+//! with full observability enabled, and emits:
+//!
+//! * `results/prof_<model>.json` — the deterministic work/resource
+//!   counters of that model's runs (`wisegraph-obs` metrics JSON);
+//! * `results/prof_trace.json` — the merged span timeline in Chrome
+//!   trace-event format (open in `chrome://tracing` or Perfetto);
+//! * `results/BENCH_executor.json` — wall-clock medians per model ×
+//!   table in the `testkit::bench` report shape (timing is an *overlay*:
+//!   informative, never compared);
+//! * a per-gTask workload-skew table on stdout — the paper's Figure 7/15
+//!   story of how each table reshapes where the edges land.
+//!
+//! Modes:
+//!
+//! * `--check` — regression gate for `scripts/verify.sh`: re-runs the
+//!   suite and asserts (a) counter snapshots are bit-identical across
+//!   two consecutive runs, (b) `Work`-class counters are bit-identical
+//!   across 1/2/4 engine threads, and (c) counters match
+//!   `results/prof_baseline.json` within the per-class tolerance bands
+//!   (`Work` exact, `Resource` within [`RESOURCE_BAND`]);
+//! * `--write-baseline` — rewrites `results/prof_baseline.json` from the
+//!   current run (commit the result deliberately).
+
+use std::collections::{BTreeMap, HashMap};
+use std::path::Path;
+use std::process::ExitCode;
+use wisegraph::graph::generate::{rmat, RmatParams};
+use wisegraph::graph::Graph;
+use wisegraph::gtask::{partition, PartitionPlan, PartitionTable};
+use wisegraph::kernels::engine::Engine;
+use wisegraph::kernels::micro::compile;
+use wisegraph::kernels::micro::plan_is_dst_complete;
+use wisegraph::models::ModelKind;
+use wisegraph::obs::clock::Stopwatch;
+use wisegraph::obs::{
+    capture, counters_from_json, counters_to_json, trace_to_chrome_json, Class,
+    Counters,
+};
+use wisegraph::tensor::{init, Tensor};
+
+/// Engine worker-slot count for the emitted artifacts and the baseline.
+const PROFILE_THREADS: usize = 2;
+
+/// Thread counts the `Work`-invariance gate runs at.
+const CHECK_THREADS: [usize; 3] = [1, 2, 4];
+
+/// Wall-clock repetitions per model × table for `BENCH_executor.json`.
+const TIMING_REPS: usize = 5;
+
+/// Relative tolerance band for `Resource`-class counters in `--check`.
+/// They are deterministic at a fixed thread count, but the band keeps the
+/// gate from blocking legitimate pool-behavior changes on noise-free but
+/// incidental values (e.g. one extra warm-up buffer).
+const RESOURCE_BAND: f64 = 0.25;
+
+/// Layer feature sizes (input, output) — same as `wisegraph-lint`.
+const DIMS: (usize, usize) = (8, 6);
+
+fn models() -> [(ModelKind, &'static str); 4] {
+    [
+        (ModelKind::Gcn, "gcn"),
+        (ModelKind::Rgcn, "rgcn"),
+        (ModelKind::Gat, "gat"),
+        (ModelKind::Sage, "sage"),
+    ]
+}
+
+fn tables() -> Vec<(&'static str, PartitionTable)> {
+    vec![
+        ("vertex_centric", PartitionTable::vertex_centric()),
+        ("edge_batch_64", PartitionTable::edge_batch(64)),
+        ("two_d_8", PartitionTable::two_d(8)),
+        ("src_batch_per_type_8", PartitionTable::src_batch_per_type(8)),
+    ]
+}
+
+fn profile_graph() -> Graph {
+    rmat(&RmatParams {
+        num_vertices: 300,
+        num_edges: 2400,
+        a: 0.57,
+        b: 0.19,
+        c: 0.19,
+        num_edge_types: 4,
+        seed: 7,
+    })
+}
+
+/// Every global any model layer reads; engines ignore unused entries.
+fn globals_for(g: &Graph, fi: usize, fo: usize) -> HashMap<String, Tensor> {
+    let mut m = HashMap::new();
+    m.insert(
+        "h".to_string(),
+        init::uniform_tensor(&[g.num_vertices(), fi], -1.0, 1.0, 1),
+    );
+    m.insert(
+        "W".to_string(),
+        init::uniform_tensor(&[g.num_edge_types(), fi, fo], -1.0, 1.0, 2),
+    );
+    m.insert("w".to_string(), init::uniform_tensor(&[fi, fo], -1.0, 1.0, 3));
+    m.insert(
+        "w_self".to_string(),
+        init::uniform_tensor(&[fi, fo], -1.0, 1.0, 4),
+    );
+    m.insert(
+        "w_neigh".to_string(),
+        init::uniform_tensor(&[fi, fo], -1.0, 1.0, 5),
+    );
+    m.insert(
+        "a_src".to_string(),
+        init::uniform_tensor(&[fo, 1], -1.0, 1.0, 6),
+    );
+    m.insert(
+        "a_dst".to_string(),
+        init::uniform_tensor(&[fo, 1], -1.0, 1.0, 7),
+    );
+    m
+}
+
+/// One row of the workload-skew table.
+struct SkewRow {
+    model: &'static str,
+    table: &'static str,
+    tasks: usize,
+    min_edges: usize,
+    median_edges: usize,
+    max_edges: usize,
+}
+
+impl SkewRow {
+    fn of(model: &'static str, table: &'static str, plan: &PartitionPlan) -> Self {
+        let mut sizes: Vec<usize> =
+            plan.tasks.iter().map(|t| t.num_edges()).collect();
+        sizes.sort_unstable();
+        SkewRow {
+            model,
+            table,
+            tasks: sizes.len(),
+            min_edges: sizes.first().copied().unwrap_or(0),
+            median_edges: sizes.get(sizes.len() / 2).copied().unwrap_or(0),
+            max_edges: sizes.last().copied().unwrap_or(0),
+        }
+    }
+
+    /// Max-over-median task size: 1.0 is perfectly balanced.
+    fn skew(&self) -> f64 {
+        self.max_edges as f64 / self.median_edges.max(1) as f64
+    }
+}
+
+/// One wall-clock record for the bench report.
+struct TimingRec {
+    group: &'static str,
+    case: &'static str,
+    samples: Vec<u64>,
+}
+
+/// Everything one suite run produces (besides the captured trace).
+struct SuiteRun {
+    /// Counters per model slug (keys prefixed `<table>.`).
+    per_model: BTreeMap<&'static str, Counters>,
+    /// All counters, keys prefixed `<model>.<table>.`.
+    all: Counters,
+    skew: Vec<SkewRow>,
+    timings: Vec<TimingRec>,
+    skipped: usize,
+}
+
+/// Runs every model × compatible table once with `threads` worker slots,
+/// `time_reps` extra repetitions feeding the wall-clock records.
+fn run_suite(threads: usize, time_reps: usize) -> SuiteRun {
+    let g = profile_graph();
+    let (fi, fo) = DIMS;
+    let globals = globals_for(&g, fi, fo);
+    let mut run = SuiteRun {
+        per_model: BTreeMap::new(),
+        all: Counters::new(),
+        skew: Vec::new(),
+        timings: Vec::new(),
+        skipped: 0,
+    };
+    for (model, slug) in models() {
+        let dfg = model.layer_dfg(fi, fo);
+        let dst_complete_only = compile(&dfg, &g)
+            .map(|p| p.requires_dst_complete)
+            .unwrap_or(false);
+        for (tname, table) in tables() {
+            let plan = partition(&g, &table);
+            if dst_complete_only && !plan_is_dst_complete(&g, &plan) {
+                run.skipped += 1;
+                continue;
+            }
+            let mut combo = Counters::new();
+            plan.record_counters(&mut combo);
+            let engine = Engine::new(threads);
+            engine
+                .execute(&dfg, &g, &plan, &globals)
+                .expect("profiled combination executes");
+            // Snapshot after exactly one execute, so the recorded counters
+            // are independent of how many timing repetitions follow.
+            combo.merge(&engine.stats());
+            let mut samples = Vec::with_capacity(time_reps);
+            for _ in 0..time_reps {
+                let t = Stopwatch::start();
+                engine
+                    .execute(&dfg, &g, &plan, &globals)
+                    .expect("profiled combination executes");
+                samples.push(t.elapsed_ns());
+            }
+            run.per_model
+                .entry(slug)
+                .or_default()
+                .merge_prefixed(tname, &combo);
+            run.all.merge_prefixed(&format!("{slug}.{tname}"), &combo);
+            run.skew.push(SkewRow::of(slug, tname, &plan));
+            if time_reps > 0 {
+                run.timings.push(TimingRec {
+                    group: slug,
+                    case: tname,
+                    samples,
+                });
+            }
+        }
+    }
+    run
+}
+
+/// Serializes the wall-clock records in the `testkit::bench` report shape.
+fn timings_to_bench_json(suite: &str, recs: &[TimingRec]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("{{\n  \"suite\": \"{suite}\",\n  \"results\": [\n"));
+    for (i, r) in recs.iter().enumerate() {
+        let mut s = r.samples.clone();
+        s.sort_unstable();
+        let median = s[s.len() / 2];
+        let min = s[0];
+        let mean = s.iter().sum::<u64>() / s.len() as u64;
+        out.push_str(&format!(
+            "    {{\"group\": \"{}\", \"case\": \"{}\", \"samples\": {}, \
+             \"median_ns\": {}, \"min_ns\": {}, \"mean_ns\": {}}}{}\n",
+            r.group,
+            r.case,
+            s.len(),
+            median,
+            min,
+            mean,
+            if i + 1 < recs.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Compares a run's counters against the committed baseline with
+/// per-class tolerance bands. Returns the violations.
+fn check_against_baseline(current: &Counters, baseline: &Counters) -> Vec<String> {
+    let mut errs = Vec::new();
+    for (name, want) in baseline.iter() {
+        let Some(got) = current.get(name) else {
+            errs.push(format!("`{name}` is in the baseline but was not recorded"));
+            continue;
+        };
+        let (w, g) = (want.value.as_f64(), got.value.as_f64());
+        match want.class {
+            Class::Work => {
+                // Work counters are pure functions of the inputs: exact.
+                if w.to_bits() != g.to_bits() {
+                    errs.push(format!("`{name}` (Work): baseline {w}, got {g}"));
+                }
+            }
+            Class::Resource => {
+                let band = RESOURCE_BAND * w.abs().max(1.0);
+                if (g - w).abs() > band {
+                    errs.push(format!(
+                        "`{name}` (Resource): baseline {w}, got {g} \
+                         (band ±{band:.1})"
+                    ));
+                }
+            }
+            Class::Timing => {}
+        }
+    }
+    errs
+}
+
+fn write(path: &Path, contents: &str) {
+    if let Some(dir) = path.parent() {
+        std::fs::create_dir_all(dir).expect("create results dir");
+    }
+    std::fs::write(path, contents)
+        .unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
+    println!("wisegraph-prof: wrote {}", path.display());
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let check = args.iter().any(|a| a == "--check");
+    let write_baseline = args.iter().any(|a| a == "--write-baseline");
+    if let Some(a) = args
+        .iter()
+        .find(|a| *a != "--check" && *a != "--write-baseline")
+    {
+        eprintln!("wisegraph-prof: unknown argument {a}");
+        eprintln!("usage: wisegraph-prof [--check] [--write-baseline]");
+        return ExitCode::FAILURE;
+    }
+    let results = Path::new("results");
+
+    // The profiled run: counters + spans captured together.
+    let (run, trace) = capture(|| run_suite(PROFILE_THREADS, TIMING_REPS));
+    if let Err(e) = trace.check_nesting() {
+        eprintln!("wisegraph-prof: ill-nested trace: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "wisegraph-prof: {} combinations ({} dst-incomplete skipped), \
+         {} span events, {} counters",
+        run.skew.len(),
+        run.skipped,
+        trace.sorted_events().len(),
+        run.all.len()
+    );
+
+    // Workload-skew table (the Figure 7/15 story in numbers).
+    println!("\n| model | table | gTasks | min | median | max | skew |");
+    println!("|---|---|---|---|---|---|---|");
+    for r in &run.skew {
+        println!(
+            "| {} | {} | {} | {} | {} | {} | {:.2} |",
+            r.model,
+            r.table,
+            r.tasks,
+            r.min_edges,
+            r.median_edges,
+            r.max_edges,
+            r.skew()
+        );
+    }
+    println!();
+
+    for (slug, c) in &run.per_model {
+        write(&results.join(format!("prof_{slug}.json")), &counters_to_json(c));
+    }
+    write(&results.join("prof_trace.json"), &trace_to_chrome_json(&trace));
+    write(
+        &results.join("BENCH_executor.json"),
+        &timings_to_bench_json("executor", &run.timings),
+    );
+
+    if write_baseline {
+        write(
+            &results.join("prof_baseline.json"),
+            &counters_to_json(&run.all),
+        );
+    }
+
+    if !check {
+        return ExitCode::SUCCESS;
+    }
+
+    // Gate (a): two consecutive runs produce bit-identical counters.
+    let (rerun, _) = capture(|| run_suite(PROFILE_THREADS, 0));
+    if counters_to_json(&rerun.all) != counters_to_json(&run.all) {
+        eprintln!(
+            "wisegraph-prof: FAIL — counter snapshots differ between two \
+             consecutive runs"
+        );
+        return ExitCode::FAILURE;
+    }
+    println!("wisegraph-prof: run-to-run counters bit-identical");
+
+    // Gate (b): Work counters are invariant across thread counts.
+    let work_views: Vec<String> = CHECK_THREADS
+        .iter()
+        .map(|&t| {
+            let (r, _) = capture(|| run_suite(t, 0));
+            counters_to_json(&r.all.only(&[Class::Work]))
+        })
+        .collect();
+    if work_views.iter().any(|v| v != &work_views[0]) {
+        eprintln!(
+            "wisegraph-prof: FAIL — Work-class counters vary across \
+             {CHECK_THREADS:?} threads"
+        );
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "wisegraph-prof: Work counters bit-identical across {CHECK_THREADS:?} threads"
+    );
+
+    // Gate (c): tolerance bands against the committed baseline.
+    let baseline_path = results.join("prof_baseline.json");
+    let text = match std::fs::read_to_string(&baseline_path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!(
+                "wisegraph-prof: FAIL — cannot read {} ({e}); run \
+                 `wisegraph-prof --write-baseline` and commit the result",
+                baseline_path.display()
+            );
+            return ExitCode::FAILURE;
+        }
+    };
+    let baseline = match counters_from_json(&text) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("wisegraph-prof: FAIL — malformed baseline: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let errs = check_against_baseline(&run.all, &baseline);
+    if !errs.is_empty() {
+        for e in &errs {
+            eprintln!("wisegraph-prof: baseline drift: {e}");
+        }
+        eprintln!(
+            "wisegraph-prof: FAIL — {} counter(s) outside tolerance; if the \
+             change is intended, rerun with --write-baseline and commit",
+            errs.len()
+        );
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "wisegraph-prof: {} baseline counters within tolerance — PASS",
+        baseline.len()
+    );
+    ExitCode::SUCCESS
+}

@@ -20,7 +20,10 @@
 //! - [`core`]: the end-to-end WiseGraph workflow (plan generation, joint
 //!   optimization, strategy search, training);
 //! - [`analysis`]: the pre-execution static verifier — plan, DFG, and
-//!   kernel legality checks behind the `wisegraph-lint` binary.
+//!   kernel legality checks behind the `wisegraph-lint` binary;
+//! - [`obs`]: the hermetic tracing/metrics layer — deterministic work
+//!   counters, structured spans, and the Chrome-trace/metrics exporters
+//!   behind the `wisegraph-prof` binary.
 //!
 //! # Quickstart
 //!
@@ -34,5 +37,6 @@ pub use wisegraph_graph as graph;
 pub use wisegraph_gtask as gtask;
 pub use wisegraph_kernels as kernels;
 pub use wisegraph_models as models;
+pub use wisegraph_obs as obs;
 pub use wisegraph_sim as sim;
 pub use wisegraph_tensor as tensor;

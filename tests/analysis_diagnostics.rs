@@ -1,7 +1,8 @@
 //! Broken-fixture tests for the static verifier: each fixture violates
 //! exactly one invariant and must trigger the documented diagnostic code
 //! (DESIGN.md §8). Together they cover every code the verifier can emit,
-//! P001–P004, D001–D003, and K001–K004, plus a clean positive control.
+//! P001–P004, D001–D003, K001–K004, and O001, plus a clean positive
+//! control.
 
 use std::collections::BTreeMap;
 use wisegraph::analysis::prelude::*;
@@ -217,6 +218,33 @@ fn k004_softmax_program_under_split_destinations() {
     );
 }
 
+// ------------------------------------------------------- instrumentation
+
+#[test]
+fn o001_uninstrumented_execution_path() {
+    use wisegraph::analysis::obscheck::check_sources;
+    // `execute` loops over tasks but neither opens a span nor calls
+    // anything that does.
+    let src = "pub fn execute(tasks: &[u32]) -> u32 {\n    tasks.iter().map(|t| helper(*t)).sum()\n}\nfn helper(t: u32) -> u32 { t }\n";
+    let diags = check_sources(&[("engine.rs", src, &["execute"])]);
+    assert!(
+        has(&diags, Code::ObsUncovered, "without an enclosing"),
+        "{diags:#?}"
+    );
+    assert_eq!(Code::ObsUncovered.as_str(), "O001");
+    // The fix — a span anywhere along the intra-set call chain — clears it.
+    let fixed = "pub fn execute(tasks: &[u32]) -> u32 {\n    tasks.iter().map(|t| helper(*t)).sum()\n}\nfn helper(t: u32) -> u32 {\n    let _s = wisegraph_obs::span!(\"kernel.task\");\n    t\n}\n";
+    assert!(check_sources(&[("engine.rs", fixed, &["execute"])]).is_empty());
+}
+
+#[test]
+fn o001_shipped_sources_are_covered() {
+    use wisegraph::analysis::obscheck::verify_instrumentation;
+    let report =
+        verify_instrumentation(std::path::Path::new(env!("CARGO_MANIFEST_DIR")));
+    assert!(report.is_clean(), "{report}");
+}
+
 // ------------------------------------------------------------- controls
 
 #[test]
@@ -257,10 +285,11 @@ fn every_documented_code_has_a_triggering_fixture() {
         Code::KernelAliasing,
         Code::KernelChunkMapping,
         Code::KernelPlanIncompatible,
+        Code::ObsUncovered,
     ];
     let strs: Vec<&str> = covered.iter().map(|c| c.as_str()).collect();
-    for family in ["P", "D", "K"] {
+    for family in ["P", "D", "K", "O"] {
         assert!(strs.iter().any(|s| s.starts_with(family)));
     }
-    assert_eq!(strs.len(), 11);
+    assert_eq!(strs.len(), 12);
 }

@@ -184,6 +184,40 @@ proptest! {
         prop_assert!(errors.is_empty(), "table {table}: {errors:#?}");
     }
 
+    /// Captured span streams are well-nested for any graph, table, and
+    /// worker count, and the deterministic spans appear exactly as many
+    /// times as the execution shape dictates: one `engine.execute`, one
+    /// `kernel.task` per gTask, one `engine.worker` per occupied chunk.
+    fn engine_spans_are_well_nested(
+        g in arb_graph(60, 400),
+        k in 1u64..16,
+        which in 0usize..3,
+        threads in 1usize..5,
+    ) {
+        let table = match which {
+            0 => PartitionTable::vertex_centric(),
+            1 => PartitionTable::edge_batch(k),
+            _ => PartitionTable::two_d(k),
+        };
+        let plan = partition(&g, &table);
+        let dfg = ModelKind::Gcn.layer_dfg(4, 3);
+        let mut inputs: HashMap<String, Tensor> = HashMap::new();
+        inputs.insert("h".into(),
+            init::uniform_tensor(&[g.num_vertices(), 4], -1.0, 1.0, 11));
+        inputs.insert("w".into(), init::uniform_tensor(&[4, 3], -1.0, 1.0, 12));
+        let engine = wisegraph::kernels::engine::Engine::new(threads);
+        let (res, trace) = wisegraph::obs::capture(|| {
+            engine.execute(&dfg, &g, &plan, &inputs)
+        });
+        prop_assert!(res.is_ok());
+        prop_assert!(trace.check_nesting().is_ok(), "{:?}", trace.check_nesting());
+        prop_assert_eq!(trace.span_count("engine.execute"), 1);
+        prop_assert_eq!(trace.span_count("kernel.task"), plan.num_tasks());
+        let chunks =
+            wisegraph::kernels::engine::chunk_ranges(plan.num_tasks(), threads).len();
+        prop_assert_eq!(trace.span_count("engine.worker"), chunks);
+    }
+
     /// Relabeling a graph by any generated permutation preserves every
     /// degree- and type-based statistic that partitioning depends on.
     fn relabel_preserves_partition_statistics(
