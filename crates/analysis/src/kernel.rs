@@ -13,51 +13,29 @@
 //! * the engine's chunk-to-slot mapping must be a deterministic partition
 //!   of the task range (`K003`);
 //! * a program with per-destination normalization must run under a
-//!   destination-complete plan (`K004`).
+//!   destination-complete plan (`K004`);
+//! * a fused plan must cover the program's instructions exactly once, each
+//!   fused segment must replace exactly the chain it claims, and no
+//!   replaced intermediate register may be read outside its segment
+//!   (`K005`);
+//! * every fusion pattern must register an interpreter-parity test in
+//!   `tests/fused_parity.rs` (`K006`).
 
 use crate::{push_capped, Code, Diagnostic, Span};
 use std::ops::Range;
+use std::path::Path;
 use wisegraph_gtask::PartitionPlan;
 use wisegraph_graph::Graph;
 use wisegraph_kernels::engine::chunk_ranges;
+use wisegraph_kernels::fused::{check_replaces, FusedPattern, FusedPlan, Segment};
 use wisegraph_kernels::micro::{plan_is_dst_complete, KernelProgram, MicroKernel, Reg};
 
 /// The registers a micro-kernel reads and the registers it writes.
+/// Delegates to the executor's own [`wisegraph_kernels::micro::accesses`]
+/// so the verifier and the fusion matcher can never disagree about
+/// register data-flow.
 pub fn accesses(op: &MicroKernel) -> (Vec<Reg>, Vec<Reg>) {
-    use MicroKernel::*;
-    match *op {
-        LoadStream { out, .. } => (vec![], vec![out]),
-        Unique {
-            stream,
-            values,
-            map,
-        } => (vec![stream], vec![values, map]),
-        GatherRows { idx, out, .. } => (vec![idx], vec![out]),
-        GatherRegRows { src, idx, out } => (vec![src, idx], vec![out]),
-        GatherReg2D {
-            src,
-            idx1,
-            idx2,
-            out,
-        } => (vec![src, idx1, idx2], vec![out]),
-        Gather2DGlobal {
-            idx1, idx2, out, ..
-        } => (vec![idx1, idx2], vec![out]),
-        PairwiseReg { x, w, out } => (vec![x, w], vec![out]),
-        MatMatGlobal { x, out, .. } => (vec![x], vec![out]),
-        PerRowVecMat { x, w, out } => (vec![x, w], vec![out]),
-        PairwiseGlobal { x, out, .. } => (vec![x], vec![out]),
-        GatherWeight { idx, out, .. } => (vec![idx], vec![out]),
-        Elementwise { a, b, out, .. } => {
-            let mut reads = vec![a];
-            reads.extend(b);
-            (reads, vec![out])
-        }
-        Squeeze { x, out } => (vec![x], vec![out]),
-        SegmentSoftmax { scores, seg, out } => (vec![scores, seg], vec![out]),
-        ScaleRows { x, s, out } => (vec![x, s], vec![out]),
-        ScatterAdd { data, idx } => (vec![data, idx], vec![]),
-    }
+    wisegraph_kernels::micro::accesses(op)
 }
 
 /// Verifies the register discipline of a compiled program (`K001`/`K002`).
@@ -244,6 +222,124 @@ pub fn verify_plan_compat(
     out
 }
 
+/// Verifies a fused execution plan against its program (`K005`):
+///
+/// 1. **coverage** — the plan's segments, in order, execute program
+///    counters `0..ops.len()` exactly once, ascending;
+/// 2. **replacement** — each fused segment structurally re-matches at its
+///    start pc (same pattern, same range, same register/global wiring);
+/// 3. **confinement** — no register written inside a fused segment is read
+///    by any instruction outside it (skipping its materialization must be
+///    unobservable).
+pub fn verify_fusion(prog: &KernelProgram, fplan: &FusedPlan) -> Vec<Diagnostic> {
+    let mut found = Vec::new();
+    let covered = fplan.covered_pcs();
+    let expect: Vec<usize> = (0..prog.ops.len()).collect();
+    if covered != expect {
+        found.push(
+            Diagnostic::error(
+                Code::KernelFusionCoverage,
+                Span::Global,
+                format!(
+                    "fused plan executes pcs {covered:?} but the program has \
+                     instructions 0..{}; fused segments must cover exactly the \
+                     instructions they replace",
+                    prog.ops.len()
+                ),
+            )
+            .with_suggestion("rebuild the plan with plan_fusion on this program"),
+        );
+    }
+    for seg in &fplan.segments {
+        let Segment::Fused(fk) = seg else { continue };
+        if let Err(e) = check_replaces(prog, fk) {
+            found.push(Diagnostic::error(
+                Code::KernelFusionCoverage,
+                Span::KernelOp(fk.pcs.start),
+                e,
+            ));
+        }
+        // Independent confinement check (not derived from the matcher):
+        // registers written by replaced instructions must never be read
+        // outside the segment.
+        for pc in fk.pcs.clone().filter(|&pc| pc < prog.ops.len()) {
+            let (_, writes) = accesses(&prog.ops[pc]);
+            for w in writes {
+                for (other_pc, other) in prog.ops.iter().enumerate() {
+                    if fk.pcs.contains(&other_pc) {
+                        continue;
+                    }
+                    let (reads, _) = accesses(other);
+                    if reads.contains(&w) {
+                        found.push(Diagnostic::error(
+                            Code::KernelFusionCoverage,
+                            Span::KernelOp(other_pc),
+                            format!(
+                                "reads register r{} whose materialization the fused \
+                                 segment at pcs {:?} skips",
+                                w.0, fk.pcs
+                            ),
+                        ));
+                    }
+                }
+            }
+        }
+    }
+    let mut out = Vec::new();
+    push_capped(&mut out, found);
+    out
+}
+
+/// Verifies that every fusion pattern registers an interpreter-parity test
+/// (`K006`): `tests/fused_parity.rs` under `root` must define a
+/// `fn <pattern>.parity_test()` for each [`FusedPattern::ALL`] entry. The
+/// same textual-scanning idiom as [`crate::obscheck`] — the check runs
+/// against the source tree, so adding a pattern without wiring its
+/// differential test fails `wisegraph-lint` before anything executes.
+pub fn verify_fused_parity_registry(root: &Path) -> Vec<Diagnostic> {
+    let harness = root.join("tests/fused_parity.rs");
+    let src = match std::fs::read_to_string(&harness) {
+        Ok(s) => s,
+        Err(e) => {
+            return vec![Diagnostic::error(
+                Code::KernelFusionUntested,
+                Span::Global,
+                format!(
+                    "cannot read the fused parity harness {}: {e}",
+                    harness.display()
+                ),
+            )
+            .with_suggestion(
+                "tests/fused_parity.rs must exist and register one parity test \
+                 per fusion pattern",
+            )]
+        }
+    };
+    let mut out = Vec::new();
+    for p in FusedPattern::ALL {
+        let needle = format!("fn {}(", p.parity_test());
+        if !src.contains(&needle) {
+            out.push(
+                Diagnostic::error(
+                    Code::KernelFusionUntested,
+                    Span::Global,
+                    format!(
+                        "fusion pattern `{}` has no registered interpreter-parity \
+                         test (expected `fn {}` in tests/fused_parity.rs)",
+                        p.name(),
+                        p.parity_test()
+                    ),
+                )
+                .with_suggestion(
+                    "every pattern the matcher can emit must be pinned bit-identical \
+                     to the interpreter by a dedicated differential test",
+                ),
+            );
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -411,6 +507,63 @@ mod tests {
         let short = verify_chunk_ranges(std::slice::from_ref(&(0..2)), 6, 2);
         assert!(short.iter().any(|d| d.code == Code::KernelChunkMapping
             && d.message.contains("2..6")));
+    }
+
+    #[test]
+    fn fusion_plans_of_compiled_models_are_clean() {
+        let g = paper_graph();
+        for model in [ModelKind::Gcn, ModelKind::Rgcn, ModelKind::Gat, ModelKind::Sage] {
+            let dfg = model.layer_dfg(8, 4);
+            let prog = compile(&dfg, &g).expect("model compiles");
+            let fplan = wisegraph_kernels::fused::plan_fusion(&prog);
+            let diags = verify_fusion(&prog, &fplan);
+            assert!(diags.is_empty(), "{model:?}: {diags:#?}");
+        }
+    }
+
+    #[test]
+    fn dropped_segment_is_k005() {
+        let g = paper_graph();
+        let prog = compile(&ModelKind::Gcn.layer_dfg(8, 4), &g).unwrap();
+        let mut fplan = wisegraph_kernels::fused::plan_fusion(&prog);
+        assert!(fplan.num_fused() > 0);
+        fplan.segments.pop();
+        let diags = verify_fusion(&prog, &fplan);
+        assert!(diags.iter().any(|d| d.code == Code::KernelFusionCoverage
+            && d.message.contains("cover exactly")));
+    }
+
+    #[test]
+    fn tampered_segment_is_k005() {
+        let g = paper_graph();
+        let prog = compile(&ModelKind::Rgcn.layer_dfg(8, 4), &g).unwrap();
+        let mut fplan = wisegraph_kernels::fused::plan_fusion(&prog);
+        // Shift the fused segment one instruction left: it now claims to
+        // replace a chain that is not there.
+        for seg in &mut fplan.segments {
+            if let Segment::Fused(fk) = seg {
+                fk.pcs = fk.pcs.start - 1..fk.pcs.end - 1;
+            }
+        }
+        let diags = verify_fusion(&prog, &fplan);
+        assert!(diags.iter().any(|d| d.code == Code::KernelFusionCoverage));
+    }
+
+    #[test]
+    fn parity_registry_present_in_repo() {
+        let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+        let diags = verify_fused_parity_registry(&root);
+        assert!(diags.is_empty(), "{diags:#?}");
+    }
+
+    #[test]
+    fn missing_parity_harness_is_k006() {
+        // A directory with no tests/fused_parity.rs at all.
+        let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("src");
+        let diags = verify_fused_parity_registry(&root);
+        assert!(diags
+            .iter()
+            .any(|d| d.code == Code::KernelFusionUntested));
     }
 
     #[test]

@@ -91,6 +91,13 @@ pub enum Code {
     KernelChunkMapping,
     /// The compiled program and the partition plan cannot run together.
     KernelPlanIncompatible,
+    /// A fused plan does not cover the program's instructions exactly
+    /// once, or a fused segment does not replace the instructions it
+    /// claims to (pattern mismatch, escaping intermediate register).
+    KernelFusionCoverage,
+    /// A fusion pattern has no registered interpreter-parity test in
+    /// `tests/fused_parity.rs`.
+    KernelFusionUntested,
     /// An execution entry point runs without an enclosing observability
     /// span (or the instrumentation-coverage table is stale).
     ObsUncovered,
@@ -111,6 +118,8 @@ impl Code {
             Code::KernelAliasing => "K002",
             Code::KernelChunkMapping => "K003",
             Code::KernelPlanIncompatible => "K004",
+            Code::KernelFusionCoverage => "K005",
+            Code::KernelFusionUntested => "K006",
             Code::ObsUncovered => "O001",
         }
     }
@@ -295,6 +304,8 @@ pub fn verify_execution(
             report.extend(kernel::verify_program(&program));
             report.extend(kernel::verify_plan_compat(g, plan, &program));
             report.extend(kernel::verify_chunk_mapping(plan.num_tasks(), threads));
+            let fplan = wisegraph_kernels::fused::plan_fusion(&program);
+            report.extend(kernel::verify_fusion(&program, &fplan));
         }
         Err(e) => report.push(Diagnostic::error(
             Code::KernelPlanIncompatible,
@@ -330,7 +341,8 @@ pub(crate) fn push_capped(out: &mut Vec<Diagnostic>, found: Vec<Diagnostic>) {
 pub mod prelude {
     pub use crate::dfgcheck::{effective_indexing_attrs, verify_dfg, verify_rewrite};
     pub use crate::kernel::{
-        verify_chunk_mapping, verify_chunk_ranges, verify_plan_compat, verify_program,
+        verify_chunk_mapping, verify_chunk_ranges, verify_fused_parity_registry,
+        verify_fusion, verify_plan_compat, verify_program,
     };
     pub use crate::obscheck::verify_instrumentation;
     pub use crate::plan::verify_plan;

@@ -29,12 +29,18 @@ use std::path::Path;
 pub const REQUIRED: &[(&str, &[&str])] = &[
     (
         "crates/kernels/src/engine.rs",
-        &["execute", "execute_parallel", "execute_parallel_alloc"],
+        &[
+            "execute",
+            "execute_parallel",
+            "execute_parallel_mode",
+            "execute_parallel_alloc",
+        ],
     ),
     (
         "crates/kernels/src/micro.rs",
         &["run_task", "run_task_ws", "run_epilogue", "execute_by_plan"],
     ),
+    ("crates/kernels/src/fused.rs", &["run_task_fused"]),
     ("crates/gtask/src/partition.rs", &["partition"]),
     ("crates/dfg/src/passes.rs", &["cse", "prune_dead"]),
 ];

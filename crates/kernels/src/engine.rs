@@ -15,11 +15,13 @@
 //! which keeps results bit-identical to the allocating reference path
 //! ([`execute_parallel_alloc`]).
 
+use crate::fused::{plan_fusion, run_task_fused, FusedPlan};
 use crate::micro::{
     compile, eval_edge_independent_public as eval_edge_independent,
     plan_is_dst_complete, prologue_name, run_epilogue, run_task, run_task_ws,
     CompileError, TaskWorkspace,
 };
+use crate::oppart::fusion_profitable;
 use std::collections::HashMap;
 use std::sync::Mutex;
 use wisegraph_dfg::Dfg;
@@ -58,27 +60,59 @@ struct WorkerSlot {
     acc: Option<Tensor>,
 }
 
+/// How the engine executes compiled per-task programs.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ExecMode {
+    /// Fuse when the cost rule ([`fusion_profitable`]) says the fused plan
+    /// saves traffic; interpret otherwise. The default.
+    #[default]
+    Auto,
+    /// Always run the instruction-at-a-time interpreter (the reference).
+    Interpret,
+    /// Always run the fused plan (instructions without a matched pattern
+    /// still execute on the shared interpreter step).
+    Fused,
+}
+
 /// A reusable parallel executor with persistent per-worker workspaces.
 pub struct Engine {
     slots: Vec<Mutex<WorkerSlot>>,
+    mode: ExecMode,
 }
 
 impl Engine {
-    /// Creates an engine with `threads` worker slots.
+    /// Creates an engine with `threads` worker slots in [`ExecMode::Auto`].
     ///
     /// # Panics
     ///
     /// Panics if `threads == 0`.
     pub fn new(threads: usize) -> Self {
+        Self::with_mode(threads, ExecMode::Auto)
+    }
+
+    /// Creates an engine with `threads` worker slots and an explicit
+    /// execution mode. The differential harness in `tests/fused_parity.rs`
+    /// runs [`ExecMode::Interpret`] against [`ExecMode::Fused`] engines.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads == 0`.
+    pub fn with_mode(threads: usize, mode: ExecMode) -> Self {
         assert!(threads > 0, "need at least one worker");
         Self {
             slots: (0..threads).map(|_| Mutex::new(WorkerSlot::default())).collect(),
+            mode,
         }
     }
 
     /// Number of worker slots.
     pub fn threads(&self) -> usize {
         self.slots.len()
+    }
+
+    /// The engine's execution mode.
+    pub fn mode(&self) -> ExecMode {
+        self.mode
     }
 
     /// Merged counters across all worker slots, honoring each metric's
@@ -134,6 +168,17 @@ impl Engine {
             }
         }
 
+        // Dispatch decision: per program, before any worker starts, so the
+        // same code path runs at every thread count.
+        let fplan: Option<FusedPlan> = match self.mode {
+            ExecMode::Interpret => None,
+            ExecMode::Fused => Some(plan_fusion(&program)),
+            ExecMode::Auto => {
+                let fp = plan_fusion(&program);
+                fusion_profitable(&program, &fp).then_some(fp)
+            }
+        };
+
         let partials: Vec<Tensor> = std::thread::scope(|scope| {
             let handles: Vec<_> = chunk_ranges(plan.tasks.len(), self.threads())
                 .into_iter()
@@ -142,6 +187,7 @@ impl Engine {
                     let tasks = &plan.tasks[range];
                     let program = &program;
                     let all_globals = &all_globals;
+                    let fplan = fplan.as_ref();
                     let slot = &self.slots[wi];
                     // Lane 0 belongs to the driver thread; worker slot `wi`
                     // records on lane `wi + 1`, making the trace's track
@@ -169,14 +215,25 @@ impl Engine {
                                 ]),
                             };
                             for task in tasks {
-                                run_task_ws(
-                                    program,
-                                    g,
-                                    all_globals,
-                                    &task.edges,
-                                    &mut acc,
-                                    &mut slot.tws,
-                                );
+                                match fplan {
+                                    Some(fp) => run_task_fused(
+                                        program,
+                                        fp,
+                                        g,
+                                        all_globals,
+                                        &task.edges,
+                                        &mut acc,
+                                        &mut slot.tws,
+                                    ),
+                                    None => run_task_ws(
+                                        program,
+                                        g,
+                                        all_globals,
+                                        &task.edges,
+                                        &mut acc,
+                                        &mut slot.tws,
+                                    ),
+                                }
                             }
                             acc
                         })
@@ -223,6 +280,28 @@ pub fn execute_parallel(
     threads: usize,
 ) -> Result<Vec<Tensor>, CompileError> {
     Engine::new(threads).execute(dfg, g, plan, globals)
+}
+
+/// Like [`execute_parallel`], with an explicit [`ExecMode`]. The
+/// differential tests drive both sides of the fused/interpreter contract
+/// through this entry point.
+///
+/// # Errors
+///
+/// Returns the compile error if the DFG cannot run per task.
+///
+/// # Panics
+///
+/// Panics if `threads == 0` or a worker thread panics.
+pub fn execute_parallel_mode(
+    dfg: &Dfg,
+    g: &Graph,
+    plan: &PartitionPlan,
+    globals: &HashMap<String, Tensor>,
+    threads: usize,
+    mode: ExecMode,
+) -> Result<Vec<Tensor>, CompileError> {
+    Engine::with_mode(threads, mode).execute(dfg, g, plan, globals)
 }
 
 /// Allocating reference executor: identical work distribution to

@@ -1,0 +1,683 @@
+//! Fused micro-kernel codegen: pattern-matched load→compute→store chains
+//! lowered to specialized, cache-blocked f32 loops.
+//!
+//! The interpreter in [`crate::micro`] executes one instruction at a time,
+//! materializing every intermediate register in pool buffers. For the
+//! three patterns that dominate GNN layers, that materialization is pure
+//! overhead — each edge's gathered row is consumed exactly once by the
+//! next instruction:
+//!
+//! * **segment-reduce** (`GatherRows` → `ScatterAdd`): GCN/SAGE
+//!   aggregation, `out[dst[i]] += h[src[i]]`.
+//! * **edge-batch matmul** (`GatherRows` → `MatMatGlobal` → `ScatterAdd`):
+//!   a shared projection applied per edge, `out[dst[i]] += h[src[i]] @ w`.
+//! * **per-type batched matmul** (`GatherRows` → `GatherWeight` →
+//!   `PerRowVecMat` → `ScatterAdd`): RGCN's relation-specific transform,
+//!   `out[dst[i]] += h[src[i]] @ W[ty[i]]`.
+//!
+//! [`plan_fusion`] scans a compiled [`KernelProgram`] for these chains and
+//! replaces each with one [`FusedKernel`]; every other instruction stays on
+//! the shared interpreter step ([`crate::micro`]'s `exec_op`), so arbitrary
+//! programs (GAT's softmax pipeline, dedup/pairwise forms) fall back
+//! instruction-by-instruction. Whether a program's fused plan is actually
+//! used is decided by the cost rule in [`crate::oppart::fusion_profitable`].
+//!
+//! # Bit-identity contract
+//!
+//! The fused path must produce **exactly** the bytes of the interpreter at
+//! every thread count, and report identical Work counters. The lowering
+//! therefore only applies transforms that provably preserve the per-element
+//! floating-point sequence:
+//!
+//! * intermediate buffers are skipped, never reordered: a gather-then-add
+//!   is the same additions as an add-from-source; a matmul into a zeroed
+//!   row buffer followed by a row add is the same sequence as the
+//!   interpreter's matmul-into-buffer-then-scatter;
+//! * loops are unrolled across **independent output columns** in
+//!   [`LANES`]-wide chunks (separate accumulators, no re-association);
+//! * blocking (edge blocks, weight column panels) only regroups iterations
+//!   — for every output element, contributions still arrive in ascending
+//!   `k` order within ascending edge order;
+//! * the interpreter's `x == 0.0` skip in `matmul_into`/`PerRowVecMat` is
+//!   replicated exactly (skipping `acc += 0.0 * w` does change bits for
+//!   NaN/-0.0 inputs, so the skip itself is part of the contract).
+//!
+//! The contract is pinned by `tests/fused_parity.rs` (differential harness
+//! over every model × table × thread count), property tests with shrinking,
+//! and the K005/K006 analysis codes which verify fused segments cover
+//! exactly the instructions they replace and that every pattern registers
+//! an interpreter-parity test.
+
+use std::collections::HashMap;
+use std::ops::Range;
+use wisegraph_graph::Graph;
+use wisegraph_obs::span;
+use wisegraph_tensor::Tensor;
+
+use crate::micro::{
+    accesses, exec_op, reg_stream, KernelProgram, MicroKernel, Reg, TaskWorkspace,
+};
+
+/// Unroll width of the fused inner loops. Chosen so the autovectorizer can
+/// map one unrolled group to a 128-bit SIMD lane; correctness never
+/// depends on it (remainders run scalar).
+pub const LANES: usize = 4;
+
+/// Edges processed per block: keeps the index-stream slices and (for the
+/// per-type pattern) the current weight slice hot while streaming rows.
+const EDGE_BLOCK: usize = 128;
+
+/// Column-panel width for the edge-batch matmul: the shared weight is
+/// walked in panels so a panel of `w` stays in L1 across the `k` loop.
+const COL_BLOCK: usize = 64;
+
+/// The recognized fusion patterns.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum FusedPattern {
+    /// `GatherRows` → `ScatterAdd`.
+    SegmentReduce,
+    /// `GatherRows` → `MatMatGlobal` → `ScatterAdd`.
+    EdgeBatchMatmul,
+    /// `GatherRows` → `GatherWeight` → `PerRowVecMat` → `ScatterAdd`.
+    PerTypeBatchedMatmul,
+}
+
+impl FusedPattern {
+    /// Every pattern the matcher can emit. Adding a variant here without a
+    /// registered parity test fails `wisegraph-lint` (code K006).
+    pub const ALL: [FusedPattern; 3] = [
+        FusedPattern::SegmentReduce,
+        FusedPattern::EdgeBatchMatmul,
+        FusedPattern::PerTypeBatchedMatmul,
+    ];
+
+    /// Stable snake-case name (diagnostics, bench output).
+    pub fn name(self) -> &'static str {
+        match self {
+            FusedPattern::SegmentReduce => "segment_reduce",
+            FusedPattern::EdgeBatchMatmul => "edge_batch_matmul",
+            FusedPattern::PerTypeBatchedMatmul => "per_type_batched_matmul",
+        }
+    }
+
+    /// Name of the `#[test]` in `tests/fused_parity.rs` that pins this
+    /// pattern bit-identical to the interpreter. `wisegraph-lint` scans the
+    /// harness for exactly this function name.
+    pub fn parity_test(self) -> &'static str {
+        match self {
+            FusedPattern::SegmentReduce => "segment_reduce_fused_matches_interpreter",
+            FusedPattern::EdgeBatchMatmul => "edge_batch_matmul_fused_matches_interpreter",
+            FusedPattern::PerTypeBatchedMatmul => {
+                "per_type_batched_matmul_fused_matches_interpreter"
+            }
+        }
+    }
+
+    /// Number of interpreter instructions one fused kernel replaces.
+    pub fn window(self) -> usize {
+        match self {
+            FusedPattern::SegmentReduce => 2,
+            FusedPattern::EdgeBatchMatmul => 3,
+            FusedPattern::PerTypeBatchedMatmul => 4,
+        }
+    }
+}
+
+/// The wiring of one fused kernel: global tensor names plus the stream
+/// registers (produced by interpreted `LoadStream` instructions) it reads.
+#[derive(Clone, Debug, PartialEq)]
+pub enum FusedOp {
+    /// `out[dst[i]] += src[src_idx[i]]`.
+    SegmentReduce {
+        /// Gathered global tensor name.
+        src: String,
+        /// Source-row stream register.
+        src_idx: Reg,
+        /// Destination-row stream register.
+        dst_idx: Reg,
+    },
+    /// `out[dst[i]] += src[src_idx[i]] @ w`.
+    EdgeBatchMatmul {
+        /// Gathered global tensor name.
+        src: String,
+        /// Source-row stream register.
+        src_idx: Reg,
+        /// Shared `[f, f']` weight name.
+        w: String,
+        /// Destination-row stream register.
+        dst_idx: Reg,
+    },
+    /// `out[dst[i]] += h[src_idx[i]] @ w[ty_idx[i]]`.
+    PerTypeBatchedMatmul {
+        /// Gathered global tensor name.
+        h: String,
+        /// Source-row stream register.
+        src_idx: Reg,
+        /// Global `[t, f, f']` weight name.
+        w: String,
+        /// Type stream register selecting the weight slice.
+        ty_idx: Reg,
+        /// Destination-row stream register.
+        dst_idx: Reg,
+    },
+}
+
+/// One fused kernel: which pattern, which program counters it replaces,
+/// and its register/global wiring.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FusedKernel {
+    /// The matched pattern.
+    pub pattern: FusedPattern,
+    /// The replaced instruction range in `KernelProgram::ops`.
+    pub pcs: Range<usize>,
+    /// The lowered operation.
+    pub op: FusedOp,
+}
+
+/// One execution step of a fused program.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Segment {
+    /// A fused kernel replacing `pcs.len()` interpreter instructions.
+    Fused(FusedKernel),
+    /// A single instruction executed by the shared interpreter step.
+    Interp(usize),
+}
+
+/// A fused execution plan: the program's instructions partitioned into
+/// fused kernels and interpreter steps, in original program order.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct FusedPlan {
+    /// Execution steps covering `0..ops.len()` exactly once, ascending.
+    pub segments: Vec<Segment>,
+}
+
+impl FusedPlan {
+    /// Number of fused segments.
+    pub fn num_fused(&self) -> usize {
+        self.segments
+            .iter()
+            .filter(|s| matches!(s, Segment::Fused(_)))
+            .count()
+    }
+
+    /// Total interpreter instructions replaced by fused segments.
+    pub fn replaced_ops(&self) -> usize {
+        self.segments
+            .iter()
+            .map(|s| match s {
+                Segment::Fused(fk) => fk.pcs.len(),
+                Segment::Interp(_) => 0,
+            })
+            .sum()
+    }
+
+    /// The patterns used, in program order (repeats preserved).
+    pub fn patterns(&self) -> Vec<FusedPattern> {
+        self.segments
+            .iter()
+            .filter_map(|s| match s {
+                Segment::Fused(fk) => Some(fk.pattern),
+                Segment::Interp(_) => None,
+            })
+            .collect()
+    }
+
+    /// Every program counter the plan executes, in execution order. A
+    /// well-formed plan yields exactly `0..ops.len()`; the K005 analysis
+    /// pass checks that.
+    pub fn covered_pcs(&self) -> Vec<usize> {
+        let mut pcs = Vec::new();
+        for s in &self.segments {
+            match s {
+                Segment::Fused(fk) => pcs.extend(fk.pcs.clone()),
+                Segment::Interp(pc) => pcs.push(*pc),
+            }
+        }
+        pcs
+    }
+}
+
+/// Per-register def/use program counters, for confinement checks.
+struct RegUse {
+    reads: Vec<Vec<usize>>,
+    writes: Vec<Vec<usize>>,
+}
+
+fn reg_use(program: &KernelProgram) -> RegUse {
+    let mut u = RegUse {
+        reads: vec![Vec::new(); program.num_regs],
+        writes: vec![Vec::new(); program.num_regs],
+    };
+    for (pc, op) in program.ops.iter().enumerate() {
+        let (reads, writes) = accesses(op);
+        for r in reads {
+            u.reads[r.0].push(pc);
+        }
+        for w in writes {
+            u.writes[w.0].push(pc);
+        }
+    }
+    u
+}
+
+/// `true` when register `r` is written exactly once, inside `lo..hi`, and
+/// read only after that write and before `hi` — i.e. the value never
+/// escapes the candidate fusion window, so skipping its materialization is
+/// unobservable.
+fn confined(u: &RegUse, r: Reg, lo: usize, hi: usize) -> bool {
+    let w = &u.writes[r.0];
+    w.len() == 1
+        && w[0] >= lo
+        && w[0] < hi
+        && u.reads[r.0].iter().all(|&pc| pc > w[0] && pc < hi)
+}
+
+/// Tries to match a fusion pattern starting at `pc`, longest window first.
+fn match_at(program: &KernelProgram, u: &RegUse, pc: usize) -> Option<FusedKernel> {
+    let ops = &program.ops;
+    if pc + 4 <= ops.len() {
+        if let [MicroKernel::GatherRows { src: h, idx: si, out: g1 }, MicroKernel::GatherWeight { src: w, idx: ti, out: g2 }, MicroKernel::PerRowVecMat { x, w: wr, out: m }, MicroKernel::ScatterAdd { data, idx: di }] =
+            &ops[pc..pc + 4]
+        {
+            if x == g1
+                && wr == g2
+                && data == m
+                && confined(u, *g1, pc, pc + 4)
+                && confined(u, *g2, pc, pc + 4)
+                && confined(u, *m, pc, pc + 4)
+            {
+                return Some(FusedKernel {
+                    pattern: FusedPattern::PerTypeBatchedMatmul,
+                    pcs: pc..pc + 4,
+                    op: FusedOp::PerTypeBatchedMatmul {
+                        h: h.clone(),
+                        src_idx: *si,
+                        w: w.clone(),
+                        ty_idx: *ti,
+                        dst_idx: *di,
+                    },
+                });
+            }
+        }
+    }
+    if pc + 3 <= ops.len() {
+        if let [MicroKernel::GatherRows { src, idx: si, out: g1 }, MicroKernel::MatMatGlobal { x, w, out: m }, MicroKernel::ScatterAdd { data, idx: di }] =
+            &ops[pc..pc + 3]
+        {
+            if x == g1
+                && data == m
+                && confined(u, *g1, pc, pc + 3)
+                && confined(u, *m, pc, pc + 3)
+            {
+                return Some(FusedKernel {
+                    pattern: FusedPattern::EdgeBatchMatmul,
+                    pcs: pc..pc + 3,
+                    op: FusedOp::EdgeBatchMatmul {
+                        src: src.clone(),
+                        src_idx: *si,
+                        w: w.clone(),
+                        dst_idx: *di,
+                    },
+                });
+            }
+        }
+    }
+    if pc + 2 <= ops.len() {
+        if let [MicroKernel::GatherRows { src, idx: si, out: g1 }, MicroKernel::ScatterAdd { data, idx: di }] =
+            &ops[pc..pc + 2]
+        {
+            if data == g1 && confined(u, *g1, pc, pc + 2) {
+                return Some(FusedKernel {
+                    pattern: FusedPattern::SegmentReduce,
+                    pcs: pc..pc + 2,
+                    op: FusedOp::SegmentReduce {
+                        src: src.clone(),
+                        src_idx: *si,
+                        dst_idx: *di,
+                    },
+                });
+            }
+        }
+    }
+    None
+}
+
+/// Partitions a compiled program into fused kernels and interpreter steps:
+/// a greedy left-to-right scan, longest pattern first at each position.
+/// Deterministic — the same program always yields the same plan, so the
+/// dispatch decision is identical at every thread count.
+pub fn plan_fusion(program: &KernelProgram) -> FusedPlan {
+    let u = reg_use(program);
+    let mut segments = Vec::new();
+    let mut pc = 0;
+    while pc < program.ops.len() {
+        match match_at(program, &u, pc) {
+            Some(fk) => {
+                pc = fk.pcs.end;
+                segments.push(Segment::Fused(fk));
+            }
+            None => {
+                segments.push(Segment::Interp(pc));
+                pc += 1;
+            }
+        }
+    }
+    FusedPlan { segments }
+}
+
+/// Verifies that `fk` covers exactly the instructions it claims to
+/// replace: re-derives what the matcher would emit at `fk.pcs.start` and
+/// requires structural equality. The check behind analysis code K005.
+///
+/// # Errors
+///
+/// Returns a description of the mismatch when the program's instructions
+/// at `fk.pcs` no longer form (exactly) this fused kernel.
+pub fn check_replaces(program: &KernelProgram, fk: &FusedKernel) -> Result<(), String> {
+    let u = reg_use(program);
+    match match_at(program, &u, fk.pcs.start) {
+        Some(m) if m == *fk => Ok(()),
+        Some(m) => Err(format!(
+            "fused segment at pc {} claims {:?} over {:?} but the program matches {:?} over {:?}",
+            fk.pcs.start, fk.pattern, fk.pcs, m.pattern, m.pcs
+        )),
+        None => Err(format!(
+            "fused segment at pc {} claims {:?} but no pattern matches there",
+            fk.pcs.start, fk.pattern
+        )),
+    }
+}
+
+/// `acc[j] += row[j]`, unrolled in [`LANES`]-wide groups of independent
+/// column accumulators.
+#[inline]
+fn add_row(acc: &mut [f32], row: &[f32]) {
+    let mut a4 = acc.chunks_exact_mut(LANES);
+    let mut r4 = row.chunks_exact(LANES);
+    for (a, r) in (&mut a4).zip(&mut r4) {
+        a[0] += r[0];
+        a[1] += r[1];
+        a[2] += r[2];
+        a[3] += r[3];
+    }
+    for (a, &r) in a4.into_remainder().iter_mut().zip(r4.remainder()) {
+        *a += r;
+    }
+}
+
+/// `acc[j] += a * row[j]`, unrolled like [`add_row`]. Callers replicate
+/// the interpreter's `a == 0.0` skip *before* calling.
+#[inline]
+fn axpy(acc: &mut [f32], a: f32, row: &[f32]) {
+    let mut o4 = acc.chunks_exact_mut(LANES);
+    let mut r4 = row.chunks_exact(LANES);
+    for (o, r) in (&mut o4).zip(&mut r4) {
+        o[0] += a * r[0];
+        o[1] += a * r[1];
+        o[2] += a * r[2];
+        o[3] += a * r[3];
+    }
+    for (o, &r) in o4.into_remainder().iter_mut().zip(r4.remainder()) {
+        *o += a * r;
+    }
+}
+
+/// Executes one fused kernel against the task's streams, accumulating into
+/// `out` with the interpreter's exact Work accounting.
+fn run_fused(
+    program: &KernelProgram,
+    fk: &FusedKernel,
+    globals: &HashMap<String, Tensor>,
+    out: &mut Tensor,
+    tws: &mut TaskWorkspace,
+) {
+    let TaskWorkspace { regs, ws, work } = tws;
+    match &fk.op {
+        FusedOp::SegmentReduce { src, src_idx, dst_idx } => {
+            let srct = &globals[src];
+            let n = srct.dims()[1];
+            assert_eq!(n, program.out_width, "segment-reduce width mismatch");
+            let si = reg_stream(regs, *src_idx);
+            let di = reg_stream(regs, *dst_idx);
+            let len = si.len();
+            for (sb, db) in si.chunks(EDGE_BLOCK).zip(di.chunks(EDGE_BLOCK)) {
+                for (&s, &d) in sb.iter().zip(db) {
+                    add_row(out.row_mut(d as usize), srct.row(s as usize));
+                }
+            }
+            // Same Work totals as GatherRows + ScatterAdd.
+            work.bytes_gathered += (4 * len * n) as u64;
+            work.flops += (len * n) as u64;
+            work.bytes_scattered += (4 * len * n) as u64;
+        }
+        FusedOp::EdgeBatchMatmul {
+            src,
+            src_idx,
+            w,
+            dst_idx,
+        } => {
+            let h = &globals[src];
+            let wt = &globals[w];
+            let f = h.dims()[1];
+            let n = wt.dims()[1];
+            assert_eq!(f, wt.dims()[0], "edge-batch matmul inner-dim mismatch");
+            assert_eq!(n, program.out_width, "edge-batch matmul width mismatch");
+            let si = reg_stream(regs, *src_idx);
+            let di = reg_stream(regs, *dst_idx);
+            let len = si.len();
+            let mut rowbuf = ws.take(n);
+            for (sb, db) in si.chunks(EDGE_BLOCK).zip(di.chunks(EDGE_BLOCK)) {
+                for (&s, &d) in sb.iter().zip(db) {
+                    rowbuf.fill(0.0);
+                    let hrow = h.row(s as usize);
+                    let mut col = 0;
+                    while col < n {
+                        let cb = (n - col).min(COL_BLOCK);
+                        for (k, &av) in hrow.iter().enumerate() {
+                            if av == 0.0 {
+                                continue;
+                            }
+                            axpy(
+                                &mut rowbuf[col..col + cb],
+                                av,
+                                &wt.data()[k * n + col..k * n + col + cb],
+                            );
+                        }
+                        col += cb;
+                    }
+                    add_row(out.row_mut(d as usize), &rowbuf);
+                }
+            }
+            ws.give(rowbuf);
+            // Same Work totals as GatherRows + MatMatGlobal + ScatterAdd.
+            work.bytes_gathered += (4 * len * f) as u64;
+            work.flops += (2 * len * f * n) as u64 + (len * n) as u64;
+            work.bytes_scattered += (4 * len * n) as u64;
+        }
+        FusedOp::PerTypeBatchedMatmul {
+            h,
+            src_idx,
+            w,
+            ty_idx,
+            dst_idx,
+        } => {
+            let ht = &globals[h];
+            let wt = &globals[w];
+            let f = ht.dims()[1];
+            let fo = wt.dims()[2];
+            assert_eq!(f, wt.dims()[1], "per-type matmul inner-dim mismatch");
+            assert_eq!(fo, program.out_width, "per-type matmul width mismatch");
+            let slice = f * fo;
+            let si = reg_stream(regs, *src_idx);
+            let ti = reg_stream(regs, *ty_idx);
+            let di = reg_stream(regs, *dst_idx);
+            let len = si.len();
+            let mut rowbuf = ws.take(fo);
+            for ((sb, tb), db) in si
+                .chunks(EDGE_BLOCK)
+                .zip(ti.chunks(EDGE_BLOCK))
+                .zip(di.chunks(EDGE_BLOCK))
+            {
+                for ((&s, &t), &d) in sb.iter().zip(tb).zip(db) {
+                    rowbuf.fill(0.0);
+                    let hrow = ht.row(s as usize);
+                    let wsl = &wt.data()[t as usize * slice..(t as usize + 1) * slice];
+                    for (k, &av) in hrow.iter().enumerate() {
+                        if av == 0.0 {
+                            continue;
+                        }
+                        axpy(&mut rowbuf, av, &wsl[k * fo..(k + 1) * fo]);
+                    }
+                    add_row(out.row_mut(d as usize), &rowbuf);
+                }
+            }
+            ws.give(rowbuf);
+            // Same Work totals as GatherRows + GatherWeight + PerRowVecMat
+            // + ScatterAdd (PerRowVecMat FLOPs are nominal: the zero-skip
+            // is an execution shortcut, not less work in the model).
+            work.bytes_gathered += (4 * len * f) as u64 + (4 * len * slice) as u64;
+            work.flops += (2 * len * f * fo) as u64 + (len * fo) as u64;
+            work.bytes_scattered += (4 * len * fo) as u64;
+        }
+    }
+}
+
+/// Executes the compiled program for one task's edges through a fused
+/// plan, accumulating into `out`. Bit-identical to
+/// [`crate::micro::run_task_ws`] over the same edges, with identical Work
+/// counters; only the `kernel.fused_*` resource counters differ.
+///
+/// # Panics
+///
+/// Panics if the fused plan does not belong to `program` (register or
+/// width mismatches), a register is used before assignment, or a global
+/// tensor is missing.
+pub fn run_task_fused(
+    program: &KernelProgram,
+    fplan: &FusedPlan,
+    g: &Graph,
+    globals: &HashMap<String, Tensor>,
+    edges: &[usize],
+    out: &mut Tensor,
+    tws: &mut TaskWorkspace,
+) {
+    let mut sp = span!(
+        "kernel.task.fused",
+        edges = edges.len(),
+        fused_segments = fplan.num_fused()
+    );
+    tws.prepare(program.num_regs);
+    tws.work.tasks += 1;
+    tws.work.edges += edges.len() as u64;
+    if fplan.num_fused() > 0 {
+        tws.work.fused_tasks += 1;
+        tws.work.fused_micro_ops += fplan.replaced_ops() as u64;
+    }
+    let flops_before = tws.work.flops;
+    for seg in &fplan.segments {
+        match seg {
+            Segment::Interp(pc) => {
+                exec_op(program, &program.ops[*pc], g, globals, edges, out, tws)
+            }
+            Segment::Fused(fk) => run_fused(program, fk, globals, out, tws),
+        }
+    }
+    sp.arg("flops", tws.work.flops - flops_before);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::micro::{compile, run_task_ws};
+    use wisegraph_graph::generate::{rmat, RmatParams};
+    use wisegraph_gtask::{partition, PartitionTable};
+    use wisegraph_models::ModelKind;
+    use wisegraph_tensor::init;
+
+    fn globals_for(g: &Graph, fi: usize, fo: usize) -> HashMap<String, Tensor> {
+        let mut m = HashMap::new();
+        m.insert(
+            "h".to_string(),
+            init::uniform_tensor(&[g.num_vertices(), fi], -1.0, 1.0, 1),
+        );
+        m.insert(
+            "W".to_string(),
+            init::uniform_tensor(&[g.num_edge_types(), fi, fo], -1.0, 1.0, 2),
+        );
+        m.insert("w".to_string(), init::uniform_tensor(&[fi, fo], -1.0, 1.0, 3));
+        m.insert(
+            "w_self".to_string(),
+            init::uniform_tensor(&[fi, fo], -1.0, 1.0, 4),
+        );
+        m.insert(
+            "w_neigh".to_string(),
+            init::uniform_tensor(&[fi, fo], -1.0, 1.0, 5),
+        );
+        m
+    }
+
+    #[test]
+    fn gcn_program_fuses_to_segment_reduce() {
+        let g = rmat(&RmatParams::standard(40, 250, 21));
+        let program = compile(&ModelKind::Gcn.layer_dfg(5, 4), &g).unwrap();
+        let fplan = plan_fusion(&program);
+        assert_eq!(fplan.patterns(), vec![FusedPattern::SegmentReduce]);
+        assert_eq!(fplan.covered_pcs(), (0..program.ops.len()).collect::<Vec<_>>());
+        for seg in &fplan.segments {
+            if let Segment::Fused(fk) = seg {
+                check_replaces(&program, fk).unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn rgcn_program_fuses_to_per_type_batched_matmul() {
+        let g = rmat(&RmatParams::standard(40, 250, 23).with_edge_types(3));
+        let program = compile(&ModelKind::Rgcn.layer_dfg(4, 3), &g).unwrap();
+        let fplan = plan_fusion(&program);
+        assert_eq!(fplan.patterns(), vec![FusedPattern::PerTypeBatchedMatmul]);
+        assert_eq!(fplan.covered_pcs(), (0..program.ops.len()).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn gat_program_falls_back_to_interpreter() {
+        // The softmax pipeline has no matching chain: every instruction
+        // stays an interpreter step.
+        let g = rmat(&RmatParams::standard(40, 250, 25));
+        let program = compile(&ModelKind::Gat.layer_dfg(4, 3), &g).unwrap();
+        let fplan = plan_fusion(&program);
+        assert_eq!(fplan.num_fused(), 0);
+        assert_eq!(fplan.segments.len(), program.ops.len());
+    }
+
+    #[test]
+    fn fused_task_is_bit_identical_to_interpreter() {
+        let g = rmat(&RmatParams::standard(60, 400, 27).with_edge_types(3));
+        let (fi, fo) = (6, 5);
+        for kind in [ModelKind::Gcn, ModelKind::Rgcn, ModelKind::Sage] {
+            let program = compile(&kind.layer_dfg(fi, fo), &g).unwrap();
+            let fplan = plan_fusion(&program);
+            assert!(fplan.num_fused() > 0, "{}", kind.name());
+            let globals = globals_for(&g, fi, fo);
+            let plan = partition(&g, &PartitionTable::edge_batch(32));
+            let mut a = Tensor::zeros(&[program.out_rows, program.out_width]);
+            let mut b = Tensor::zeros(&[program.out_rows, program.out_width]);
+            let mut tws_a = TaskWorkspace::new();
+            let mut tws_b = TaskWorkspace::new();
+            for task in &plan.tasks {
+                run_task_ws(&program, &g, &globals, &task.edges, &mut a, &mut tws_a);
+                run_task_fused(
+                    &program, &fplan, &g, &globals, &task.edges, &mut b, &mut tws_b,
+                );
+            }
+            assert_eq!(a.data(), b.data(), "{}", kind.name());
+        }
+    }
+
+    #[test]
+    fn every_pattern_names_a_parity_test() {
+        for p in FusedPattern::ALL {
+            assert!(p.parity_test().starts_with(p.name()));
+        }
+    }
+}

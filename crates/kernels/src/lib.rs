@@ -18,10 +18,15 @@
 //!   validated against the DFG interpreter and used to ground the
 //!   simulator's calibration via the in-repo `testkit::bench` harness;
 //! - [`engine`]: the parallel gTask execution engine with persistent
-//!   per-worker workspaces ([`micro::TaskWorkspace`]).
+//!   per-worker workspaces ([`micro::TaskWorkspace`]);
+//! - [`fused`]: pattern-matched fusion of compiled micro-kernel chains
+//!   into specialized, cache-blocked loops, bit-identical to the
+//!   interpreter and dispatched by the cost rule in
+//!   [`oppart::fusion_profitable`].
 
 pub mod engine;
 pub mod exec;
+pub mod fused;
 pub mod generate;
 pub mod micro;
 pub mod oppart;

@@ -241,21 +241,27 @@ fn dense_input<'a>(
 
 /// A per-task register value.
 #[derive(Clone, Debug)]
-enum RegValue {
+pub(crate) enum RegValue {
     Tensor(Tensor),
     Stream(Vec<u32>),
 }
 
-/// Exact work totals accumulated while a worker executes tasks: pure
-/// functions of program and inputs ([`Class::Work`]), independent of how
-/// tasks are spread over workers.
+/// Exact work totals accumulated while a worker executes tasks. The
+/// `tasks`/`edges`/`flops`/`bytes_*` fields are pure functions of program
+/// and inputs ([`Class::Work`]), independent of how tasks are spread over
+/// workers *and* of whether the interpreter or the fused code path ran
+/// them. The `fused_*` fields describe how the work was executed
+/// (interpreter vs. [`crate::fused`] segments) and are therefore
+/// [`Class::Resource`].
 #[derive(Default)]
-struct KernelWork {
-    tasks: u64,
-    edges: u64,
-    flops: u64,
-    bytes_gathered: u64,
-    bytes_scattered: u64,
+pub(crate) struct KernelWork {
+    pub(crate) tasks: u64,
+    pub(crate) edges: u64,
+    pub(crate) flops: u64,
+    pub(crate) bytes_gathered: u64,
+    pub(crate) bytes_scattered: u64,
+    pub(crate) fused_tasks: u64,
+    pub(crate) fused_micro_ops: u64,
 }
 
 /// Per-worker execution state: a register file reused across tasks plus the
@@ -267,9 +273,9 @@ struct KernelWork {
 /// only during the first one.
 #[derive(Default)]
 pub struct TaskWorkspace {
-    regs: Vec<Option<RegValue>>,
-    ws: Workspace,
-    work: KernelWork,
+    pub(crate) regs: Vec<Option<RegValue>>,
+    pub(crate) ws: Workspace,
+    pub(crate) work: KernelWork,
 }
 
 impl TaskWorkspace {
@@ -288,11 +294,20 @@ impl TaskWorkspace {
         c.add_class(keys::KERNEL_FLOPS, self.work.flops, Class::Work);
         c.add_class(keys::KERNEL_BYTES_GATHERED, self.work.bytes_gathered, Class::Work);
         c.add_class(keys::KERNEL_BYTES_SCATTERED, self.work.bytes_scattered, Class::Work);
+        // How the work was executed (fused vs. interpreted) is a resource
+        // property: identical at a fixed dispatch mode, but free to differ
+        // between the interpreter baseline and the fused path.
+        c.add_class(keys::KERNEL_FUSED_TASKS, self.work.fused_tasks, Class::Resource);
+        c.add_class(
+            keys::KERNEL_FUSED_MICRO_OPS,
+            self.work.fused_micro_ops,
+            Class::Resource,
+        );
         c
     }
 
     /// Clears the register file for a new task, recycling held values.
-    fn prepare(&mut self, num_regs: usize) {
+    pub(crate) fn prepare(&mut self, num_regs: usize) {
         let TaskWorkspace { regs, ws, work: _ } = self;
         for slot in regs.iter_mut() {
             match slot.take() {
@@ -306,7 +321,7 @@ impl TaskWorkspace {
 }
 
 /// Reads a tensor register by reference.
-fn reg_tensor(regs: &[Option<RegValue>], r: Reg) -> &Tensor {
+pub(crate) fn reg_tensor(regs: &[Option<RegValue>], r: Reg) -> &Tensor {
     match regs[r.0].as_ref().expect("register assigned") {
         RegValue::Tensor(t) => t,
         RegValue::Stream(_) => panic!("expected tensor in register {r:?}"),
@@ -314,7 +329,7 @@ fn reg_tensor(regs: &[Option<RegValue>], r: Reg) -> &Tensor {
 }
 
 /// Reads a stream register by reference.
-fn reg_stream(regs: &[Option<RegValue>], r: Reg) -> &[u32] {
+pub(crate) fn reg_stream(regs: &[Option<RegValue>], r: Reg) -> &[u32] {
     match regs[r.0].as_ref().expect("register assigned") {
         RegValue::Stream(s) => s,
         RegValue::Tensor(_) => panic!("expected stream in register {r:?}"),
@@ -322,7 +337,7 @@ fn reg_stream(regs: &[Option<RegValue>], r: Reg) -> &[u32] {
 }
 
 /// Writes a register, recycling whatever value it held before.
-fn set_reg(regs: &mut [Option<RegValue>], ws: &mut Workspace, r: Reg, v: RegValue) {
+pub(crate) fn set_reg(regs: &mut [Option<RegValue>], ws: &mut Workspace, r: Reg, v: RegValue) {
     match regs[r.0].replace(v) {
         Some(RegValue::Tensor(t)) => ws.recycle(t),
         Some(RegValue::Stream(s)) => ws.give_u32(s),
@@ -680,11 +695,29 @@ pub fn run_task_ws(
 ) {
     let mut sp = span!("kernel.task", edges = edges.len(), ops = program.ops.len());
     tws.prepare(program.num_regs);
-    let TaskWorkspace { regs, ws, work } = tws;
-    work.tasks += 1;
-    work.edges += edges.len() as u64;
-    let flops_before = work.flops;
+    tws.work.tasks += 1;
+    tws.work.edges += edges.len() as u64;
+    let flops_before = tws.work.flops;
     for op in &program.ops {
+        exec_op(program, op, g, globals, edges, out, tws);
+    }
+    sp.arg("flops", tws.work.flops - flops_before);
+}
+
+/// Executes a single micro-kernel instruction against the task workspace:
+/// the shared interpreter step behind [`run_task_ws`], also used for the
+/// non-fused segments of [`crate::fused::run_task_fused`].
+pub(crate) fn exec_op(
+    program: &KernelProgram,
+    op: &MicroKernel,
+    g: &Graph,
+    globals: &HashMap<String, Tensor>,
+    edges: &[usize],
+    out: &mut Tensor,
+    tws: &mut TaskWorkspace,
+) {
+    let TaskWorkspace { regs, ws, work } = tws;
+    {
         match op {
             MicroKernel::LoadStream { attr, out } => {
                 let mut s = ws.take_u32(edges.len());
@@ -941,7 +974,49 @@ pub fn run_task_ws(
             }
         }
     }
-    sp.arg("flops", work.flops - flops_before);
+}
+
+/// Register data-flow of one micro-kernel instruction: `(reads, writes)`.
+///
+/// The single source of truth for which virtual registers an instruction
+/// consumes and produces — used by the fusion matcher in [`crate::fused`]
+/// and re-exported through `wisegraph-analysis` for the K-code passes.
+pub fn accesses(op: &MicroKernel) -> (Vec<Reg>, Vec<Reg>) {
+    match op {
+        MicroKernel::LoadStream { out, .. } => (vec![], vec![*out]),
+        MicroKernel::Unique { stream, values, map } => {
+            (vec![*stream], vec![*values, *map])
+        }
+        MicroKernel::GatherRows { idx, out, .. }
+        | MicroKernel::GatherWeight { idx, out, .. } => (vec![*idx], vec![*out]),
+        MicroKernel::GatherRegRows { src, idx, out } => {
+            (vec![*src, *idx], vec![*out])
+        }
+        MicroKernel::GatherReg2D {
+            src,
+            idx1,
+            idx2,
+            out,
+        } => (vec![*src, *idx1, *idx2], vec![*out]),
+        MicroKernel::Gather2DGlobal {
+            idx1, idx2, out, ..
+        } => (vec![*idx1, *idx2], vec![*out]),
+        MicroKernel::PairwiseReg { x, w, out } => (vec![*x, *w], vec![*out]),
+        MicroKernel::MatMatGlobal { x, out, .. }
+        | MicroKernel::PairwiseGlobal { x, out, .. } => (vec![*x], vec![*out]),
+        MicroKernel::PerRowVecMat { x, w, out } => (vec![*x, *w], vec![*out]),
+        MicroKernel::Elementwise { a, b, out, .. } => {
+            let mut r = vec![*a];
+            r.extend(b.iter().copied());
+            (r, vec![*out])
+        }
+        MicroKernel::Squeeze { x, out } => (vec![*x], vec![*out]),
+        MicroKernel::SegmentSoftmax { scores, seg, out } => {
+            (vec![*scores, *seg], vec![*out])
+        }
+        MicroKernel::ScaleRows { x, s, out } => (vec![*x, *s], vec![*out]),
+        MicroKernel::ScatterAdd { data, idx } => (vec![*data, *idx], vec![]),
+    }
 }
 
 /// Evaluates the epilogue: the DFG nodes after (or independent of) the

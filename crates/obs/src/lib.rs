@@ -78,6 +78,12 @@ pub mod keys {
     pub const KERNEL_BYTES_GATHERED: &str = "kernel.bytes_gathered";
     /// Bytes written by scatter-style ops ([`Work`](crate::Class::Work), sum).
     pub const KERNEL_BYTES_SCATTERED: &str = "kernel.bytes_scattered";
+    /// gTasks that ran through at least one fused segment
+    /// ([`Resource`](crate::Class::Resource), sum).
+    pub const KERNEL_FUSED_TASKS: &str = "kernel.fused_tasks";
+    /// Micro-kernel instructions replaced by fused segments
+    /// ([`Resource`](crate::Class::Resource), sum).
+    pub const KERNEL_FUSED_MICRO_OPS: &str = "kernel.fused_micro_ops";
 
     /// gTasks produced by the partitioner ([`Work`](crate::Class::Work), sum).
     pub const PARTITION_TASKS: &str = "partition.tasks";

@@ -5,18 +5,22 @@
 #
 # Tests run in both profiles: debug catches overflow/debug-assert issues,
 # release catches optimizer-dependent ones and reuses the artifacts the
-# build step already produced. After the tests, three gates run: clippy
-# with warnings denied, wisegraph-lint (the pre-execution
-# plan/DFG/kernel/instrumentation verifier, DESIGN.md §8) over every
-# built-in model × partition strategy, and wisegraph-prof --check (the
-# counter-regression gate, DESIGN.md §9: run-to-run and cross-thread
-# determinism plus tolerance bands against results/prof_baseline.json).
+# build step already produced. The fused-codegen differential harness
+# (tests/fused_parity.rs, DESIGN.md §10) additionally runs by name so the
+# bit-identity gate is explicit in the log, not buried in the workspace
+# sweep. After the tests, three gates run: clippy with warnings denied,
+# wisegraph-lint (the pre-execution plan/DFG/kernel/instrumentation/
+# fusion verifier, DESIGN.md §8) over every built-in model × partition
+# strategy, and wisegraph-prof --check (the counter-regression gate,
+# DESIGN.md §9: run-to-run and cross-thread determinism plus tolerance
+# bands against results/prof_baseline.json).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 cargo build --release --offline --workspace
 cargo test -q --offline --workspace
 cargo test --release -q --offline --workspace
+cargo test --release -q --offline --test fused_parity
 cargo clippy --all-targets --offline --workspace -- -D warnings
 cargo run --release --offline --bin wisegraph-lint
 cargo run --release --offline --bin wisegraph-prof -- --check

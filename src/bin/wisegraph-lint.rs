@@ -11,7 +11,12 @@
 //!   chunk mapping are verified for several thread counts;
 //! * the span-instrumentation coverage of the execution entry points is
 //!   checked against the shipped sources (`O001`), so `wisegraph-prof`'s
-//!   timeline cannot silently lose its subjects.
+//!   timeline cannot silently lose its subjects;
+//! * every fusion pattern the micro-kernel codegen can emit must have a
+//!   registered interpreter-parity test in `tests/fused_parity.rs`
+//!   (`K006`), so a pattern cannot land without its differential harness
+//!   entry; per-combination fused plans are additionally coverage-checked
+//!   by `verify_execution` (`K005`).
 //!
 //! Exits nonzero if any pass reports an error, printing each diagnostic;
 //! `scripts/verify.sh` runs this after the test suite.
@@ -126,6 +131,18 @@ fn main() -> ExitCode {
     println!(
         "wisegraph-lint: instrumentation coverage checked for {} source files",
         wisegraph::analysis::obscheck::REQUIRED.len()
+    );
+
+    // Pass 5: every fusion pattern must register an interpreter-parity
+    // test in the differential harness (K006).
+    let mut registry_report = Report::new();
+    registry_report.extend(verify_fused_parity_registry(std::path::Path::new(env!(
+        "CARGO_MANIFEST_DIR"
+    ))));
+    fail("fused parity registry", &registry_report, &mut errors, &mut warnings);
+    println!(
+        "wisegraph-lint: {} fusion patterns checked against tests/fused_parity.rs",
+        wisegraph::kernels::fused::FusedPattern::ALL.len()
     );
 
     println!(

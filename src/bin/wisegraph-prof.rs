@@ -10,9 +10,13 @@
 //!   trace-event format (open in `chrome://tracing` or Perfetto);
 //! * `results/BENCH_executor.json` — wall-clock medians per model ×
 //!   table in the `testkit::bench` report shape (timing is an *overlay*:
-//!   informative, never compared);
+//!   informative, never compared); each combination appears twice, as
+//!   `<table>` (default `Auto` engine, fused kernels where the cost rule
+//!   fires) and `<table>_interp` (interpreter pinned on), recording the
+//!   fused-codegen before/after;
 //! * a per-gTask workload-skew table on stdout — the paper's Figure 7/15
-//!   story of how each table reshapes where the edges land.
+//!   story of how each table reshapes where the edges land — plus a
+//!   fused-vs-interpreter speedup table from the timing twins.
 //!
 //! Modes:
 //!
@@ -31,7 +35,7 @@ use std::process::ExitCode;
 use wisegraph::graph::generate::{rmat, RmatParams};
 use wisegraph::graph::Graph;
 use wisegraph::gtask::{partition, PartitionPlan, PartitionTable};
-use wisegraph::kernels::engine::Engine;
+use wisegraph::kernels::engine::{Engine, ExecMode};
 use wisegraph::kernels::micro::compile;
 use wisegraph::kernels::micro::plan_is_dst_complete;
 use wisegraph::models::ModelKind;
@@ -152,10 +156,13 @@ impl SkewRow {
     }
 }
 
-/// One wall-clock record for the bench report.
+/// One wall-clock record for the bench report. Each model × table gets
+/// two cases: `<table>` (the default `Auto` engine, fused where the cost
+/// rule fires) and `<table>_interp` (the interpreter pinned on), so the
+/// bench report records the fused-vs-interpreter before/after directly.
 struct TimingRec {
     group: &'static str,
-    case: &'static str,
+    case: String,
     samples: Vec<u64>,
 }
 
@@ -220,8 +227,28 @@ fn run_suite(threads: usize, time_reps: usize) -> SuiteRun {
             if time_reps > 0 {
                 run.timings.push(TimingRec {
                     group: slug,
-                    case: tname,
+                    case: tname.to_string(),
                     samples,
+                });
+                // The interpreter-pinned twin of the same combo: its
+                // counters are deliberately NOT merged (the snapshot above
+                // is the baseline subject), only its wall clock is kept.
+                let interp = Engine::with_mode(threads, ExecMode::Interpret);
+                interp
+                    .execute(&dfg, &g, &plan, &globals)
+                    .expect("profiled combination executes");
+                let mut isamples = Vec::with_capacity(time_reps);
+                for _ in 0..time_reps {
+                    let t = Stopwatch::start();
+                    interp
+                        .execute(&dfg, &g, &plan, &globals)
+                        .expect("profiled combination executes");
+                    isamples.push(t.elapsed_ns());
+                }
+                run.timings.push(TimingRec {
+                    group: slug,
+                    case: format!("{tname}_interp"),
+                    samples: isamples,
                 });
             }
         }
@@ -341,6 +368,40 @@ fn main() -> ExitCode {
         );
     }
     println!();
+
+    // Fused-vs-interpreter wall clock: every `<table>` case against its
+    // `<table>_interp` twin. Informative overlay, like all timing here —
+    // the *correctness* of the fused path is gated bit-exactly by the
+    // parity harness and the Work-invariance check below.
+    let median = |samples: &[u64]| {
+        let mut s = samples.to_vec();
+        s.sort_unstable();
+        s[s.len() / 2]
+    };
+    let mut best_speedup = 0.0f64;
+    println!("| model | table | interp (ns) | fused/auto (ns) | speedup |");
+    println!("|---|---|---|---|---|");
+    for r in &run.timings {
+        if r.case.ends_with("_interp") {
+            continue;
+        }
+        let twin = format!("{}_interp", r.case);
+        let Some(i) = run
+            .timings
+            .iter()
+            .find(|t| t.group == r.group && t.case == twin)
+        else {
+            continue;
+        };
+        let (fm, im) = (median(&r.samples), median(&i.samples));
+        let speedup = im as f64 / fm.max(1) as f64;
+        best_speedup = best_speedup.max(speedup);
+        println!(
+            "| {} | {} | {} | {} | {:.2}x |",
+            r.group, r.case, im, fm, speedup
+        );
+    }
+    println!("\nwisegraph-prof: best fused-vs-interpreter speedup {best_speedup:.2}x\n");
 
     for (slug, c) in &run.per_model {
         write(&results.join(format!("prof_{slug}.json")), &counters_to_json(c));

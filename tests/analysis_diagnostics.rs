@@ -1,7 +1,7 @@
 //! Broken-fixture tests for the static verifier: each fixture violates
 //! exactly one invariant and must trigger the documented diagnostic code
 //! (DESIGN.md §8). Together they cover every code the verifier can emit,
-//! P001–P004, D001–D003, K001–K004, and O001, plus a clean positive
+//! P001–P004, D001–D003, K001–K006, and O001, plus a clean positive
 //! control.
 
 use std::collections::BTreeMap;
@@ -218,6 +218,39 @@ fn k004_softmax_program_under_split_destinations() {
     );
 }
 
+#[test]
+fn k005_fusion_plan_dropping_instructions() {
+    use wisegraph::kernels::fused::plan_fusion;
+    let g = paper_graph();
+    let dfg = ModelKind::Gcn.layer_dfg(8, 4);
+    let prog = compile(&dfg, &g).expect("GCN compiles");
+    let mut fplan = plan_fusion(&prog);
+    // A plan that silently drops its last segment no longer covers the
+    // program: the fused run would skip real instructions.
+    fplan.segments.pop();
+    let diags = verify_fusion(&prog, &fplan);
+    assert!(
+        has(&diags, Code::KernelFusionCoverage, "cover exactly"),
+        "{diags:#?}"
+    );
+    assert_eq!(Code::KernelFusionCoverage.as_str(), "K005");
+    // The untampered plan is clean.
+    assert!(verify_fusion(&prog, &plan_fusion(&prog)).is_empty());
+}
+
+#[test]
+fn k006_missing_parity_harness() {
+    // A tree with no tests/fused_parity.rs: every pattern is unregistered.
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("crates");
+    let diags = verify_fused_parity_registry(&root);
+    assert!(!diags.is_empty());
+    assert!(diags.iter().all(|d| d.code == Code::KernelFusionUntested));
+    assert_eq!(Code::KernelFusionUntested.as_str(), "K006");
+    // This repo's harness registers every pattern.
+    let repo = std::path::Path::new(env!("CARGO_MANIFEST_DIR"));
+    assert!(verify_fused_parity_registry(repo).is_empty());
+}
+
 // ------------------------------------------------------- instrumentation
 
 #[test]
@@ -285,11 +318,13 @@ fn every_documented_code_has_a_triggering_fixture() {
         Code::KernelAliasing,
         Code::KernelChunkMapping,
         Code::KernelPlanIncompatible,
+        Code::KernelFusionCoverage,
+        Code::KernelFusionUntested,
         Code::ObsUncovered,
     ];
     let strs: Vec<&str> = covered.iter().map(|c| c.as_str()).collect();
     for family in ["P", "D", "K", "O"] {
         assert!(strs.iter().any(|s| s.starts_with(family)));
     }
-    assert_eq!(strs.len(), 12);
+    assert_eq!(strs.len(), 14);
 }

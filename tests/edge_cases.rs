@@ -146,6 +146,117 @@ fn sparse_type_usage() {
     }
 }
 
+/// The fused kernels unroll output columns in `LANES`-wide chunks with a
+/// scalar remainder loop; feature dims that are below, straddle, and
+/// just-past lane multiples (1, 3, 5, 7, 17) must all stay bit-identical
+/// to the interpreter — across every fusion pattern.
+#[test]
+fn fused_parity_at_odd_feature_dims() {
+    use wisegraph::dfg::{Dfg, Dim};
+    use wisegraph::graph::AttrKind;
+    use wisegraph::kernels::engine::{execute_parallel_mode, ExecMode};
+    use wisegraph::kernels::fused::{plan_fusion, LANES};
+    use wisegraph::kernels::micro::compile;
+
+    let g = wisegraph::graph::generate::rmat(
+        &wisegraph::graph::generate::RmatParams::standard(60, 450, 31)
+            .with_edge_types(3),
+    );
+    assert_eq!(LANES, 4, "dims below cover the lane remainder paths");
+    for dim in [1usize, 3, 5, 7, 17] {
+        // Hand-built gather→project→scatter exercises EdgeBatchMatmul;
+        // the models cover SegmentReduce (GCN) and PerTypeBatchedMatmul
+        // (RGCN) at the same widths.
+        let mut d = Dfg::new();
+        let h = d.input("h", vec![Dim::Vertices, Dim::Lit(dim)]);
+        let w = d.input("w", vec![Dim::Lit(dim), Dim::Lit(dim)]);
+        let src = d.edge_attr(AttrKind::SrcId);
+        let dst = d.edge_attr(AttrKind::DstId);
+        let hsrc = d.index(h, src);
+        let proj = d.linear(hsrc, w);
+        let out = d.index_add(proj, dst, Dim::Vertices);
+        d.mark_output(out);
+
+        let gcn = ModelKind::Gcn.layer_dfg(dim, dim);
+        let rgcn = ModelKind::Rgcn.layer_dfg(dim, dim);
+        for (name, dfg) in [("matmul", &d), ("gcn", &gcn), ("rgcn", &rgcn)] {
+            let program = compile(dfg, &g).unwrap();
+            assert!(
+                plan_fusion(&program).num_fused() > 0,
+                "{name} dim {dim}: nothing fused"
+            );
+            let mut globals: HashMap<String, Tensor> = HashMap::new();
+            globals.insert(
+                "h".into(),
+                init::uniform_tensor(&[g.num_vertices(), dim], -1.0, 1.0, 41),
+            );
+            globals.insert(
+                "w".into(),
+                init::uniform_tensor(&[dim, dim], -1.0, 1.0, 42),
+            );
+            globals.insert(
+                "W".into(),
+                init::uniform_tensor(&[3, dim, dim], -1.0, 1.0, 43),
+            );
+            let plan = partition(&g, &PartitionTable::edge_batch(32));
+            for threads in [1usize, 2, 4] {
+                let a = execute_parallel_mode(
+                    dfg, &g, &plan, &globals, threads, ExecMode::Interpret,
+                )
+                .unwrap();
+                let b = execute_parallel_mode(
+                    dfg, &g, &plan, &globals, threads, ExecMode::Fused,
+                )
+                .unwrap();
+                assert_eq!(
+                    a[0].data(),
+                    b[0].data(),
+                    "{name} dim {dim} not bit-identical at {threads} threads"
+                );
+            }
+        }
+    }
+}
+
+/// A gTask with zero edges is a legal (if degenerate) input to the fused
+/// executor: it must leave the output untouched and account exactly one
+/// task, zero edges, zero flops — the same as the interpreter.
+#[test]
+fn zero_edge_gtask_is_a_fused_noop() {
+    use wisegraph::kernels::fused::{plan_fusion, run_task_fused};
+    use wisegraph::kernels::micro::{compile, run_task_ws, TaskWorkspace};
+    use wisegraph::obs::Class;
+
+    let g = wisegraph::graph::generate::rmat(
+        &wisegraph::graph::generate::RmatParams::standard(40, 250, 33),
+    );
+    let dfg = ModelKind::Gcn.layer_dfg(4, 3);
+    let program = compile(&dfg, &g).unwrap();
+    let fplan = plan_fusion(&program);
+    assert!(fplan.num_fused() > 0);
+    let mut globals: HashMap<String, Tensor> = HashMap::new();
+    globals.insert("h".into(), init::uniform_tensor(&[40, 4], -1.0, 1.0, 51));
+    globals.insert("w".into(), init::uniform_tensor(&[4, 3], -1.0, 1.0, 52));
+
+    let empty: [usize; 0] = [];
+    let mut a = Tensor::zeros(&[program.out_rows, program.out_width]);
+    let mut b = a.clone();
+    let mut tws_i = TaskWorkspace::new();
+    let mut tws_f = TaskWorkspace::new();
+    run_task_ws(&program, &g, &globals, &empty, &mut a, &mut tws_i);
+    run_task_fused(&program, &fplan, &g, &globals, &empty, &mut b, &mut tws_f);
+    assert_eq!(a.data(), b.data());
+    assert!(b.data().iter().all(|&x| x == 0.0), "no edges may write output");
+    let wi = tws_i.stats().only(&[Class::Work]);
+    let wf = tws_f.stats().only(&[Class::Work]);
+    assert_eq!(
+        wisegraph::obs::counters_to_json(&wi),
+        wisegraph::obs::counters_to_json(&wf)
+    );
+    assert_eq!(wi.count(wisegraph::obs::keys::KERNEL_TASKS), 1);
+    assert_eq!(wi.count(wisegraph::obs::keys::KERNEL_EDGES), 0);
+}
+
 /// Optimizer output is deterministic: two searches on the same input give
 /// identical plans and times.
 #[test]

@@ -4,10 +4,13 @@
 use wisegraph_testkit::prelude::*;
 use std::collections::HashMap;
 use wisegraph::dfg::interp::execute;
-use wisegraph::dfg::{transform, Binding, Dim};
+use wisegraph::dfg::{transform, Binding, Dfg, Dim};
 use wisegraph::graph::generate::{rmat, RmatParams};
 use wisegraph::graph::{AttrKind, Graph};
 use wisegraph::gtask::{partition, PartitionTable, Restriction};
+use wisegraph::kernels::engine::{execute_parallel_mode, ExecMode};
+use wisegraph::kernels::fused::{plan_fusion, FusedPattern};
+use wisegraph::kernels::micro::compile;
 use wisegraph::models::ModelKind;
 use wisegraph::sim::{ComputeClass, DeviceSpec, KernelCost};
 use wisegraph::tensor::{init, ops, Tensor};
@@ -212,7 +215,12 @@ proptest! {
         prop_assert!(res.is_ok());
         prop_assert!(trace.check_nesting().is_ok(), "{:?}", trace.check_nesting());
         prop_assert_eq!(trace.span_count("engine.execute"), 1);
-        prop_assert_eq!(trace.span_count("kernel.task"), plan.num_tasks());
+        // Auto mode dispatches each task to exactly one executor: the
+        // interpreter ("kernel.task") or the fused path ("kernel.task.fused").
+        prop_assert_eq!(
+            trace.span_count("kernel.task") + trace.span_count("kernel.task.fused"),
+            plan.num_tasks()
+        );
         let chunks =
             wisegraph::kernels::engine::chunk_ranges(plan.num_tasks(), threads).len();
         prop_assert_eq!(trace.span_count("engine.worker"), chunks);
@@ -256,5 +264,52 @@ proptest! {
         prop_assert_eq!(sa, sb);
         let _ = AttrKind::DstDegree;
         let _ = Dim::Vertices;
+    }
+
+    /// Fused segment-reduce is bit-identical to the interpreter for
+    /// *arbitrary* ragged segment shapes: random edge lists naturally
+    /// produce empty segments (isolated destinations), single-element
+    /// segments, and heavy hubs. Shrinking converges on the minimal
+    /// edge list that would break the bit-identity contract.
+    fn fused_segment_reduce_bit_identical_on_ragged_shapes(
+        v in 1usize..40,
+        raw_edges in prop::collection::vec((0u32..1000, 0u32..1000), 0..150),
+        n in 1usize..10,
+        threads in 1usize..5,
+        batch in 1u64..50,
+        seed in 0u64..1000,
+    ) {
+        let src: Vec<u32> = raw_edges.iter().map(|&(s, _)| s % v as u32).collect();
+        let dst: Vec<u32> = raw_edges.iter().map(|&(_, d)| d % v as u32).collect();
+        let g = Graph::untyped(v, src, dst);
+        // The minimal gather→scatter layer: GCN aggregation without the
+        // epilogue, so the whole program is one fused segment-reduce.
+        let mut d = Dfg::new();
+        let h = d.input("h", vec![Dim::Vertices, Dim::Lit(n)]);
+        let src_n = d.edge_attr(AttrKind::SrcId);
+        let dst_n = d.edge_attr(AttrKind::DstId);
+        let hsrc = d.index(h, src_n);
+        let agg = d.index_add(hsrc, dst_n, Dim::Vertices);
+        d.mark_output(agg);
+        let program = compile(&d, &g).unwrap();
+        prop_assert_eq!(
+            plan_fusion(&program).patterns(),
+            vec![FusedPattern::SegmentReduce]
+        );
+        let mut globals: HashMap<String, Tensor> = HashMap::new();
+        globals.insert(
+            "h".to_string(),
+            init::uniform_tensor(&[v, n], -1.0, 1.0, seed),
+        );
+        let plan = partition(&g, &PartitionTable::edge_batch(batch));
+        let a = execute_parallel_mode(&d, &g, &plan, &globals, threads, ExecMode::Interpret)
+            .unwrap();
+        let b = execute_parallel_mode(&d, &g, &plan, &globals, threads, ExecMode::Fused)
+            .unwrap();
+        prop_assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b.iter()) {
+            prop_assert_eq!(x.dims(), y.dims());
+            prop_assert_eq!(x.data(), y.data());
+        }
     }
 }
