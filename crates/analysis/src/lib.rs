@@ -22,7 +22,10 @@
 //!   engine's deterministic chunk-to-slot mapping (codes `K...`);
 //! - [`obscheck`]: span-instrumentation coverage of the execution entry
 //!   points, so the observability layer cannot silently erode (code
-//!   `O001`).
+//!   `O001`);
+//! - [`repair`]: incremental-repair equivalence — a repaired plan must
+//!   verify identically to a from-scratch partition of the same live edge
+//!   set — and the cached-artifact roundtrip-test registry (codes `C...`).
 //!
 //! [`verify_execution`] composes all applicable passes for one
 //! (DFG, graph, plan, engine) combination; the `wisegraph-lint` binary
@@ -33,6 +36,7 @@ pub mod dfgcheck;
 pub mod kernel;
 pub mod obscheck;
 pub mod plan;
+pub mod repair;
 
 use std::fmt;
 use wisegraph_dfg::{Binding, Dfg};
@@ -101,6 +105,13 @@ pub enum Code {
     /// An execution entry point runs without an enclosing observability
     /// span (or the instrumentation-coverage table is stale).
     ObsUncovered,
+    /// An incrementally repaired plan diverges from a from-scratch
+    /// partition of the same live edge set: different coverage, a violated
+    /// restriction, or a different verification verdict.
+    RepairDivergence,
+    /// A cached artifact type has no registered byte-roundtrip test in
+    /// `tests/cache_roundtrip.rs`.
+    CacheArtifactUntested,
 }
 
 impl Code {
@@ -121,6 +132,8 @@ impl Code {
             Code::KernelFusionCoverage => "K005",
             Code::KernelFusionUntested => "K006",
             Code::ObsUncovered => "O001",
+            Code::RepairDivergence => "C001",
+            Code::CacheArtifactUntested => "C002",
         }
     }
 }
@@ -346,6 +359,7 @@ pub mod prelude {
     };
     pub use crate::obscheck::verify_instrumentation;
     pub use crate::plan::verify_plan;
+    pub use crate::repair::{verify_cache_roundtrip_registry, verify_repair};
     pub use crate::{Code, Diagnostic, Report, Severity, Span};
 }
 

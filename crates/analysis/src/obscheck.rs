@@ -31,6 +31,7 @@ pub const REQUIRED: &[(&str, &[&str])] = &[
         "crates/kernels/src/engine.rs",
         &[
             "execute",
+            "execute_program",
             "execute_parallel",
             "execute_parallel_mode",
             "execute_parallel_alloc",
@@ -41,7 +42,15 @@ pub const REQUIRED: &[(&str, &[&str])] = &[
         &["run_task", "run_task_ws", "run_epilogue", "execute_by_plan"],
     ),
     ("crates/kernels/src/fused.rs", &["run_task_fused"]),
-    ("crates/gtask/src/partition.rs", &["partition"]),
+    (
+        "crates/gtask/src/partition.rs",
+        &["partition", "partition_edges"],
+    ),
+    ("crates/gtask/src/incremental.rs", &["apply"]),
+    (
+        "crates/cache/src/store.rs",
+        &["partition_edges_cached", "transform_cached", "compile_cached"],
+    ),
     ("crates/dfg/src/passes.rs", &["cse", "prune_dead"]),
 ];
 

@@ -1,0 +1,792 @@
+//! Canonical byte encodings of the planning artifacts the store caches.
+//!
+//! Three artifact types flow through the planning pipeline — the
+//! [`PartitionPlan`] out of the graph partitioner, the transformed model
+//! [`Dfg`] out of the rewriter, and the compiled [`KernelProgram`] out of
+//! the micro-kernel compiler. Each gets an `encode_*`/`decode_*` pair over
+//! [`crate::bytes`] with two contracts the rest of the system leans on:
+//!
+//! 1. **Canonical**: the encoding is a pure function of the value, so the
+//!    content hash of an artifact (or of a key component like the table)
+//!    is deterministic across runs and platforms.
+//! 2. **Byte-exact roundtrip**: `encode(decode(bytes)) == bytes` for every
+//!    buffer `encode` produces. The `C002` lint gate requires every
+//!    variant of [`CachedArtifact`] to carry a registered roundtrip test
+//!    (`tests/cache_roundtrip.rs`), mirroring the `K006` fused-parity
+//!    registry.
+//!
+//! Enum variants encode as one-byte tags in declaration order; changing an
+//! enum's shape is a format break and must bump [`FORMAT_VERSION`], which
+//! is folded into every store key so stale encodings can never be decoded
+//! by a newer reader.
+
+use crate::bytes::{ByteReader, ByteWriter, DecodeError};
+use wisegraph_dfg::{Dfg, Dim, NodeId, OpKind, SymShape};
+use wisegraph_graph::AttrKind;
+use wisegraph_gtask::{GTask, PartitionPlan, PartitionTable, Restriction};
+use wisegraph_kernels::micro::{EwOp, KernelProgram, MicroKernel, Reg};
+
+/// Version folded into every cache key; bump on any encoding change.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// The artifact types the content-addressed store holds.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum CachedArtifact {
+    /// A graph partition plan (table + gTasks).
+    PartitionPlan,
+    /// A transform-optimized model DFG.
+    TransformedDfg,
+    /// A compiled micro-kernel program.
+    KernelProgram,
+}
+
+impl CachedArtifact {
+    /// Every cached artifact type, in key order.
+    pub const ALL: [CachedArtifact; 3] = [
+        CachedArtifact::PartitionPlan,
+        CachedArtifact::TransformedDfg,
+        CachedArtifact::KernelProgram,
+    ];
+
+    /// Stable display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            CachedArtifact::PartitionPlan => "partition-plan",
+            CachedArtifact::TransformedDfg => "transformed-dfg",
+            CachedArtifact::KernelProgram => "kernel-program",
+        }
+    }
+
+    /// Name of the roundtrip test `tests/cache_roundtrip.rs` must define
+    /// for this artifact (the `C002` registry contract).
+    pub fn roundtrip_test(self) -> &'static str {
+        match self {
+            CachedArtifact::PartitionPlan => "roundtrip_partition_plan",
+            CachedArtifact::TransformedDfg => "roundtrip_transformed_dfg",
+            CachedArtifact::KernelProgram => "roundtrip_kernel_program",
+        }
+    }
+
+    /// One-byte key tag.
+    pub fn tag(self) -> u8 {
+        match self {
+            CachedArtifact::PartitionPlan => 0,
+            CachedArtifact::TransformedDfg => 1,
+            CachedArtifact::KernelProgram => 2,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Attribute kinds
+// ---------------------------------------------------------------------------
+
+fn attr_code(attr: AttrKind) -> u8 {
+    AttrKind::ALL
+        .iter()
+        .position(|&a| a == attr)
+        .expect("attr in ALL") as u8
+}
+
+fn attr_from(code: u8) -> Result<AttrKind, DecodeError> {
+    AttrKind::ALL
+        .get(code as usize)
+        .copied()
+        .ok_or_else(|| DecodeError(format!("invalid attr code {code}")))
+}
+
+// ---------------------------------------------------------------------------
+// Partition tables and plans
+// ---------------------------------------------------------------------------
+
+/// Encodes a partition table: the (attr, restriction) entries in canonical
+/// (`AttrKind`) order.
+pub fn encode_table(table: &PartitionTable) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    let attrs = table.restricted_attrs();
+    w.usize(attrs.len());
+    for attr in attrs {
+        w.u8(attr_code(attr));
+        match table.restriction(attr) {
+            Restriction::Exact(k) => {
+                w.u8(0);
+                w.u64(k);
+            }
+            Restriction::Min => w.u8(1),
+            Restriction::Free => {
+                // `Free` is the absence of an entry; a table never stores it.
+                unreachable!("restricted_attrs returned a Free attribute")
+            }
+        }
+    }
+    w.finish()
+}
+
+/// Decodes a partition table.
+pub fn decode_table(bytes: &[u8]) -> Result<PartitionTable, DecodeError> {
+    let mut r = ByteReader::new(bytes);
+    let table = read_table(&mut r)?;
+    r.expect_end()?;
+    Ok(table)
+}
+
+fn read_table(r: &mut ByteReader) -> Result<PartitionTable, DecodeError> {
+    let n = r.usize()?;
+    let mut table = PartitionTable::new();
+    for _ in 0..n {
+        let attr = attr_from(r.u8()?)?;
+        match r.u8()? {
+            0 => {
+                let k = r.u64()?;
+                table = table.exact(attr, k);
+            }
+            1 => table = table.min(attr),
+            t => return Err(DecodeError(format!("invalid restriction tag {t}"))),
+        }
+    }
+    Ok(table)
+}
+
+/// Encodes a partition plan: its table, then each gTask's edge list and
+/// recorded uniqueness map.
+pub fn encode_plan(plan: &PartitionPlan) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    write_table_nested(&mut w, &plan.table);
+    w.usize(plan.tasks.len());
+    for t in &plan.tasks {
+        w.usize_seq(&t.edges);
+        w.usize(t.uniq.len());
+        for (&attr, &count) in &t.uniq {
+            w.u8(attr_code(attr));
+            w.usize(count);
+        }
+    }
+    w.finish()
+}
+
+/// Decodes a partition plan.
+pub fn decode_plan(bytes: &[u8]) -> Result<PartitionPlan, DecodeError> {
+    let mut r = ByteReader::new(bytes);
+    let table = read_table_nested(&mut r)?;
+    let num_tasks = r.usize()?;
+    let mut tasks = Vec::with_capacity(num_tasks.min(bytes.len()));
+    for _ in 0..num_tasks {
+        let edges = r.usize_seq()?;
+        let n = r.usize()?;
+        let mut uniq = std::collections::BTreeMap::new();
+        for _ in 0..n {
+            let attr = attr_from(r.u8()?)?;
+            let count = r.usize()?;
+            uniq.insert(attr, count);
+        }
+        tasks.push(GTask { edges, uniq });
+    }
+    r.expect_end()?;
+    Ok(PartitionPlan { table, tasks })
+}
+
+fn write_table_nested(w: &mut ByteWriter, table: &PartitionTable) {
+    let body = encode_table(table);
+    w.usize(body.len());
+    for b in body {
+        w.u8(b);
+    }
+}
+
+fn read_table_nested(r: &mut ByteReader) -> Result<PartitionTable, DecodeError> {
+    let len = r.usize()?;
+    if len > r.remaining() {
+        return Err(DecodeError(format!(
+            "nested table length {len} exceeds buffer"
+        )));
+    }
+    let mut inner_bytes = Vec::with_capacity(len);
+    for _ in 0..len {
+        inner_bytes.push(r.u8()?);
+    }
+    decode_table(&inner_bytes)
+}
+
+// ---------------------------------------------------------------------------
+// DFGs
+// ---------------------------------------------------------------------------
+
+fn write_dim(w: &mut ByteWriter, d: Dim) {
+    match d {
+        Dim::Vertices => w.u8(0),
+        Dim::Edges => w.u8(1),
+        Dim::Unique(a) => {
+            w.u8(2);
+            w.u8(attr_code(a));
+        }
+        Dim::EdgeTypes => w.u8(3),
+        Dim::Lit(n) => {
+            w.u8(4);
+            w.usize(n);
+        }
+    }
+}
+
+fn read_dim(r: &mut ByteReader) -> Result<Dim, DecodeError> {
+    Ok(match r.u8()? {
+        0 => Dim::Vertices,
+        1 => Dim::Edges,
+        2 => Dim::Unique(attr_from(r.u8()?)?),
+        3 => Dim::EdgeTypes,
+        4 => Dim::Lit(r.usize()?),
+        t => return Err(DecodeError(format!("invalid dim tag {t}"))),
+    })
+}
+
+fn write_shape(w: &mut ByteWriter, s: &SymShape) {
+    w.usize(s.len());
+    for &d in s {
+        write_dim(w, d);
+    }
+}
+
+fn read_shape(r: &mut ByteReader) -> Result<SymShape, DecodeError> {
+    let n = r.usize()?;
+    if n > r.remaining() {
+        return Err(DecodeError(format!("shape rank {n} exceeds buffer")));
+    }
+    let mut s = Vec::with_capacity(n);
+    for _ in 0..n {
+        s.push(read_dim(r)?);
+    }
+    Ok(s)
+}
+
+fn write_op(w: &mut ByteWriter, op: &OpKind) {
+    match op {
+        OpKind::Input { name, shape } => {
+            w.u8(0);
+            w.str(name);
+            write_shape(w, shape);
+        }
+        OpKind::EdgeAttr(a) => {
+            w.u8(1);
+            w.u8(attr_code(*a));
+        }
+        OpKind::UniqueValues(a) => {
+            w.u8(2);
+            w.u8(attr_code(*a));
+        }
+        OpKind::UniqueMap(a) => {
+            w.u8(3);
+            w.u8(attr_code(*a));
+        }
+        OpKind::Index => w.u8(4),
+        OpKind::Index2D => w.u8(5),
+        OpKind::IndexAdd { out } => {
+            w.u8(6);
+            write_dim(w, *out);
+        }
+        OpKind::Linear => w.u8(7),
+        OpKind::PerEdgeLinear => w.u8(8),
+        OpKind::PairwiseLinear => w.u8(9),
+        OpKind::LstmAggregate { hidden } => {
+            w.u8(10);
+            w.usize(*hidden);
+        }
+        OpKind::Add => w.u8(11),
+        OpKind::Mul => w.u8(12),
+        OpKind::Relu => w.u8(13),
+        OpKind::LeakyRelu => w.u8(14),
+        OpKind::ScaleByDegreeInv => w.u8(15),
+        OpKind::SegmentSoftmax => w.u8(16),
+        OpKind::ScaleRowsByScalar => w.u8(17),
+        OpKind::ConcatCols => w.u8(18),
+        OpKind::Transpose => w.u8(19),
+        OpKind::SqueezeCol => w.u8(20),
+        OpKind::UnsqueezeCol => w.u8(21),
+    }
+}
+
+fn read_op(r: &mut ByteReader) -> Result<OpKind, DecodeError> {
+    Ok(match r.u8()? {
+        0 => OpKind::Input {
+            name: r.str()?,
+            shape: read_shape(r)?,
+        },
+        1 => OpKind::EdgeAttr(attr_from(r.u8()?)?),
+        2 => OpKind::UniqueValues(attr_from(r.u8()?)?),
+        3 => OpKind::UniqueMap(attr_from(r.u8()?)?),
+        4 => OpKind::Index,
+        5 => OpKind::Index2D,
+        6 => OpKind::IndexAdd { out: read_dim(r)? },
+        7 => OpKind::Linear,
+        8 => OpKind::PerEdgeLinear,
+        9 => OpKind::PairwiseLinear,
+        10 => OpKind::LstmAggregate {
+            hidden: r.usize()?,
+        },
+        11 => OpKind::Add,
+        12 => OpKind::Mul,
+        13 => OpKind::Relu,
+        14 => OpKind::LeakyRelu,
+        15 => OpKind::ScaleByDegreeInv,
+        16 => OpKind::SegmentSoftmax,
+        17 => OpKind::ScaleRowsByScalar,
+        18 => OpKind::ConcatCols,
+        19 => OpKind::Transpose,
+        20 => OpKind::SqueezeCol,
+        21 => OpKind::UnsqueezeCol,
+        t => return Err(DecodeError(format!("invalid op tag {t}"))),
+    })
+}
+
+/// Encodes a DFG: every node (op, inputs, recorded shape) in id order,
+/// then the output list.
+pub fn encode_dfg(dfg: &Dfg) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    w.usize(dfg.len());
+    for node in dfg.nodes() {
+        write_op(&mut w, &node.kind);
+        w.usize(node.inputs.len());
+        for &NodeId(i) in &node.inputs {
+            w.usize(i);
+        }
+        write_shape(&mut w, &node.shape);
+    }
+    let outputs: Vec<usize> = dfg.outputs().iter().map(|&NodeId(i)| i).collect();
+    w.usize_seq(&outputs);
+    w.finish()
+}
+
+/// Decodes a DFG. Shapes are restored as recorded (not re-inferred), via
+/// the unchecked constructor; a cache user re-verifies decoded DFGs with
+/// `wisegraph-analysis` before trusting them, exactly as it would a
+/// freshly transformed one.
+pub fn decode_dfg(bytes: &[u8]) -> Result<Dfg, DecodeError> {
+    let mut r = ByteReader::new(bytes);
+    let n = r.usize()?;
+    if n > bytes.len() {
+        return Err(DecodeError(format!("node count {n} exceeds buffer")));
+    }
+    let mut dfg = Dfg::new();
+    for _ in 0..n {
+        let kind = read_op(&mut r)?;
+        let num_inputs = r.usize()?;
+        if num_inputs > r.remaining() {
+            return Err(DecodeError(format!(
+                "input count {num_inputs} exceeds buffer"
+            )));
+        }
+        let mut inputs = Vec::with_capacity(num_inputs);
+        for _ in 0..num_inputs {
+            let i = r.usize()?;
+            if i >= n {
+                return Err(DecodeError(format!("input id {i} out of range")));
+            }
+            inputs.push(NodeId(i));
+        }
+        let shape = read_shape(&mut r)?;
+        dfg.add_node_unchecked(kind, inputs, shape);
+    }
+    for i in r.usize_seq()? {
+        if i >= n {
+            return Err(DecodeError(format!("output id {i} out of range")));
+        }
+        dfg.mark_output(NodeId(i));
+    }
+    r.expect_end()?;
+    Ok(dfg)
+}
+
+// ---------------------------------------------------------------------------
+// Kernel programs
+// ---------------------------------------------------------------------------
+
+fn write_reg(w: &mut ByteWriter, r: Reg) {
+    w.usize(r.0);
+}
+
+fn read_reg(r: &mut ByteReader) -> Result<Reg, DecodeError> {
+    Ok(Reg(r.usize()?))
+}
+
+fn ew_code(op: EwOp) -> u8 {
+    match op {
+        EwOp::Add => 0,
+        EwOp::Mul => 1,
+        EwOp::Relu => 2,
+        EwOp::LeakyRelu => 3,
+    }
+}
+
+fn ew_from(code: u8) -> Result<EwOp, DecodeError> {
+    Ok(match code {
+        0 => EwOp::Add,
+        1 => EwOp::Mul,
+        2 => EwOp::Relu,
+        3 => EwOp::LeakyRelu,
+        t => return Err(DecodeError(format!("invalid elementwise tag {t}"))),
+    })
+}
+
+fn write_micro(w: &mut ByteWriter, k: &MicroKernel) {
+    match k {
+        MicroKernel::LoadStream { attr, out } => {
+            w.u8(0);
+            w.u8(attr_code(*attr));
+            write_reg(w, *out);
+        }
+        MicroKernel::Unique {
+            stream,
+            values,
+            map,
+        } => {
+            w.u8(1);
+            write_reg(w, *stream);
+            write_reg(w, *values);
+            write_reg(w, *map);
+        }
+        MicroKernel::GatherRows { src, idx, out } => {
+            w.u8(2);
+            w.str(src);
+            write_reg(w, *idx);
+            write_reg(w, *out);
+        }
+        MicroKernel::GatherRegRows { src, idx, out } => {
+            w.u8(3);
+            write_reg(w, *src);
+            write_reg(w, *idx);
+            write_reg(w, *out);
+        }
+        MicroKernel::GatherReg2D {
+            src,
+            idx1,
+            idx2,
+            out,
+        } => {
+            w.u8(4);
+            write_reg(w, *src);
+            write_reg(w, *idx1);
+            write_reg(w, *idx2);
+            write_reg(w, *out);
+        }
+        MicroKernel::Gather2DGlobal {
+            src,
+            idx1,
+            idx2,
+            out,
+        } => {
+            w.u8(5);
+            w.str(src);
+            write_reg(w, *idx1);
+            write_reg(w, *idx2);
+            write_reg(w, *out);
+        }
+        MicroKernel::PairwiseReg { x, w: wt, out } => {
+            w.u8(6);
+            write_reg(w, *x);
+            write_reg(w, *wt);
+            write_reg(w, *out);
+        }
+        MicroKernel::MatMatGlobal { x, w: wt, out } => {
+            w.u8(7);
+            write_reg(w, *x);
+            w.str(wt);
+            write_reg(w, *out);
+        }
+        MicroKernel::PerRowVecMat { x, w: wt, out } => {
+            w.u8(8);
+            write_reg(w, *x);
+            write_reg(w, *wt);
+            write_reg(w, *out);
+        }
+        MicroKernel::PairwiseGlobal { x, w: wt, out } => {
+            w.u8(9);
+            write_reg(w, *x);
+            w.str(wt);
+            write_reg(w, *out);
+        }
+        MicroKernel::GatherWeight { src, idx, out } => {
+            w.u8(10);
+            w.str(src);
+            write_reg(w, *idx);
+            write_reg(w, *out);
+        }
+        MicroKernel::Elementwise { op, a, b, out } => {
+            w.u8(11);
+            w.u8(ew_code(*op));
+            write_reg(w, *a);
+            match b {
+                Some(b) => {
+                    w.bool(true);
+                    write_reg(w, *b);
+                }
+                None => w.bool(false),
+            }
+            write_reg(w, *out);
+        }
+        MicroKernel::Squeeze { x, out } => {
+            w.u8(12);
+            write_reg(w, *x);
+            write_reg(w, *out);
+        }
+        MicroKernel::SegmentSoftmax { scores, seg, out } => {
+            w.u8(13);
+            write_reg(w, *scores);
+            write_reg(w, *seg);
+            write_reg(w, *out);
+        }
+        MicroKernel::ScaleRows { x, s, out } => {
+            w.u8(14);
+            write_reg(w, *x);
+            write_reg(w, *s);
+            write_reg(w, *out);
+        }
+        MicroKernel::ScatterAdd { data, idx } => {
+            w.u8(15);
+            write_reg(w, *data);
+            write_reg(w, *idx);
+        }
+    }
+}
+
+fn read_micro(r: &mut ByteReader) -> Result<MicroKernel, DecodeError> {
+    Ok(match r.u8()? {
+        0 => MicroKernel::LoadStream {
+            attr: attr_from(r.u8()?)?,
+            out: read_reg(r)?,
+        },
+        1 => MicroKernel::Unique {
+            stream: read_reg(r)?,
+            values: read_reg(r)?,
+            map: read_reg(r)?,
+        },
+        2 => MicroKernel::GatherRows {
+            src: r.str()?,
+            idx: read_reg(r)?,
+            out: read_reg(r)?,
+        },
+        3 => MicroKernel::GatherRegRows {
+            src: read_reg(r)?,
+            idx: read_reg(r)?,
+            out: read_reg(r)?,
+        },
+        4 => MicroKernel::GatherReg2D {
+            src: read_reg(r)?,
+            idx1: read_reg(r)?,
+            idx2: read_reg(r)?,
+            out: read_reg(r)?,
+        },
+        5 => MicroKernel::Gather2DGlobal {
+            src: r.str()?,
+            idx1: read_reg(r)?,
+            idx2: read_reg(r)?,
+            out: read_reg(r)?,
+        },
+        6 => MicroKernel::PairwiseReg {
+            x: read_reg(r)?,
+            w: read_reg(r)?,
+            out: read_reg(r)?,
+        },
+        7 => MicroKernel::MatMatGlobal {
+            x: read_reg(r)?,
+            w: r.str()?,
+            out: read_reg(r)?,
+        },
+        8 => MicroKernel::PerRowVecMat {
+            x: read_reg(r)?,
+            w: read_reg(r)?,
+            out: read_reg(r)?,
+        },
+        9 => MicroKernel::PairwiseGlobal {
+            x: read_reg(r)?,
+            w: r.str()?,
+            out: read_reg(r)?,
+        },
+        10 => MicroKernel::GatherWeight {
+            src: r.str()?,
+            idx: read_reg(r)?,
+            out: read_reg(r)?,
+        },
+        11 => {
+            let op = ew_from(r.u8()?)?;
+            let a = read_reg(r)?;
+            let b = if r.bool()? { Some(read_reg(r)?) } else { None };
+            let out = read_reg(r)?;
+            MicroKernel::Elementwise { op, a, b, out }
+        }
+        12 => MicroKernel::Squeeze {
+            x: read_reg(r)?,
+            out: read_reg(r)?,
+        },
+        13 => MicroKernel::SegmentSoftmax {
+            scores: read_reg(r)?,
+            seg: read_reg(r)?,
+            out: read_reg(r)?,
+        },
+        14 => MicroKernel::ScaleRows {
+            x: read_reg(r)?,
+            s: read_reg(r)?,
+            out: read_reg(r)?,
+        },
+        15 => MicroKernel::ScatterAdd {
+            data: read_reg(r)?,
+            idx: read_reg(r)?,
+        },
+        t => return Err(DecodeError(format!("invalid micro-kernel tag {t}"))),
+    })
+}
+
+/// Encodes a compiled kernel program.
+pub fn encode_program(p: &KernelProgram) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    w.usize(p.ops.len());
+    for op in &p.ops {
+        write_micro(&mut w, op);
+    }
+    w.usize(p.num_regs);
+    w.usize(p.out_rows);
+    w.usize(p.out_width);
+    w.usize(p.reduce_node.0);
+    let prologue: Vec<usize> = p.prologue.iter().map(|&NodeId(i)| i).collect();
+    w.usize_seq(&prologue);
+    w.bool(p.requires_dst_complete);
+    w.finish()
+}
+
+/// Decodes a compiled kernel program.
+pub fn decode_program(bytes: &[u8]) -> Result<KernelProgram, DecodeError> {
+    let mut r = ByteReader::new(bytes);
+    let n = r.usize()?;
+    if n > bytes.len() {
+        return Err(DecodeError(format!("op count {n} exceeds buffer")));
+    }
+    let mut ops = Vec::with_capacity(n);
+    for _ in 0..n {
+        ops.push(read_micro(&mut r)?);
+    }
+    let num_regs = r.usize()?;
+    let out_rows = r.usize()?;
+    let out_width = r.usize()?;
+    let reduce_node = NodeId(r.usize()?);
+    let prologue: Vec<NodeId> = r.usize_seq()?.into_iter().map(NodeId).collect();
+    let requires_dst_complete = r.bool()?;
+    r.expect_end()?;
+    Ok(KernelProgram {
+        ops,
+        num_regs,
+        out_rows,
+        out_width,
+        reduce_node,
+        prologue,
+        requires_dst_complete,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wisegraph_dfg::transform;
+    use wisegraph_dfg::Binding;
+    use wisegraph_graph::generate::{rmat, RmatParams};
+    use wisegraph_gtask::partition;
+    use wisegraph_kernels::micro::compile;
+    use wisegraph_models::ModelKind;
+
+    fn graph() -> wisegraph_graph::Graph {
+        rmat(&RmatParams::standard(80, 600, 21).with_edge_types(4))
+    }
+
+    #[test]
+    fn table_roundtrips_for_all_classics() {
+        for table in [
+            PartitionTable::new(),
+            PartitionTable::vertex_centric(),
+            PartitionTable::edge_centric(),
+            PartitionTable::two_d(4),
+            PartitionTable::dst_and_type(),
+            PartitionTable::dst_batch_min_degree(8),
+            PartitionTable::src_batch_per_type(16),
+            PartitionTable::edge_batch(64),
+        ] {
+            let bytes = encode_table(&table);
+            let back = decode_table(&bytes).unwrap();
+            assert_eq!(back, table);
+            assert_eq!(encode_table(&back), bytes, "byte-stable: [{table}]");
+        }
+    }
+
+    #[test]
+    fn plan_roundtrips_byte_exact() {
+        let g = graph();
+        for table in [
+            PartitionTable::vertex_centric(),
+            PartitionTable::src_batch_per_type(8),
+            PartitionTable::dst_batch_min_degree(4),
+        ] {
+            let plan = partition(&g, &table);
+            let bytes = encode_plan(&plan);
+            let back = decode_plan(&bytes).unwrap();
+            assert_eq!(back.table, plan.table);
+            assert_eq!(back.tasks, plan.tasks);
+            assert_eq!(encode_plan(&back), bytes);
+        }
+    }
+
+    #[test]
+    fn dfg_roundtrips_for_all_models() {
+        let g = graph();
+        let binding = Binding::from_graph(&g);
+        for model in [
+            ModelKind::Gcn,
+            ModelKind::Rgcn,
+            ModelKind::Gat,
+            ModelKind::Sage,
+        ] {
+            let base = model.layer_dfg(8, 6);
+            let (opt, _) = transform::optimize(&base, &binding);
+            for dfg in [&base, &opt] {
+                let bytes = encode_dfg(dfg);
+                let back = decode_dfg(&bytes).unwrap();
+                assert_eq!(back.len(), dfg.len());
+                assert_eq!(back.outputs(), dfg.outputs());
+                for (a, b) in back.nodes().iter().zip(dfg.nodes()) {
+                    assert_eq!(a.kind, b.kind);
+                    assert_eq!(a.inputs, b.inputs);
+                    assert_eq!(a.shape, b.shape);
+                }
+                assert_eq!(encode_dfg(&back), bytes);
+            }
+        }
+    }
+
+    #[test]
+    fn program_roundtrips_for_all_models() {
+        let g = graph();
+        let binding = Binding::from_graph(&g);
+        for model in [
+            ModelKind::Gcn,
+            ModelKind::Rgcn,
+            ModelKind::Gat,
+            ModelKind::Sage,
+        ] {
+            let (dfg, _) = transform::optimize(&model.layer_dfg(8, 6), &binding);
+            let p = compile(&dfg, &g).expect("models compile");
+            let bytes = encode_program(&p);
+            let back = decode_program(&bytes).unwrap();
+            assert_eq!(encode_program(&back), bytes);
+            assert_eq!(back.num_regs, p.num_regs);
+            assert_eq!(back.ops.len(), p.ops.len());
+            assert_eq!(back.reduce_node, p.reduce_node);
+            assert_eq!(back.prologue, p.prologue);
+            assert_eq!(back.requires_dst_complete, p.requires_dst_complete);
+        }
+    }
+
+    #[test]
+    fn corrupt_buffers_decode_to_errors() {
+        let g = graph();
+        let plan = partition(&g, &PartitionTable::vertex_centric());
+        let mut bytes = encode_plan(&plan);
+        bytes.truncate(bytes.len() / 2);
+        assert!(decode_plan(&bytes).is_err());
+        assert!(decode_dfg(&[9, 9, 9]).is_err());
+        assert!(decode_program(&[255]).is_err());
+    }
+}

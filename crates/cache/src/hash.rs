@@ -1,0 +1,163 @@
+//! Deterministic content hashing for cache keys.
+//!
+//! Keys are FNV-1a 64-bit digests of the canonical byte encodings from
+//! [`crate::artifact`] (tables, DFGs) or of the raw topology arrays
+//! (graphs). FNV is not cryptographic — it does not need to be: the store
+//! is an in-process correctness cache, not a trust boundary, and what
+//! matters is that the digest is a pure, platform-independent function of
+//! the content so identical inputs hit and changed inputs miss.
+
+use crate::artifact;
+use wisegraph_dfg::Dfg;
+use wisegraph_graph::Graph;
+use wisegraph_gtask::PartitionTable;
+
+/// Incremental FNV-1a 64-bit hasher.
+#[derive(Debug, Clone, Copy)]
+pub struct Fnv64(u64);
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+impl Default for Fnv64 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Fnv64 {
+    /// The offset-basis state.
+    pub fn new() -> Self {
+        Self(FNV_OFFSET)
+    }
+
+    /// Folds bytes into the digest.
+    pub fn write(&mut self, bytes: &[u8]) {
+        let mut h = self.0;
+        for &b in bytes {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(FNV_PRIME);
+        }
+        self.0 = h;
+    }
+
+    /// Folds a `u64` (little-endian) into the digest.
+    pub fn write_u64(&mut self, v: u64) {
+        self.write(&v.to_le_bytes());
+    }
+
+    /// Folds a `u32` (little-endian) into the digest.
+    pub fn write_u32(&mut self, v: u32) {
+        self.write(&v.to_le_bytes());
+    }
+
+    /// The current digest.
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+/// Hash of a byte slice.
+pub fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h = Fnv64::new();
+    h.write(bytes);
+    h.finish()
+}
+
+/// Content hash of a graph: vertex/edge/type counts plus the full
+/// `src`/`dst`/`etype` arrays. Two graphs hash equally iff their topology
+/// arrays are identical.
+pub fn hash_graph(g: &Graph) -> u64 {
+    let mut h = Fnv64::new();
+    h.write_u64(g.num_vertices() as u64);
+    h.write_u64(g.num_edges() as u64);
+    h.write_u64(g.num_edge_types() as u64);
+    for &s in g.src() {
+        h.write_u32(s);
+    }
+    for &d in g.dst() {
+        h.write_u32(d);
+    }
+    for &t in g.etype() {
+        h.write_u32(t);
+    }
+    h.finish()
+}
+
+/// Content hash of a graph restricted to a live edge subset: the delta
+/// path's graph component. Covers the counts plus, per live edge, its id
+/// and endpoints/type, so inserting or deleting an edge changes the hash
+/// (and therefore invalidates the old entries) while leaving unrelated
+/// live sets alone. `live` must be sorted ascending for a canonical
+/// digest — [`IncrementalPlan::live_edges`] returns it that way.
+///
+/// [`IncrementalPlan::live_edges`]: wisegraph_gtask::IncrementalPlan::live_edges
+pub fn hash_graph_edges(g: &Graph, live: &[usize]) -> u64 {
+    let mut h = Fnv64::new();
+    h.write_u64(g.num_vertices() as u64);
+    h.write_u64(g.num_edge_types() as u64);
+    h.write_u64(live.len() as u64);
+    for &e in live {
+        h.write_u64(e as u64);
+        h.write_u32(g.src()[e]);
+        h.write_u32(g.dst()[e]);
+        h.write_u32(g.etype()[e]);
+    }
+    h.finish()
+}
+
+/// Content hash of a partition table (its restriction set), via the
+/// canonical byte encoding.
+pub fn hash_table(table: &PartitionTable) -> u64 {
+    fnv64(&artifact::encode_table(table))
+}
+
+/// Content hash of a model DFG, via the canonical byte encoding.
+pub fn hash_dfg(dfg: &Dfg) -> u64 {
+    fnv64(&artifact::encode_dfg(dfg))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wisegraph_graph::generate::{rmat, RmatParams};
+    use wisegraph_graph::AttrKind;
+
+    #[test]
+    fn fnv_matches_reference_vectors() {
+        // Standard FNV-1a test vectors.
+        assert_eq!(fnv64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv64(b"foobar"), 0x8594_4171_f739_67e8);
+    }
+
+    #[test]
+    fn graph_hash_distinguishes_topology() {
+        let g1 = rmat(&RmatParams::standard(64, 500, 11).with_edge_types(2));
+        let g2 = rmat(&RmatParams::standard(64, 500, 12).with_edge_types(2));
+        assert_ne!(hash_graph(&g1), hash_graph(&g2));
+        assert_eq!(hash_graph(&g1), hash_graph(&g1));
+    }
+
+    #[test]
+    fn live_set_hash_tracks_membership() {
+        let g = rmat(&RmatParams::standard(64, 500, 13).with_edge_types(2));
+        let all: Vec<usize> = (0..g.num_edges()).collect();
+        let most: Vec<usize> = (1..g.num_edges()).collect();
+        assert_ne!(hash_graph_edges(&g, &all), hash_graph_edges(&g, &most));
+        assert_eq!(hash_graph_edges(&g, &all), hash_graph_edges(&g, &all));
+    }
+
+    #[test]
+    fn table_hash_tracks_restrictions() {
+        let a = PartitionTable::vertex_centric();
+        let b = PartitionTable::edge_centric();
+        let c = PartitionTable::src_batch_per_type(8);
+        let c2 = PartitionTable::new()
+            .exact(AttrKind::EdgeType, 1)
+            .exact(AttrKind::SrcId, 8);
+        assert_ne!(hash_table(&a), hash_table(&b));
+        // Builder order must not matter: entries are canonically ordered.
+        assert_eq!(hash_table(&c), hash_table(&c2));
+    }
+}

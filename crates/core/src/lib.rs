@@ -17,6 +17,9 @@
 //! - [`plan`]: executable plans — a partition table, a transformed DFG, an
 //!   operation partition, and the derived kernel context — plus their
 //!   simulated time/memory evaluation;
+//! - [`dynamic`]: the delta driver — incremental gTask repair, `C001`
+//!   verification against a from-scratch partition, and content-keyed
+//!   cache invalidation/reseeding per edge batch;
 //! - [`joint`]: outlier-aware differentiated scheduling (Figure 12/19);
 //! - [`optimizer`]: the staged search with pruning and caching (Figure 16,
 //!   §6.3), producing the final `OptimizedModel` estimate;
@@ -27,6 +30,7 @@
 //! - [`trainer`]: full-graph training driver for the accuracy experiments
 //!   (Figure 14).
 
+pub mod dynamic;
 pub mod joint;
 pub mod multi;
 pub mod optimizer;
@@ -34,5 +38,6 @@ pub mod plan;
 pub mod sampled;
 pub mod trainer;
 
+pub use dynamic::{DynamicPlanner, RepairOutcome};
 pub use optimizer::{OptimizedModel, SearchStage, SearchTrace, WiseGraph};
 pub use plan::{ExecutionPlan, PlanEstimate};

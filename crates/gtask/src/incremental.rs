@@ -3,32 +3,96 @@
 //! The paper notes: "WiseGraph is unable to tackle the situation where
 //! graph structure changes dramatically at every iteration" (§6.3) — its
 //! answer for sampled training is plan *reuse*. This module extends that to
-//! streaming edge insertions: new edges are admitted into existing gTasks
-//! when the table's restrictions still hold, spilled into fresh tasks
-//! otherwise, and the plan is rebuilt from scratch once fragmentation
-//! degrades beyond a threshold. Per-insertion cost is O(candidate tasks),
-//! amortized far below the O(E log E) full partition.
+//! streaming edge insertions *and deletions* over a fixed universe graph:
+//! the graph holds every edge that ever existed, and the plan covers the
+//! *live* subset. New edges are admitted into existing gTasks when the
+//! table's restrictions still hold, spilled into fresh tasks otherwise;
+//! deleted edges are pulled out of their task (leaving a tombstone when the
+//! task empties); and the plan is rebuilt from scratch — over the live set
+//! only, via [`partition_edges`] — once fragmentation degrades beyond a
+//! threshold. Per-update cost is O(candidate tasks) for inserts and
+//! O(task size · restrictions) for deletes, amortized far below the
+//! O(E log E) full partition.
+//!
+//! All internal indices are `BTreeMap`/`BTreeSet`, so the repair order —
+//! and therefore the repaired plan — is a deterministic function of the
+//! update sequence (the hermetic scanner forbids iteration over hash
+//! maps for exactly this reason).
 
-use crate::partition::partition;
+use crate::partition::partition_edges;
 use crate::restriction::PartitionTable;
 use crate::task::{GTask, PartitionPlan};
-use std::collections::{BTreeMap, HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 use wisegraph_graph::{AttrKind, Graph};
 
-/// A partition plan that admits streamed edge insertions.
+/// A batch of edge updates against the universe graph: ids to add to and
+/// remove from the live set. Deletes apply before inserts, so a delta may
+/// move an edge out and back in one step.
+#[derive(Debug, Clone, Default)]
+pub struct GraphDelta {
+    /// Edge ids to admit into the plan.
+    pub insert: Vec<usize>,
+    /// Edge ids to remove from the plan.
+    pub delete: Vec<usize>,
+}
+
+impl GraphDelta {
+    /// A delta that only inserts.
+    pub fn inserting(insert: Vec<usize>) -> Self {
+        Self {
+            insert,
+            delete: Vec::new(),
+        }
+    }
+
+    /// A delta that only deletes.
+    pub fn deleting(delete: Vec<usize>) -> Self {
+        Self {
+            insert: Vec::new(),
+            delete,
+        }
+    }
+
+    /// True when the delta carries no updates.
+    pub fn is_empty(&self) -> bool {
+        self.insert.is_empty() && self.delete.is_empty()
+    }
+}
+
+/// What a [`IncrementalPlan::apply`] call actually changed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DeltaStats {
+    /// Edges newly admitted into the live set.
+    pub inserted: usize,
+    /// Edges removed from the live set.
+    pub removed: usize,
+    /// Updates that were no-ops (inserting a live edge, deleting a dead
+    /// one).
+    pub ignored: usize,
+}
+
+/// A partition plan that admits streamed edge insertions and deletions.
 #[derive(Debug)]
 pub struct IncrementalPlan {
     table: PartitionTable,
+    /// Task slots; a slot with no edges is a tombstone left by deletions
+    /// and is skipped by [`snapshot`](Self::snapshot) and the counts.
     tasks: Vec<TaskState>,
     /// Candidate-task index: first exact attribute's value → tasks that
     /// already contain it (value-reuse admission).
-    by_key: HashMap<u64, Vec<usize>>,
+    by_key: BTreeMap<u64, Vec<usize>>,
     /// Open-task index: the tuple of `Exact(1)` attribute values → tasks
     /// with spare capacity on the looser attributes (spare-capacity
     /// admission). Entries are pruned lazily when tasks fill up.
-    open_by_tight: HashMap<Vec<u64>, Vec<usize>>,
+    open_by_tight: BTreeMap<Vec<u64>, Vec<usize>>,
+    /// Live-edge index: edge id → slot of the task covering it.
+    task_of: BTreeMap<usize, usize>,
+    /// Non-tombstone task count.
+    live_tasks: usize,
     /// Edges admitted since the last full rebuild.
     inserted_since_rebuild: usize,
+    /// Edges removed since the last full rebuild.
+    removed_since_rebuild: usize,
     /// Task count right after the last full rebuild.
     tasks_at_rebuild: usize,
 }
@@ -37,23 +101,38 @@ pub struct IncrementalPlan {
 struct TaskState {
     edges: Vec<usize>,
     /// Distinct values per `Exact` attribute.
-    uniq: Vec<HashSet<u64>>,
+    uniq: Vec<BTreeSet<u64>>,
 }
 
 impl IncrementalPlan {
-    /// Builds the initial plan with the greedy partitioner.
+    /// Builds the initial plan over *all* edges of `g` with the greedy
+    /// partitioner.
     pub fn new(g: &Graph, table: PartitionTable) -> Self {
-        let plan = partition(g, &table);
+        let live: Vec<usize> = (0..g.num_edges()).collect();
+        Self::new_over(g, table, &live)
+    }
+
+    /// Builds the initial plan over the given live subset of `g`'s edges.
+    pub fn new_over(g: &Graph, table: PartitionTable, live: &[usize]) -> Self {
+        let plan = partition_edges(g, &table, live);
         let mut this = Self {
             table,
             tasks: Vec::new(),
-            by_key: HashMap::new(),
-            open_by_tight: HashMap::new(),
+            by_key: BTreeMap::new(),
+            open_by_tight: BTreeMap::new(),
+            task_of: BTreeMap::new(),
+            live_tasks: 0,
             inserted_since_rebuild: 0,
+            removed_since_rebuild: 0,
             tasks_at_rebuild: 0,
         };
         this.adopt(g, plan);
         this
+    }
+
+    /// The table this plan maintains.
+    pub fn table(&self) -> &PartitionTable {
+        &self.table
     }
 
     fn exact_attrs(&self) -> Vec<(AttrKind, u64)> {
@@ -80,12 +159,15 @@ impl IncrementalPlan {
             .collect();
         self.by_key.clear();
         self.open_by_tight.clear();
-        let exact = self.exact_attrs();
+        self.task_of.clear();
         for (i, t) in self.tasks.iter().enumerate() {
             if let Some(first) = t.uniq.first() {
                 for &v in first {
                     self.by_key.entry(v).or_default().push(i);
                 }
+            }
+            for &e in &t.edges {
+                self.task_of.insert(e, i);
             }
             let has_spare = exact
                 .iter()
@@ -98,7 +180,9 @@ impl IncrementalPlan {
                 }
             }
         }
+        self.live_tasks = self.tasks.len();
         self.inserted_since_rebuild = 0;
+        self.removed_since_rebuild = 0;
         self.tasks_at_rebuild = self.tasks.len();
     }
 
@@ -106,7 +190,7 @@ impl IncrementalPlan {
     /// an attribute has no value yet — cannot happen for nonempty tasks).
     fn tight_key_of(
         exact: &[(AttrKind, u64)],
-        uniq: &[HashSet<u64>],
+        uniq: &[BTreeSet<u64>],
     ) -> Option<Vec<u64>> {
         exact
             .iter()
@@ -116,15 +200,18 @@ impl IncrementalPlan {
             .collect()
     }
 
-    /// Admits edge `e` of `g` (the graph must already contain it) into an
-    /// existing task when every `Exact` bound still holds, otherwise into a
-    /// fresh task.
+    /// Admits edge `e` of `g` into an existing task when every `Exact`
+    /// bound still holds, otherwise into a fresh task. Returns `false`
+    /// without changing anything when `e` is already live.
     ///
     /// # Panics
     ///
     /// Panics if `e` is out of bounds for `g`.
-    pub fn insert(&mut self, g: &Graph, e: usize) {
+    pub fn insert(&mut self, g: &Graph, e: usize) -> bool {
         assert!(e < g.num_edges(), "edge {e} out of bounds");
+        if self.task_of.contains_key(&e) {
+            return false;
+        }
         let exact = self.exact_attrs();
         let values: Vec<u64> = exact.iter().map(|&(a, _)| g.edge_attr(a, e)).collect();
         let fits = |t: &TaskState| -> bool {
@@ -154,6 +241,7 @@ impl IncrementalPlan {
             if !fits(&self.tasks[ti]) {
                 continue;
             }
+            let was_tombstone = self.tasks[ti].edges.is_empty();
             let t = &mut self.tasks[ti];
             t.edges.push(e);
             for (i, &v) in values.iter().enumerate() {
@@ -172,12 +260,16 @@ impl IncrementalPlan {
                     list.retain(|&x| x != ti);
                 }
             }
+            self.task_of.insert(e, ti);
+            if was_tombstone {
+                self.live_tasks += 1;
+            }
             self.inserted_since_rebuild += 1;
-            return;
+            return true;
         }
         // Fresh task.
-        let uniq: Vec<HashSet<u64>> =
-            values.iter().map(|&v| HashSet::from([v])).collect();
+        let uniq: Vec<BTreeSet<u64>> =
+            values.iter().map(|&v| BTreeSet::from([v])).collect();
         self.tasks.push(TaskState {
             edges: vec![e],
             uniq,
@@ -187,23 +279,132 @@ impl IncrementalPlan {
             self.by_key.entry(v0).or_default().push(ti);
         }
         self.open_by_tight.entry(tight).or_default().push(ti);
+        self.task_of.insert(e, ti);
+        self.live_tasks += 1;
         self.inserted_since_rebuild += 1;
+        true
+    }
+
+    /// Removes edge `e` from the plan, repairing only the task that held
+    /// it. Returns `false` when `e` is not live.
+    ///
+    /// The task's distinct-value sets are recomputed from its remaining
+    /// edges; dropped first-attribute values leave the `by_key` index and a
+    /// previously saturated task re-opens. A task that empties becomes a
+    /// tombstone (skipped by [`snapshot`](Self::snapshot)); its slot may be
+    /// re-used by a later insertion. `Exact(1)` attribute values cannot
+    /// change while the task is nonempty (every edge in it shares them), so
+    /// the open-task key stays stable.
+    pub fn remove(&mut self, g: &Graph, e: usize) -> bool {
+        let Some(ti) = self.task_of.remove(&e) else {
+            return false;
+        };
+        let exact = self.exact_attrs();
+        let was_full = exact
+            .iter()
+            .enumerate()
+            .all(|(i, &(_, bound))| (self.tasks[ti].uniq[i].len() as u64) >= bound);
+        let tight = Self::tight_key_of(&exact, &self.tasks[ti].uniq);
+        let old_first: Option<BTreeSet<u64>> = self.tasks[ti].uniq.first().cloned();
+
+        let t = &mut self.tasks[ti];
+        t.edges.retain(|&x| x != e);
+        for (i, &(attr, _)) in exact.iter().enumerate() {
+            t.uniq[i] = t.edges.iter().map(|&x| g.edge_attr(attr, x)).collect();
+        }
+        let now_empty = t.edges.is_empty();
+
+        // Values the first exact attribute lost → drop from by_key.
+        if let (Some(old), Some(new)) = (old_first, self.tasks[ti].uniq.first()) {
+            for v in old.difference(new) {
+                if let Some(list) = self.by_key.get_mut(v) {
+                    list.retain(|&x| x != ti);
+                    if list.is_empty() {
+                        self.by_key.remove(v);
+                    }
+                }
+            }
+        }
+
+        if let Some(tight) = tight {
+            if now_empty {
+                // Tombstone: no longer a candidate for spare-capacity
+                // admission under its old key.
+                if let Some(list) = self.open_by_tight.get_mut(&tight) {
+                    list.retain(|&x| x != ti);
+                    if list.is_empty() {
+                        self.open_by_tight.remove(&tight);
+                    }
+                }
+            } else if was_full {
+                // The task regained spare capacity.
+                let list = self.open_by_tight.entry(tight).or_default();
+                if !list.contains(&ti) {
+                    list.push(ti);
+                }
+            }
+        }
+
+        if now_empty {
+            self.live_tasks -= 1;
+        }
+        self.removed_since_rebuild += 1;
+        true
+    }
+
+    /// Applies a batch of updates: deletes first, then inserts. Returns
+    /// what actually changed; updates that are already reflected (inserting
+    /// a live edge, deleting a dead one) are counted as ignored.
+    pub fn apply(&mut self, g: &Graph, delta: &GraphDelta) -> DeltaStats {
+        let mut sp = wisegraph_obs::span!(
+            "gtask.incremental.apply",
+            inserts = delta.insert.len(),
+            deletes = delta.delete.len()
+        );
+        let mut stats = DeltaStats::default();
+        for &e in &delta.delete {
+            if self.remove(g, e) {
+                stats.removed += 1;
+            } else {
+                stats.ignored += 1;
+            }
+        }
+        for &e in &delta.insert {
+            if self.insert(g, e) {
+                stats.inserted += 1;
+            } else {
+                stats.ignored += 1;
+            }
+        }
+        sp.arg("tasks", self.live_tasks);
+        stats
+    }
+
+    /// The live edge ids, ascending.
+    pub fn live_edges(&self) -> Vec<usize> {
+        self.task_of.keys().copied().collect()
+    }
+
+    /// Number of live edges.
+    pub fn num_live_edges(&self) -> usize {
+        self.task_of.len()
     }
 
     /// Fragmentation: current tasks relative to what a fresh partition of
-    /// the same edges would produce, approximated by the rebuild baseline
-    /// scaled with the insertions (1.0 = as good as fresh).
+    /// the same live edges would produce (1.0 = as good as fresh).
     pub fn fragmentation(&self, g: &Graph) -> f64 {
-        let fresh = partition(g, &self.table).num_tasks().max(1);
-        self.tasks.len() as f64 / fresh as f64
+        let live = self.live_edges();
+        let fresh = partition_edges(g, &self.table, &live).num_tasks().max(1);
+        self.live_tasks as f64 / fresh as f64
     }
 
-    /// Rebuilds from scratch when fragmentation exceeds `threshold`
-    /// (e.g. 1.5 = 50% more tasks than a fresh partition). Returns whether
-    /// a rebuild happened.
+    /// Rebuilds from scratch over the live set when fragmentation exceeds
+    /// `threshold` (e.g. 1.5 = 50% more tasks than a fresh partition).
+    /// Returns whether a rebuild happened.
     pub fn rebuild_if_fragmented(&mut self, g: &Graph, threshold: f64) -> bool {
         if self.fragmentation(g) > threshold {
-            let plan = partition(g, &self.table);
+            let live = self.live_edges();
+            let plan = partition_edges(g, &self.table, &live);
             self.adopt(g, plan);
             true
         } else {
@@ -211,12 +412,15 @@ impl IncrementalPlan {
         }
     }
 
-    /// Snapshots the current tasks as a [`PartitionPlan`].
+    /// Snapshots the current live tasks as a [`PartitionPlan`], skipping
+    /// tombstones. Task order is slot order, which is deterministic for a
+    /// given update sequence.
     pub fn snapshot(&self, g: &Graph) -> PartitionPlan {
         let exact = self.exact_attrs();
         let tasks = self
             .tasks
             .iter()
+            .filter(|t| !t.edges.is_empty())
             .map(|t| {
                 let mut uniq = BTreeMap::new();
                 for (i, &(attr, _)) in exact.iter().enumerate() {
@@ -235,14 +439,24 @@ impl IncrementalPlan {
         }
     }
 
-    /// Number of tasks currently held.
+    /// Number of live (non-tombstone) tasks currently held.
     pub fn num_tasks(&self) -> usize {
-        self.tasks.len()
+        self.live_tasks
     }
 
     /// Edges admitted since the last rebuild.
     pub fn inserted_since_rebuild(&self) -> usize {
         self.inserted_since_rebuild
+    }
+
+    /// Edges removed since the last rebuild.
+    pub fn removed_since_rebuild(&self) -> usize {
+        self.removed_since_rebuild
+    }
+
+    /// Task count right after the last rebuild.
+    pub fn tasks_at_rebuild(&self) -> usize {
+        self.tasks_at_rebuild
     }
 }
 
@@ -280,6 +494,25 @@ mod tests {
         assert!(seen.into_iter().all(|s| s), "every edge covered");
     }
 
+    /// Like `check_invariants` but against an explicit live set.
+    fn check_covers_exactly(g: &Graph, plan: &PartitionPlan, live: &[usize]) {
+        let mut seen = vec![false; g.num_edges()];
+        for t in &plan.tasks {
+            assert!(!t.edges.is_empty());
+            for &e in &t.edges {
+                assert!(!seen[e], "edge {e} duplicated");
+                seen[e] = true;
+            }
+            for (attr, bound) in plan.table.exact_attrs() {
+                assert!(t.uniq_of(g, attr) as u64 <= bound);
+            }
+        }
+        let want: std::collections::BTreeSet<usize> = live.iter().copied().collect();
+        for (e, &s) in seen.iter().enumerate() {
+            assert_eq!(s, want.contains(&e), "edge {e} coverage mismatch");
+        }
+    }
+
     #[test]
     fn streaming_insertions_preserve_invariants() {
         let g = rmat(&RmatParams::standard(300, 4000, 101).with_edge_types(4));
@@ -291,7 +524,7 @@ mod tests {
         // final graph for attribute lookups (id/type attributes are
         // stable; this table restricts only stable attributes).
         for e in cut..g.num_edges() {
-            inc.insert(&g, e);
+            assert!(inc.insert(&g, e));
         }
         let plan = inc.snapshot(&g);
         check_invariants(&g, &plan);
@@ -352,7 +585,7 @@ mod tests {
         for e in cut..g.num_edges() {
             inc.insert(&g, e);
         }
-        let fresh = partition(&g, &table);
+        let fresh = partition_edges(&g, &table, &inc.live_edges());
         let ratio = inc.num_tasks() as f64 / fresh.num_tasks() as f64;
         assert!(
             ratio < 2.0,
@@ -360,5 +593,54 @@ mod tests {
             inc.num_tasks(),
             fresh.num_tasks()
         );
+    }
+
+    #[test]
+    fn removal_repairs_only_the_affected_task() {
+        let g = rmat(&RmatParams::standard(200, 2500, 113).with_edge_types(4));
+        let table = PartitionTable::src_batch_per_type(8);
+        let mut inc = IncrementalPlan::new(&g, table);
+        // Delete every 7th edge.
+        let doomed: Vec<usize> = (0..g.num_edges()).step_by(7).collect();
+        for &e in &doomed {
+            assert!(inc.remove(&g, e));
+            assert!(!inc.remove(&g, e), "double delete must be a no-op");
+        }
+        let live = inc.live_edges();
+        assert_eq!(live.len(), g.num_edges() - doomed.len());
+        check_covers_exactly(&g, &inc.snapshot(&g), &live);
+    }
+
+    #[test]
+    fn delete_then_reinsert_restores_coverage() {
+        let g = rmat(&RmatParams::standard(120, 1500, 117).with_edge_types(2));
+        let mut inc = IncrementalPlan::new(&g, PartitionTable::dst_and_type());
+        let delta = GraphDelta::deleting((0..300).collect());
+        let stats = inc.apply(&g, &delta);
+        assert_eq!(stats.removed, 300);
+        let back = GraphDelta::inserting((0..300).collect());
+        let stats = inc.apply(&g, &back);
+        assert_eq!(stats.inserted, 300);
+        assert_eq!(inc.num_live_edges(), g.num_edges());
+        check_invariants(&g, &inc.snapshot(&g));
+    }
+
+    #[test]
+    fn tombstoned_slot_leaves_no_phantom_task() {
+        let g = rmat(&RmatParams::standard(80, 600, 119).with_edge_types(2));
+        let mut inc = IncrementalPlan::new(&g, PartitionTable::vertex_centric());
+        let before = inc.num_tasks();
+        // Delete all edges pointing at destination of edge 0 → its task
+        // empties and must not appear in the snapshot.
+        let dst0 = g.dst()[0];
+        let doomed: Vec<usize> =
+            (0..g.num_edges()).filter(|&e| g.dst()[e] == dst0).collect();
+        for &e in &doomed {
+            inc.remove(&g, e);
+        }
+        assert_eq!(inc.num_tasks(), before - 1);
+        let plan = inc.snapshot(&g);
+        assert_eq!(plan.num_tasks(), before - 1);
+        assert!(plan.tasks.iter().all(|t| !t.edges.is_empty()));
     }
 }

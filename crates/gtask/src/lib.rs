@@ -22,6 +22,7 @@ pub mod restriction;
 pub mod task;
 
 pub use outlier::{classify_outliers, OutlierKind};
-pub use partition::partition;
+pub use incremental::{DeltaStats, GraphDelta, IncrementalPlan};
+pub use partition::{partition, partition_edges};
 pub use restriction::{PartitionTable, Restriction};
 pub use task::{DataPatterns, GTask, PartitionPlan};

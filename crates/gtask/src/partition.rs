@@ -25,7 +25,21 @@ use wisegraph_graph::{AttrKind, Graph};
 /// number of `Exact` restrictions — the light-weight method the paper uses
 /// so plans can be regenerated per candidate table.
 pub fn partition(g: &Graph, table: &PartitionTable) -> PartitionPlan {
-    let mut sp = wisegraph_obs::span!("gtask.partition", edges = g.num_edges());
+    let all: Vec<usize> = (0..g.num_edges()).collect();
+    partition_edges(g, table, &all)
+}
+
+/// Partitions a subset of the graph's edges into gTasks.
+///
+/// Tasks reference the *original* edge ids from `edges`, so the resulting
+/// plan executes against the full graph while covering only the given live
+/// set. This is the rebuild primitive of the incremental/delta path
+/// (`IncrementalPlan`) and the from-scratch reference the repair-equivalence
+/// pass (`C001`) compares against; `partition` is the whole-graph special
+/// case. Duplicate ids in `edges` produce duplicate coverage — callers pass
+/// a set.
+pub fn partition_edges(g: &Graph, table: &PartitionTable, edges: &[usize]) -> PartitionPlan {
+    let mut sp = wisegraph_obs::span!("gtask.partition", edges = edges.len());
     let exact = table.exact_attrs();
     let min_attrs = table.min_attrs();
 
@@ -37,8 +51,12 @@ pub fn partition(g: &Graph, table: &PartitionTable) -> PartitionPlan {
     key_attrs.extend(&min_attrs);
     key_attrs.extend(exact_sorted.iter().map(|&(a, _)| a));
 
-    let mut order: Vec<usize> = (0..g.num_edges()).collect();
-    if !key_attrs.is_empty() {
+    // Always sort (even with no key attrs, by edge id) so the result is a
+    // pure function of the edge *set*, independent of caller order.
+    let mut order: Vec<usize> = edges.to_vec();
+    if key_attrs.is_empty() {
+        order.sort_unstable();
+    } else {
         order.sort_by(|&a, &b| {
             for &attr in &key_attrs {
                 let (va, vb) = (g.edge_attr(attr, a), g.edge_attr(attr, b));

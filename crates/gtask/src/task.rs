@@ -7,7 +7,7 @@ use wisegraph_graph::{AttrKind, Graph};
 
 /// One gTask: a subset of edges plus the unique-value counts the partitioner
 /// observed for the table's restricted attributes.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct GTask {
     /// Original edge ids, in partition (sorted) order.
     pub edges: Vec<usize>,
@@ -85,7 +85,7 @@ impl DataPatterns {
 }
 
 /// A graph partition plan: the table that generated it plus the gTasks.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct PartitionPlan {
     /// The restrictions that produced this plan.
     pub table: PartitionTable,

@@ -144,12 +144,38 @@ impl Engine {
         plan: &PartitionPlan,
         globals: &HashMap<String, Tensor>,
     ) -> Result<Vec<Tensor>, CompileError> {
+        let program = compile(dfg, g)?;
+        self.execute_program(&program, dfg, g, plan, globals)
+    }
+
+    /// Executes an *already compiled* program — the cache-aware entry
+    /// point. A warm planning cache hands a decoded [`KernelProgram`]
+    /// straight to this method and skips [`compile`] entirely;
+    /// [`Engine::execute`] is the compile-then-run convenience wrapper.
+    /// The program must have been compiled from this `dfg` against this
+    /// `g` (the epilogue re-walks the DFG from `program.reduce_node`).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the program needs a destination-complete plan
+    /// and `plan` is not, or a prologue node cannot be evaluated.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a worker thread panics.
+    pub fn execute_program(
+        &self,
+        program: &crate::micro::KernelProgram,
+        dfg: &Dfg,
+        g: &Graph,
+        plan: &PartitionPlan,
+        globals: &HashMap<String, Tensor>,
+    ) -> Result<Vec<Tensor>, CompileError> {
         let _sp = span!(
             "engine.execute",
             tasks = plan.tasks.len(),
             threads = self.threads()
         );
-        let program = compile(dfg, g)?;
         if program.requires_dst_complete && !plan_is_dst_complete(g, plan) {
             return Err(CompileError(
                 "per-destination normalization requires a destination-complete plan"
@@ -172,10 +198,10 @@ impl Engine {
         // same code path runs at every thread count.
         let fplan: Option<FusedPlan> = match self.mode {
             ExecMode::Interpret => None,
-            ExecMode::Fused => Some(plan_fusion(&program)),
+            ExecMode::Fused => Some(plan_fusion(program)),
             ExecMode::Auto => {
-                let fp = plan_fusion(&program);
-                fusion_profitable(&program, &fp).then_some(fp)
+                let fp = plan_fusion(program);
+                fusion_profitable(program, &fp).then_some(fp)
             }
         };
 
@@ -185,7 +211,6 @@ impl Engine {
                 .enumerate()
                 .map(|(wi, range)| {
                     let tasks = &plan.tasks[range];
-                    let program = &program;
                     let all_globals = &all_globals;
                     let fplan = fplan.as_ref();
                     let slot = &self.slots[wi];

@@ -42,7 +42,7 @@ pub enum EwOp {
 }
 
 /// One micro-kernel: a data-loading, compute, or store step.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub enum MicroKernel {
     /// Load the task's stream of an edge attribute.
     LoadStream {

@@ -112,6 +112,25 @@ pub mod keys {
 
     /// Engine worker slots used by an execution ([`Resource`](crate::Class::Resource), max).
     pub const ENGINE_THREADS: &str = "engine.threads";
+
+    /// Planning-cache lookups served from the store
+    /// ([`Resource`](crate::Class::Resource), sum).
+    pub const CACHE_HITS: &str = "cache.hits";
+    /// Planning-cache lookups that recomputed and stored
+    /// ([`Resource`](crate::Class::Resource), sum).
+    pub const CACHE_MISSES: &str = "cache.misses";
+    /// Cache entries dropped by key invalidation
+    /// ([`Resource`](crate::Class::Resource), sum).
+    pub const CACHE_INVALIDATIONS: &str = "cache.invalidations";
+    /// High-water mark of live cache entries
+    /// ([`Resource`](crate::Class::Resource), max).
+    pub const CACHE_ENTRIES: &str = "cache.entries";
+    /// High-water mark of serialized bytes resident in the store
+    /// ([`Resource`](crate::Class::Resource), max).
+    pub const CACHE_STORED_BYTES: &str = "cache.stored_bytes";
+    /// Hit fraction of all lookups so far, in parts per thousand
+    /// ([`Resource`](crate::Class::Resource), gauge).
+    pub const CACHE_HIT_RATE_PERMILLE: &str = "cache.hit_rate_permille";
 }
 
 #[cfg(test)]

@@ -8,7 +8,10 @@
 # build step already produced. The fused-codegen differential harness
 # (tests/fused_parity.rs, DESIGN.md §10) additionally runs by name so the
 # bit-identity gate is explicit in the log, not buried in the workspace
-# sweep. After the tests, three gates run: clippy with warnings denied,
+# sweep, and likewise the planning-cache equivalence harness
+# (tests/planning_cache.rs, DESIGN.md §11: warm-cache runs bit-identical
+# to cold across thread counts). After the tests, three gates run: clippy
+# with warnings denied,
 # wisegraph-lint (the pre-execution plan/DFG/kernel/instrumentation/
 # fusion verifier, DESIGN.md §8) over every built-in model × partition
 # strategy, and wisegraph-prof --check (the counter-regression gate,
@@ -21,6 +24,7 @@ cargo build --release --offline --workspace
 cargo test -q --offline --workspace
 cargo test --release -q --offline --workspace
 cargo test --release -q --offline --test fused_parity
+cargo test --release -q --offline --test planning_cache
 cargo clippy --all-targets --offline --workspace -- -D warnings
 cargo run --release --offline --bin wisegraph-lint
 cargo run --release --offline --bin wisegraph-prof -- --check

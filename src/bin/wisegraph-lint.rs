@@ -16,7 +16,11 @@
 //!   registered interpreter-parity test in `tests/fused_parity.rs`
 //!   (`K006`), so a pattern cannot land without its differential harness
 //!   entry; per-combination fused plans are additionally coverage-checked
-//!   by `verify_execution` (`K005`).
+//!   by `verify_execution` (`K005`);
+//! * every cached artifact type must have a registered byte-roundtrip
+//!   test in `tests/cache_roundtrip.rs` (`C002`), and incremental gTask
+//!   repair after a canned delta stream must verify identically to a
+//!   from-scratch partition of the live set (`C001`).
 //!
 //! Exits nonzero if any pass reports an error, printing each diagnostic;
 //! `scripts/verify.sh` runs this after the test suite.
@@ -29,7 +33,7 @@ use wisegraph::dfg::transform;
 use wisegraph::dfg::Binding;
 use wisegraph::graph::generate::{rmat, RmatParams};
 use wisegraph::gtask::restriction::enumerate_tables;
-use wisegraph::gtask::partition;
+use wisegraph::gtask::{partition, GraphDelta, IncrementalPlan};
 use wisegraph::kernels::micro::{compile, plan_is_dst_complete};
 use wisegraph::models::ModelKind;
 
@@ -143,6 +147,41 @@ fn main() -> ExitCode {
     println!(
         "wisegraph-lint: {} fusion patterns checked against tests/fused_parity.rs",
         wisegraph::kernels::fused::FusedPattern::ALL.len()
+    );
+
+    // Pass 6: every cached artifact type must register a byte-roundtrip
+    // test in tests/cache_roundtrip.rs (C002), and incremental repair must
+    // verify against a from-scratch partition for every candidate table
+    // (C001) after a canned insert/delete stream.
+    let mut cache_report = Report::new();
+    cache_report.extend(verify_cache_roundtrip_registry(std::path::Path::new(
+        env!("CARGO_MANIFEST_DIR"),
+    )));
+    let mut repairs = 0usize;
+    for table in enumerate_tables(
+        &[
+            wisegraph::graph::AttrKind::SrcId,
+            wisegraph::graph::AttrKind::DstId,
+            wisegraph::graph::AttrKind::EdgeType,
+        ],
+        &BATCH_SIZES,
+    ) {
+        let mut inc = IncrementalPlan::new(&g, table.clone());
+        inc.apply(
+            &g,
+            &GraphDelta::deleting((0..g.num_edges()).step_by(7).collect()),
+        );
+        inc.apply(&g, &GraphDelta::inserting((0..g.num_edges()).step_by(14).collect()));
+        let live = inc.live_edges();
+        let snap = inc.snapshot(&g);
+        cache_report.extend(verify_repair(&g, &table, &live, &snap));
+        repairs += 1;
+    }
+    fail("planning cache", &cache_report, &mut errors, &mut warnings);
+    println!(
+        "wisegraph-lint: {} cached artifact types checked against \
+         tests/cache_roundtrip.rs, {repairs} incremental repairs verified",
+        wisegraph::cache::CachedArtifact::ALL.len()
     );
 
     println!(

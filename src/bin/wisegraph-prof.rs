@@ -16,7 +16,13 @@
 //!   fused-codegen before/after;
 //! * a per-gTask workload-skew table on stdout — the paper's Figure 7/15
 //!   story of how each table reshapes where the edges land — plus a
-//!   fused-vs-interpreter speedup table from the timing twins.
+//!   fused-vs-interpreter speedup table from the timing twins;
+//! * a cold-vs-warm planning table from the content-addressed
+//!   [`PlanCache`]: per model, one timing twin pair (`planning_cold`,
+//!   `planning_warm`) covering partition + transform + compile, and the
+//!   cache's Resource-class hit/miss/hit-rate counters under
+//!   `planning.<model>.` — deterministic, so the baseline gate holds the
+//!   warm path to a 100% hit rate.
 //!
 //! Modes:
 //!
@@ -32,6 +38,7 @@
 use std::collections::{BTreeMap, HashMap};
 use std::path::Path;
 use std::process::ExitCode;
+use wisegraph::cache::PlanCache;
 use wisegraph::graph::generate::{rmat, RmatParams};
 use wisegraph::graph::Graph;
 use wisegraph::gtask::{partition, PartitionPlan, PartitionTable};
@@ -253,6 +260,57 @@ fn run_suite(threads: usize, time_reps: usize) -> SuiteRun {
             }
         }
     }
+
+    // Planning cold/warm: per model, run the three cached planning stages
+    // (partition over every table, transform, compile) against a fresh
+    // cache and then again against the now-warm cache. The counter part is
+    // fixed at exactly one cold + one warm pass so the recorded
+    // hits/misses are independent of `time_reps` (gate (a) reruns with
+    // zero reps and still must match bit-exactly); the wall-clock twins
+    // ride along as a Timing overlay.
+    for (model, slug) in models() {
+        let dfg = model.layer_dfg(fi, fo);
+        let plan_all = |cache: &mut PlanCache| {
+            for (_, table) in tables() {
+                let _ = cache.partition_cached(&g, &table);
+            }
+            let t = cache.transform_cached(&g, &dfg);
+            let _ = cache.compile_cached(&g, &t);
+        };
+        let mut cache = PlanCache::new();
+        plan_all(&mut cache); // cold: every lookup misses and stores
+        plan_all(&mut cache); // warm: every lookup hits and decodes
+        let mut c = Counters::new();
+        cache.record_counters(&mut c);
+        run.all.merge_prefixed(&format!("planning.{slug}"), &c);
+        if time_reps > 0 {
+            let mut cold = Vec::with_capacity(time_reps);
+            for _ in 0..time_reps {
+                let mut fresh = PlanCache::new();
+                let t = Stopwatch::start();
+                plan_all(&mut fresh);
+                cold.push(t.elapsed_ns());
+            }
+            let mut warmed = PlanCache::new();
+            plan_all(&mut warmed);
+            let mut warm = Vec::with_capacity(time_reps);
+            for _ in 0..time_reps {
+                let t = Stopwatch::start();
+                plan_all(&mut warmed);
+                warm.push(t.elapsed_ns());
+            }
+            run.timings.push(TimingRec {
+                group: slug,
+                case: "planning_cold".to_string(),
+                samples: cold,
+            });
+            run.timings.push(TimingRec {
+                group: slug,
+                case: "planning_warm".to_string(),
+                samples: warm,
+            });
+        }
+    }
     run
 }
 
@@ -402,6 +460,36 @@ fn main() -> ExitCode {
         );
     }
     println!("\nwisegraph-prof: best fused-vs-interpreter speedup {best_speedup:.2}x\n");
+
+    // Cold-vs-warm planning: what the content-addressed cache buys. A
+    // warm lookup still decodes the stored bytes, so the speedup shown is
+    // honest end-to-end reuse cost, not a pointer copy. Timing overlay —
+    // the cache's *correctness* is gated by the bit-identity checks and
+    // the Resource-class hit counters in the baseline.
+    let mut worst_plan_speedup = f64::INFINITY;
+    println!("| model | cold planning (ns) | warm planning (ns) | speedup |");
+    println!("|---|---|---|---|");
+    for r in &run.timings {
+        if r.case != "planning_cold" {
+            continue;
+        }
+        let Some(w) = run
+            .timings
+            .iter()
+            .find(|t| t.group == r.group && t.case == "planning_warm")
+        else {
+            continue;
+        };
+        let (cm, wm) = (median(&r.samples), median(&w.samples));
+        let speedup = cm as f64 / wm.max(1) as f64;
+        worst_plan_speedup = worst_plan_speedup.min(speedup);
+        println!("| {} | {} | {} | {:.2}x |", r.group, cm, wm, speedup);
+    }
+    if worst_plan_speedup.is_finite() {
+        println!(
+            "\nwisegraph-prof: worst cold/warm planning speedup {worst_plan_speedup:.2}x\n"
+        );
+    }
 
     for (slug, c) in &run.per_model {
         write(&results.join(format!("prof_{slug}.json")), &counters_to_json(c));

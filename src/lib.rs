@@ -21,6 +21,10 @@
 //!   optimization, strategy search, training);
 //! - [`analysis`]: the pre-execution static verifier — plan, DFG, and
 //!   kernel legality checks behind the `wisegraph-lint` binary;
+//! - [`cache`]: the content-addressed planning cache — byte-stable
+//!   artifact serialization, FNV content hashing, and the
+//!   [`PlanCache`](wisegraph_cache::PlanCache) store that lets warm runs
+//!   skip partitioning, DFG optimization, and kernel compilation;
 //! - [`obs`]: the hermetic tracing/metrics layer — deterministic work
 //!   counters, structured spans, and the Chrome-trace/metrics exporters
 //!   behind the `wisegraph-prof` binary.
@@ -31,6 +35,7 @@
 
 pub use wisegraph_analysis as analysis;
 pub use wisegraph_baselines as baselines;
+pub use wisegraph_cache as cache;
 pub use wisegraph_core as core;
 pub use wisegraph_dfg as dfg;
 pub use wisegraph_graph as graph;

@@ -1,8 +1,8 @@
 //! Broken-fixture tests for the static verifier: each fixture violates
 //! exactly one invariant and must trigger the documented diagnostic code
 //! (DESIGN.md §8). Together they cover every code the verifier can emit,
-//! P001–P004, D001–D003, K001–K006, and O001, plus a clean positive
-//! control.
+//! P001–P004, D001–D003, K001–K006, O001, and C001–C002, plus a clean
+//! positive control.
 
 use std::collections::BTreeMap;
 use wisegraph::analysis::prelude::*;
@@ -278,6 +278,52 @@ fn o001_shipped_sources_are_covered() {
     assert!(report.is_clean(), "{report}");
 }
 
+// --------------------------------------------------- cache & repair
+
+#[test]
+fn c001_repaired_plan_divergence() {
+    use wisegraph::gtask::{GraphDelta, IncrementalPlan};
+    let g = paper_graph();
+    let table = PartitionTable::vertex_centric();
+    let mut inc = IncrementalPlan::new(&g, table.clone());
+    inc.apply(&g, &GraphDelta::deleting(vec![4, 8]));
+    let live = inc.live_edges();
+    let snap = inc.snapshot(&g);
+    // The honest repair verifies clean.
+    assert!(verify_repair(&g, &table, &live, &snap).is_empty());
+    // A doctored snapshot that still covers a deleted edge is C001.
+    let mut bad = snap.clone();
+    bad.tasks[0].edges.push(4);
+    let diags = verify_repair(&g, &table, &live, &bad);
+    assert!(
+        has(&diags, Code::RepairDivergence, "not in the live set"),
+        "{diags:#?}"
+    );
+    // A snapshot missing a live edge is C001 too.
+    let mut lossy = snap;
+    lossy.tasks[0].edges.clear();
+    lossy.tasks[0].edges.push(live[0]);
+    let diags = verify_repair(&g, &table, &live, &lossy);
+    assert!(
+        has(&diags, Code::RepairDivergence, "not covered"),
+        "{diags:#?}"
+    );
+    assert_eq!(Code::RepairDivergence.as_str(), "C001");
+}
+
+#[test]
+fn c002_missing_roundtrip_harness() {
+    // A tree with no tests/cache_roundtrip.rs: every artifact unregistered.
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("crates");
+    let diags = verify_cache_roundtrip_registry(&root);
+    assert!(!diags.is_empty());
+    assert!(diags.iter().all(|d| d.code == Code::CacheArtifactUntested));
+    assert_eq!(Code::CacheArtifactUntested.as_str(), "C002");
+    // This repo's harness registers every cached artifact type.
+    let repo = std::path::Path::new(env!("CARGO_MANIFEST_DIR"));
+    assert!(verify_cache_roundtrip_registry(repo).is_empty());
+}
+
 // ------------------------------------------------------------- controls
 
 #[test]
@@ -321,10 +367,12 @@ fn every_documented_code_has_a_triggering_fixture() {
         Code::KernelFusionCoverage,
         Code::KernelFusionUntested,
         Code::ObsUncovered,
+        Code::RepairDivergence,
+        Code::CacheArtifactUntested,
     ];
     let strs: Vec<&str> = covered.iter().map(|c| c.as_str()).collect();
-    for family in ["P", "D", "K", "O"] {
+    for family in ["P", "D", "K", "O", "C"] {
         assert!(strs.iter().any(|s| s.starts_with(family)));
     }
-    assert_eq!(strs.len(), 14);
+    assert_eq!(strs.len(), 16);
 }

@@ -1,0 +1,125 @@
+//! Byte-roundtrip registry for the planning cache (the `C002` gate).
+//!
+//! Every artifact type the content-addressed store can hold
+//! (`wisegraph::cache::CachedArtifact::ALL`) must be pinned byte-stable
+//! here: decode(encode(x)) must reproduce `x`, and re-encoding the
+//! decoded value must reproduce the original bytes bit for bit. The
+//! per-artifact entry points below are the registered roundtrip tests
+//! `wisegraph-lint` (C002) checks for by name — renaming one without
+//! updating `CachedArtifact::roundtrip_test()` fails the lint.
+//!
+//! Byte stability is load-bearing, not cosmetic: cache keys hash these
+//! encodings, and hits decode stored bytes instead of returning live
+//! objects, so any drift between encoder and decoder silently poisons
+//! every warm run.
+
+use wisegraph::cache::artifact::{
+    decode_dfg, decode_plan, decode_program, encode_dfg, encode_plan, encode_program,
+};
+use wisegraph::cache::CachedArtifact;
+use wisegraph::dfg::{transform, Binding};
+use wisegraph::graph::generate::{rmat, RmatParams};
+use wisegraph::graph::{AttrKind, Graph};
+use wisegraph::gtask::restriction::enumerate_tables;
+use wisegraph::gtask::{partition, partition_edges};
+use wisegraph::kernels::micro::compile;
+use wisegraph::models::ModelKind;
+
+const MODELS: [ModelKind; 4] = [
+    ModelKind::Gcn,
+    ModelKind::Rgcn,
+    ModelKind::Gat,
+    ModelKind::Sage,
+];
+
+fn graph() -> Graph {
+    rmat(&RmatParams::standard(96, 800, 33).with_edge_types(3))
+}
+
+/// Registered roundtrip test for [`CachedArtifact::PartitionPlan`]:
+/// plans from every enumerable table — full-graph and live-subset —
+/// survive encode → decode → encode byte-identically.
+#[test]
+fn roundtrip_partition_plan() {
+    let g = graph();
+    let indexing = [AttrKind::SrcId, AttrKind::DstId, AttrKind::EdgeType];
+    for table in enumerate_tables(&indexing, &[4, 32]) {
+        let full = partition(&g, &table);
+        let live: Vec<usize> = (0..g.num_edges()).filter(|e| e % 3 != 1).collect();
+        let sub = partition_edges(&g, &table, &live);
+        for plan in [&full, &sub] {
+            let bytes = encode_plan(plan);
+            let back = decode_plan(&bytes).expect("legal plan decodes");
+            assert_eq!(back, *plan, "value roundtrip: [{table}]");
+            assert_eq!(encode_plan(&back), bytes, "byte stability: [{table}]");
+        }
+    }
+}
+
+/// Registered roundtrip test for [`CachedArtifact::TransformedDfg`]:
+/// base and transform-optimized DFGs of all four models survive
+/// encode → decode → encode byte-identically.
+#[test]
+fn roundtrip_transformed_dfg() {
+    let g = graph();
+    let binding = Binding::from_graph(&g);
+    for model in MODELS {
+        let base = model.layer_dfg(16, 8);
+        let (opt, _) = transform::optimize(&base, &binding);
+        for dfg in [&base, &opt] {
+            let bytes = encode_dfg(dfg);
+            let back = decode_dfg(&bytes).expect("legal DFG decodes");
+            assert_eq!(back.len(), dfg.len(), "{model:?}");
+            assert_eq!(back.outputs(), dfg.outputs(), "{model:?}");
+            for (a, b) in back.nodes().iter().zip(dfg.nodes()) {
+                assert_eq!(a.kind, b.kind, "{model:?}");
+                assert_eq!(a.inputs, b.inputs, "{model:?}");
+                assert_eq!(a.shape, b.shape, "{model:?}");
+            }
+            assert_eq!(encode_dfg(&back), bytes, "byte stability: {model:?}");
+        }
+    }
+}
+
+/// Registered roundtrip test for [`CachedArtifact::KernelProgram`]:
+/// compiled micro-kernel programs of all four models survive
+/// encode → decode → encode byte-identically.
+#[test]
+fn roundtrip_kernel_program() {
+    let g = graph();
+    let binding = Binding::from_graph(&g);
+    for model in MODELS {
+        let (dfg, _) = transform::optimize(&model.layer_dfg(16, 8), &binding);
+        let p = compile(&dfg, &g).expect("models compile");
+        let bytes = encode_program(&p);
+        let back = decode_program(&bytes).expect("legal program decodes");
+        assert_eq!(back.ops, p.ops, "{model:?}");
+        assert_eq!(back.num_regs, p.num_regs, "{model:?}");
+        assert_eq!(back.out_rows, p.out_rows, "{model:?}");
+        assert_eq!(back.out_width, p.out_width, "{model:?}");
+        assert_eq!(back.reduce_node, p.reduce_node, "{model:?}");
+        assert_eq!(back.prologue, p.prologue, "{model:?}");
+        assert_eq!(
+            back.requires_dst_complete, p.requires_dst_complete,
+            "{model:?}"
+        );
+        assert_eq!(encode_program(&back), bytes, "byte stability: {model:?}");
+    }
+}
+
+/// The registry itself is coherent: three artifact types, distinct
+/// names, distinct tags, and each `roundtrip_test` name matches a test
+/// in this file (self-check of the C002 contract).
+#[test]
+fn registry_names_match_this_harness() {
+    let src = include_str!("cache_roundtrip.rs");
+    assert_eq!(CachedArtifact::ALL.len(), 3);
+    for a in CachedArtifact::ALL {
+        assert!(
+            src.contains(&format!("fn {}(", a.roundtrip_test())),
+            "artifact `{}` expects `fn {}` here",
+            a.name(),
+            a.roundtrip_test()
+        );
+    }
+}

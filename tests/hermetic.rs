@@ -49,8 +49,8 @@ fn the_scan_covers_the_root_and_every_crate_manifest() {
     collect_manifests(&workspace_root(), &mut manifests);
     assert_eq!(
         manifests.len(),
-        14,
-        "expected root + 13 crate manifests, found: {manifests:?}"
+        15,
+        "expected root + 14 crate manifests, found: {manifests:?}"
     );
     // Every member listed in crates/ has a manifest.
     for crate_dir in std::fs::read_dir(workspace_root().join("crates"))
