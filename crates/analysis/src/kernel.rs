@@ -494,6 +494,27 @@ mod tests {
     }
 
     #[test]
+    fn engine_mapping_edge_cases_stay_clean() {
+        // More workers than tasks: every task gets a private single-task
+        // chunk; surplus slots stay idle.
+        for (n, t) in [(3, 10), (1, 8), (2, 1000)] {
+            let diags = verify_chunk_mapping(n, t);
+            assert!(diags.is_empty(), "tasks={n} threads={t}: {diags:#?}");
+            let ranges = wisegraph_kernels::engine::chunk_ranges(n, t);
+            assert_eq!(ranges.len(), n, "one chunk per task when threads >= tasks");
+        }
+        // Zero tasks and zero threads: nothing runs, nothing to report.
+        assert!(verify_chunk_mapping(0, 4).is_empty());
+        assert!(verify_chunk_mapping(0, 0).is_empty());
+        assert!(verify_chunk_mapping(5, 0).is_empty(), "engine rejects 0 threads itself");
+        // Single task through any worker count maps to chunk 0 alone.
+        for t in [1usize, 2, 7] {
+            assert_eq!(wisegraph_kernels::engine::chunk_ranges(1, t), vec![0..1]);
+            assert!(verify_chunk_mapping(1, t).is_empty());
+        }
+    }
+
+    #[test]
     fn gap_and_overlap_are_k003() {
         let gap = verify_chunk_ranges(&[0..2, 3..6], 6, 2);
         assert!(gap.iter().any(|d| d.code == Code::KernelChunkMapping

@@ -25,7 +25,13 @@
 //!   `O001`);
 //! - [`repair`]: incremental-repair equivalence — a repaired plan must
 //!   verify identically to a from-scratch partition of the same live edge
-//!   set — and the cached-artifact roundtrip-test registry (codes `C...`).
+//!   set — and the cached-artifact roundtrip-test registry (codes `C...`);
+//! - [`interference`]: schedule-level race freedom — per-gTask symbolic
+//!   access sets, write-overlap and provenance checks across co-scheduled
+//!   worker slots, fused-vs-interpreted access divergence, and workspace
+//!   lifetime (use-after-release / double-lease) over pooled registers
+//!   (codes `R...`); the dynamic counterpart is the engine's
+//!   `ExecMode::Sanitize` shadow-memory sanitizer.
 //!
 //! [`verify_execution`] composes all applicable passes for one
 //! (DFG, graph, plan, engine) combination; the `wisegraph-lint` binary
@@ -33,6 +39,7 @@
 //! gate.
 
 pub mod dfgcheck;
+pub mod interference;
 pub mod kernel;
 pub mod obscheck;
 pub mod plan;
@@ -112,6 +119,27 @@ pub enum Code {
     /// A cached artifact type has no registered byte-roundtrip test in
     /// `tests/cache_roundtrip.rs`.
     CacheArtifactUntested,
+    /// Two co-scheduled gTasks write overlapping accumulator rows and the
+    /// overlap is not an accumulation the engine's deterministic merge
+    /// handles (the program's stores assume exclusive row ownership).
+    ScheduleWriteOverlap,
+    /// A scatter destination's row provenance is not statically
+    /// resolvable, so read-write/write-write disjointness of co-scheduled
+    /// gTasks cannot be proven.
+    ScheduleReadWrite,
+    /// The schedule maps two concurrently executing chunks onto one
+    /// worker slot (or a slot outside the engine), racing on the slot's
+    /// task workspace and partial accumulator.
+    ScheduleSlotCollision,
+    /// A fused segment's derived access set (globals read, scatter
+    /// destination) diverges from the interpreted instructions it
+    /// replaces.
+    ScheduleFusedDivergence,
+    /// A register's pooled buffer is re-leased while unconsumed
+    /// (double-lease) or read across a release point
+    /// (use-after-release): the single-assignment discipline backing the
+    /// workspace pool's recycle-on-overwrite semantics is broken.
+    WorkspaceLifetime,
 }
 
 impl Code {
@@ -134,6 +162,11 @@ impl Code {
             Code::ObsUncovered => "O001",
             Code::RepairDivergence => "C001",
             Code::CacheArtifactUntested => "C002",
+            Code::ScheduleWriteOverlap => "R001",
+            Code::ScheduleReadWrite => "R002",
+            Code::ScheduleSlotCollision => "R003",
+            Code::ScheduleFusedDivergence => "R004",
+            Code::WorkspaceLifetime => "R005",
         }
     }
 }
@@ -319,6 +352,9 @@ pub fn verify_execution(
             report.extend(kernel::verify_chunk_mapping(plan.num_tasks(), threads));
             let fplan = wisegraph_kernels::fused::plan_fusion(&program);
             report.extend(kernel::verify_fusion(&program, &fplan));
+            report.extend(interference::verify_fused_access(&program, &fplan));
+            report.extend(interference::verify_workspace_lifetime(&program));
+            report.extend(interference::verify_interference(g, plan, &program, threads));
         }
         Err(e) => report.push(Diagnostic::error(
             Code::KernelPlanIncompatible,
@@ -353,6 +389,10 @@ pub(crate) fn push_capped(out: &mut Vec<Diagnostic>, found: Vec<Diagnostic>) {
 /// composing their own pipelines.
 pub mod prelude {
     pub use crate::dfgcheck::{effective_indexing_attrs, verify_dfg, verify_rewrite};
+    pub use crate::interference::{
+        summarize_plan, task_access, verify_fused_access, verify_interference,
+        verify_slot_assignment, verify_workspace_lifetime, TaskAccess,
+    };
     pub use crate::kernel::{
         verify_chunk_mapping, verify_chunk_ranges, verify_fused_parity_registry,
         verify_fusion, verify_plan_compat, verify_program,

@@ -39,7 +39,13 @@ pub const REQUIRED: &[(&str, &[&str])] = &[
     ),
     (
         "crates/kernels/src/micro.rs",
-        &["run_task", "run_task_ws", "run_epilogue", "execute_by_plan"],
+        &[
+            "run_task",
+            "run_task_ws",
+            "run_task_ws_shadow",
+            "run_epilogue",
+            "execute_by_plan",
+        ],
     ),
     ("crates/kernels/src/fused.rs", &["run_task_fused"]),
     (

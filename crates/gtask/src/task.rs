@@ -1,7 +1,7 @@
 //! gTasks and their data patterns (paper §3, §5.1).
 
 use crate::restriction::PartitionTable;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use wisegraph_dfg::Binding;
 use wisegraph_graph::{AttrKind, Graph};
 
@@ -31,6 +31,15 @@ impl GTask {
         vals.sort_unstable();
         vals.dedup();
         vals.len()
+    }
+
+    /// The set of values attribute `attr` takes over this task's edges.
+    /// This is the symbolic row set the schedule-interference analyzer
+    /// intersects across co-scheduled tasks: e.g. `DstId` gives exactly
+    /// the accumulator rows a destination-scattering program writes for
+    /// this task.
+    pub fn attr_rows(&self, g: &Graph, attr: AttrKind) -> BTreeSet<u64> {
+        self.edges.iter().map(|&e| g.edge_attr(attr, e)).collect()
     }
 
     /// Builds the symbolic-dimension binding for this task's scope.

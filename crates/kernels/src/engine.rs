@@ -19,7 +19,7 @@ use crate::fused::{plan_fusion, run_task_fused, FusedPlan};
 use crate::micro::{
     compile, eval_edge_independent_public as eval_edge_independent,
     plan_is_dst_complete, prologue_name, run_epilogue, run_task, run_task_ws,
-    CompileError, TaskWorkspace,
+    run_task_ws_shadow, CompileError, TaskWorkspace,
 };
 use crate::oppart::fusion_profitable;
 use std::collections::HashMap;
@@ -72,12 +72,69 @@ pub enum ExecMode {
     /// Always run the fused plan (instructions without a matched pattern
     /// still execute on the shared interpreter step).
     Fused,
+    /// Shadow-memory sanitizer: interpret every instruction while
+    /// recording, per accumulator cell, the last writer `(worker, task)`;
+    /// after the workers join, cross-check the records against the
+    /// engine's merge contract. Cross-task writes to the same cell are
+    /// legal accumulation for plain scatter-add programs (the ascending
+    /// reduce handles them deterministically) but a hard error for
+    /// programs whose stores assume exclusive row ownership
+    /// (per-destination normalization). Outputs are bit-identical to
+    /// [`ExecMode::Auto`]; expect interpreter wall-clock plus recording
+    /// overhead — this mode is for validation (`wisegraph-lint` pass 7,
+    /// schedule bring-up), not production runs.
+    Sanitize,
+}
+
+/// One sanitizer conflict record: an accumulator row written by two
+/// different gTasks under a program whose stores assume exclusive row
+/// ownership.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ShadowConflict {
+    /// The contested accumulator row.
+    pub row: usize,
+    /// First recorded writer, as `(worker slot, task index)`.
+    pub first: (usize, usize),
+    /// Last recorded writer, as `(worker slot, task index)`.
+    pub last: (usize, usize),
+}
+
+/// What one sanitized execution observed. Retrieved via
+/// [`Engine::last_sanitize`] after running in [`ExecMode::Sanitize`].
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SanitizeReport {
+    /// Distinct accumulator cells (rows) written at least once.
+    pub cells_tracked: u64,
+    /// Individual row-writes recorded and checked.
+    pub writes_checked: u64,
+    /// Cells written by more than one gTask where the overlap is plain
+    /// accumulation the deterministic merge handles.
+    pub shared_cells: u64,
+    /// Exclusive-ownership violations (empty unless the program requires
+    /// a destination-complete plan). Capped at [`SHADOW_CONFLICT_CAP`]
+    /// records; the run still fails on the first one.
+    pub conflicts: Vec<ShadowConflict>,
+}
+
+/// Maximum conflict records retained in a [`SanitizeReport`].
+pub const SHADOW_CONFLICT_CAP: usize = 8;
+
+/// Cumulative sanitizer state across an engine's lifetime.
+#[derive(Default)]
+struct SanitizeStats {
+    runs: u64,
+    cells: u64,
+    writes: u64,
+    shared: u64,
+    conflicts: u64,
+    last: Option<SanitizeReport>,
 }
 
 /// A reusable parallel executor with persistent per-worker workspaces.
 pub struct Engine {
     slots: Vec<Mutex<WorkerSlot>>,
     mode: ExecMode,
+    sanitize: Mutex<SanitizeStats>,
 }
 
 impl Engine {
@@ -102,7 +159,20 @@ impl Engine {
         Self {
             slots: (0..threads).map(|_| Mutex::new(WorkerSlot::default())).collect(),
             mode,
+            sanitize: Mutex::new(SanitizeStats::default()),
         }
+    }
+
+    /// The shadow-memory record of the most recent sanitized execution, or
+    /// `None` before the first [`ExecMode::Sanitize`] run. Also populated
+    /// when a sanitized run fails on a conflict, so callers can inspect
+    /// what the shadow map saw.
+    pub fn last_sanitize(&self) -> Option<SanitizeReport> {
+        self.sanitize
+            .lock()
+            .expect("sanitize state poisoned")
+            .last
+            .clone()
     }
 
     /// Number of worker slots.
@@ -124,7 +194,99 @@ impl Engine {
             c.merge(&s.lock().expect("engine slot poisoned").tws.stats());
         }
         c.record_max(keys::ENGINE_THREADS, self.threads() as u64, Class::Resource);
+        let s = self.sanitize.lock().expect("sanitize state poisoned");
+        if s.runs > 0 {
+            c.add_class(keys::SANITIZE_CELLS, s.cells, Class::Resource);
+            c.add_class(keys::SANITIZE_WRITES, s.writes, Class::Resource);
+            c.add_class(keys::SANITIZE_SHARED_CELLS, s.shared, Class::Resource);
+            c.add_class(keys::SANITIZE_CONFLICTS, s.conflicts, Class::Resource);
+        }
         c
+    }
+
+    /// Merges the per-worker shadow logs into a per-cell last-writer map
+    /// and checks them against the merge contract: cross-task writes to
+    /// one cell are legal accumulation for plain scatter-add programs, a
+    /// hard error when the program's stores assume exclusive row
+    /// ownership. Workers merge in ascending slot order, so first/last
+    /// writer attribution is deterministic. Always updates the engine's
+    /// cumulative sanitize state and [`Engine::last_sanitize`], including
+    /// on the error path.
+    fn check_shadows(
+        &self,
+        program: &crate::micro::KernelProgram,
+        shadows: &[Vec<(u32, u32)>],
+    ) -> Result<(), CompileError> {
+        use std::collections::btree_map::Entry;
+        use std::collections::BTreeMap;
+        // Per cell: (first writer, last writer, written by >1 distinct
+        // task), writers as (worker slot, task index).
+        type CellState = ((usize, usize), (usize, usize), bool);
+        let mut cells: BTreeMap<u32, CellState> = BTreeMap::new();
+        let mut writes = 0u64;
+        for (wi, shadow) in shadows.iter().enumerate() {
+            for &(row, task) in shadow {
+                writes += 1;
+                let task = task as usize;
+                match cells.entry(row) {
+                    Entry::Vacant(v) => {
+                        v.insert(((wi, task), (wi, task), false));
+                    }
+                    Entry::Occupied(mut o) => {
+                        let e = o.get_mut();
+                        if e.1 .1 != task {
+                            e.2 = true;
+                        }
+                        e.1 = (wi, task);
+                    }
+                }
+            }
+        }
+        let multi = cells.values().filter(|e| e.2).count() as u64;
+        let exclusive = program.requires_dst_complete;
+        let mut conflicts = Vec::new();
+        if exclusive {
+            for (&row, &(first, last, m)) in &cells {
+                if m {
+                    if conflicts.len() == SHADOW_CONFLICT_CAP {
+                        break;
+                    }
+                    conflicts.push(ShadowConflict {
+                        row: row as usize,
+                        first,
+                        last,
+                    });
+                }
+            }
+        }
+        let report = SanitizeReport {
+            cells_tracked: cells.len() as u64,
+            writes_checked: writes,
+            shared_cells: if exclusive { 0 } else { multi },
+            conflicts,
+        };
+        let first_conflict = report.conflicts.first().copied();
+        {
+            let mut s = self.sanitize.lock().expect("sanitize state poisoned");
+            s.runs += 1;
+            s.cells += report.cells_tracked;
+            s.writes += report.writes_checked;
+            s.shared += report.shared_cells;
+            if exclusive {
+                s.conflicts += multi;
+            }
+            s.last = Some(report);
+        }
+        if let Some(c) = first_conflict {
+            return Err(CompileError(format!(
+                "sanitizer: {multi} accumulator cell(s) written by multiple \
+                 gTasks under a per-destination-normalizing program; first \
+                 conflict: row {} written by task {} (worker {}) and task {} \
+                 (worker {})",
+                c.row, c.first.1, c.first.0, c.last.1, c.last.0
+            )));
+        }
+        Ok(())
     }
 
     /// Executes a compiled plan across the engine's workers and returns the
@@ -176,7 +338,15 @@ impl Engine {
             tasks = plan.tasks.len(),
             threads = self.threads()
         );
-        if program.requires_dst_complete && !plan_is_dst_complete(g, plan) {
+        // In Sanitize mode the static precondition is deliberately NOT
+        // enforced up front: the run proceeds mechanically and the shadow
+        // map must catch the resulting cross-task ownership violation
+        // itself — that is exactly the static-vs-dynamic cross-check the
+        // lint harness exercises.
+        if program.requires_dst_complete
+            && self.mode != ExecMode::Sanitize
+            && !plan_is_dst_complete(g, plan)
+        {
             return Err(CompileError(
                 "per-destination normalization requires a destination-complete plan"
                     .into(),
@@ -196,8 +366,9 @@ impl Engine {
 
         // Dispatch decision: per program, before any worker starts, so the
         // same code path runs at every thread count.
+        let sanitizing = self.mode == ExecMode::Sanitize;
         let fplan: Option<FusedPlan> = match self.mode {
-            ExecMode::Interpret => None,
+            ExecMode::Interpret | ExecMode::Sanitize => None,
             ExecMode::Fused => Some(plan_fusion(program)),
             ExecMode::Auto => {
                 let fp = plan_fusion(program);
@@ -205,11 +376,12 @@ impl Engine {
             }
         };
 
-        let partials: Vec<Tensor> = std::thread::scope(|scope| {
+        let results: Vec<(Tensor, Vec<(u32, u32)>)> = std::thread::scope(|scope| {
             let handles: Vec<_> = chunk_ranges(plan.tasks.len(), self.threads())
                 .into_iter()
                 .enumerate()
                 .map(|(wi, range)| {
+                    let first_task = range.start;
                     let tasks = &plan.tasks[range];
                     let all_globals = &all_globals;
                     let fplan = fplan.as_ref();
@@ -239,7 +411,21 @@ impl Engine {
                                     program.out_width,
                                 ]),
                             };
-                            for task in tasks {
+                            let mut shadow = Vec::new();
+                            for (k, task) in tasks.iter().enumerate() {
+                                if sanitizing {
+                                    run_task_ws_shadow(
+                                        program,
+                                        g,
+                                        all_globals,
+                                        &task.edges,
+                                        &mut acc,
+                                        &mut slot.tws,
+                                        first_task + k,
+                                        &mut shadow,
+                                    );
+                                    continue;
+                                }
                                 match fplan {
                                     Some(fp) => run_task_fused(
                                         program,
@@ -260,7 +446,7 @@ impl Engine {
                                     ),
                                 }
                             }
-                            acc
+                            (acc, shadow)
                         })
                     })
                 })
@@ -270,6 +456,12 @@ impl Engine {
                 .map(|h| h.join().expect("worker panicked"))
                 .collect()
         });
+        let (partials, shadows): (Vec<Tensor>, Vec<Vec<(u32, u32)>>) =
+            results.into_iter().unzip();
+
+        if sanitizing {
+            self.check_shadows(program, &shadows)?;
+        }
 
         // Reduce in ascending worker order (same order as the sequential
         // `acc = acc + p` of the allocating path), then park the partials
@@ -419,6 +611,95 @@ mod tests {
             }
             assert_eq!(next, n, "{n} tasks / {t} threads: {ranges:?}");
         }
+    }
+
+    #[test]
+    fn chunk_ranges_edge_cases() {
+        // Zero tasks: no chunks, nothing scheduled.
+        assert!(chunk_ranges(0, 4).is_empty());
+        // Single task: exactly one chunk regardless of worker count.
+        assert_eq!(chunk_ranges(1, 8), vec![0..1]);
+        // More threads than tasks: one single-task chunk per task, never
+        // an empty chunk and never more chunks than tasks.
+        let ranges = chunk_ranges(3, 10);
+        assert_eq!(ranges, vec![0..1, 1..2, 2..3]);
+    }
+
+    #[test]
+    fn sanitize_mode_is_bit_identical_to_auto() {
+        let g = rmat(&RmatParams::standard(120, 900, 61).with_edge_types(3));
+        let (fi, fo) = (5, 4);
+        let dfg = ModelKind::Rgcn.layer_dfg(fi, fo);
+        let mut globals = HashMap::new();
+        globals.insert(
+            "h".to_string(),
+            init::uniform_tensor(&[g.num_vertices(), fi], -1.0, 1.0, 11),
+        );
+        globals.insert(
+            "W".to_string(),
+            init::uniform_tensor(&[g.num_edge_types(), fi, fo], -1.0, 1.0, 12),
+        );
+        let plan = partition(&g, &PartitionTable::src_batch_per_type(8));
+        for threads in [1usize, 2, 4] {
+            let auto =
+                execute_parallel_mode(&dfg, &g, &plan, &globals, threads, ExecMode::Auto)
+                    .unwrap();
+            let engine = Engine::with_mode(threads, ExecMode::Sanitize);
+            let sanitized = engine.execute(&dfg, &g, &plan, &globals).unwrap();
+            for (a, b) in auto.iter().zip(sanitized.iter()) {
+                assert_eq!(a.data(), b.data(), "threads {threads}");
+            }
+            let rep = engine.last_sanitize().expect("sanitized run recorded");
+            assert!(rep.conflicts.is_empty());
+            assert_eq!(rep.writes_checked, g.num_edges() as u64);
+            assert!(rep.cells_tracked > 0);
+            let stats = engine.stats();
+            assert_eq!(
+                stats.count(keys::SANITIZE_WRITES),
+                rep.writes_checked,
+                "threads {threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn sanitizer_catches_exclusive_ownership_conflict() {
+        // GAT's segment softmax assumes each task owns its destination
+        // rows. An edge-batch plan splits destinations across tasks; the
+        // static precondition would reject it, Sanitize mode instead runs
+        // it and the shadow map must catch the conflict dynamically.
+        let g = rmat(&RmatParams::standard(40, 300, 63));
+        let (fi, fo) = (4, 3);
+        let dfg = ModelKind::Gat.layer_dfg(fi, fo);
+        let mut globals = HashMap::new();
+        globals.insert(
+            "h".to_string(),
+            init::uniform_tensor(&[g.num_vertices(), fi], -1.0, 1.0, 13),
+        );
+        globals.insert("w".to_string(), init::uniform_tensor(&[fi, fo], -1.0, 1.0, 14));
+        globals.insert(
+            "a_src".to_string(),
+            init::uniform_tensor(&[fo, 1], -1.0, 1.0, 15),
+        );
+        globals.insert(
+            "a_dst".to_string(),
+            init::uniform_tensor(&[fo, 1], -1.0, 1.0, 16),
+        );
+        let plan = partition(&g, &PartitionTable::edge_batch(16));
+        let engine = Engine::with_mode(2, ExecMode::Sanitize);
+        let err = engine
+            .execute(&dfg, &g, &plan, &globals)
+            .expect_err("overlapping destinations must fail under sanitize");
+        assert!(err.to_string().contains("sanitizer"), "{err}");
+        let rep = engine.last_sanitize().expect("report kept on error path");
+        assert!(!rep.conflicts.is_empty());
+        assert!(engine.stats().count(keys::SANITIZE_CONFLICTS) > 0);
+        // The same combination under Auto is rejected statically instead.
+        let auto_err = execute_parallel_mode(
+            &dfg, &g, &plan, &globals, 2, ExecMode::Auto,
+        )
+        .expect_err("static precondition");
+        assert!(auto_err.to_string().contains("destination-complete"));
     }
 
     #[test]

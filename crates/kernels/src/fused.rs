@@ -55,7 +55,8 @@ use wisegraph_obs::span;
 use wisegraph_tensor::Tensor;
 
 use crate::micro::{
-    accesses, exec_op, reg_stream, KernelProgram, MicroKernel, Reg, TaskWorkspace,
+    exec_op, reg_stream, summarize, AccessSummary, KernelProgram, MicroKernel, Reg,
+    TaskWorkspace,
 };
 
 /// Unroll width of the fused inner loops. Chosen so the autovectorizer can
@@ -237,43 +238,12 @@ impl FusedPlan {
     }
 }
 
-/// Per-register def/use program counters, for confinement checks.
-struct RegUse {
-    reads: Vec<Vec<usize>>,
-    writes: Vec<Vec<usize>>,
-}
-
-fn reg_use(program: &KernelProgram) -> RegUse {
-    let mut u = RegUse {
-        reads: vec![Vec::new(); program.num_regs],
-        writes: vec![Vec::new(); program.num_regs],
-    };
-    for (pc, op) in program.ops.iter().enumerate() {
-        let (reads, writes) = accesses(op);
-        for r in reads {
-            u.reads[r.0].push(pc);
-        }
-        for w in writes {
-            u.writes[w.0].push(pc);
-        }
-    }
-    u
-}
-
-/// `true` when register `r` is written exactly once, inside `lo..hi`, and
-/// read only after that write and before `hi` — i.e. the value never
-/// escapes the candidate fusion window, so skipping its materialization is
-/// unobservable.
-fn confined(u: &RegUse, r: Reg, lo: usize, hi: usize) -> bool {
-    let w = &u.writes[r.0];
-    w.len() == 1
-        && w[0] >= lo
-        && w[0] < hi
-        && u.reads[r.0].iter().all(|&pc| pc > w[0] && pc < hi)
-}
-
 /// Tries to match a fusion pattern starting at `pc`, longest window first.
-fn match_at(program: &KernelProgram, u: &RegUse, pc: usize) -> Option<FusedKernel> {
+/// Confinement of the intermediate registers is checked against the shared
+/// [`AccessSummary`] — the same derivation the schedule-interference pass
+/// consumes, so the matcher and the verifier can never disagree on
+/// register liveness.
+fn match_at(program: &KernelProgram, u: &AccessSummary, pc: usize) -> Option<FusedKernel> {
     let ops = &program.ops;
     if pc + 4 <= ops.len() {
         if let [MicroKernel::GatherRows { src: h, idx: si, out: g1 }, MicroKernel::GatherWeight { src: w, idx: ti, out: g2 }, MicroKernel::PerRowVecMat { x, w: wr, out: m }, MicroKernel::ScatterAdd { data, idx: di }] =
@@ -282,9 +252,9 @@ fn match_at(program: &KernelProgram, u: &RegUse, pc: usize) -> Option<FusedKerne
             if x == g1
                 && wr == g2
                 && data == m
-                && confined(u, *g1, pc, pc + 4)
-                && confined(u, *g2, pc, pc + 4)
-                && confined(u, *m, pc, pc + 4)
+                && u.confined(*g1, pc, pc + 4)
+                && u.confined(*g2, pc, pc + 4)
+                && u.confined(*m, pc, pc + 4)
             {
                 return Some(FusedKernel {
                     pattern: FusedPattern::PerTypeBatchedMatmul,
@@ -306,8 +276,8 @@ fn match_at(program: &KernelProgram, u: &RegUse, pc: usize) -> Option<FusedKerne
         {
             if x == g1
                 && data == m
-                && confined(u, *g1, pc, pc + 3)
-                && confined(u, *m, pc, pc + 3)
+                && u.confined(*g1, pc, pc + 3)
+                && u.confined(*m, pc, pc + 3)
             {
                 return Some(FusedKernel {
                     pattern: FusedPattern::EdgeBatchMatmul,
@@ -326,7 +296,7 @@ fn match_at(program: &KernelProgram, u: &RegUse, pc: usize) -> Option<FusedKerne
         if let [MicroKernel::GatherRows { src, idx: si, out: g1 }, MicroKernel::ScatterAdd { data, idx: di }] =
             &ops[pc..pc + 2]
         {
-            if data == g1 && confined(u, *g1, pc, pc + 2) {
+            if data == g1 && u.confined(*g1, pc, pc + 2) {
                 return Some(FusedKernel {
                     pattern: FusedPattern::SegmentReduce,
                     pcs: pc..pc + 2,
@@ -347,7 +317,7 @@ fn match_at(program: &KernelProgram, u: &RegUse, pc: usize) -> Option<FusedKerne
 /// Deterministic — the same program always yields the same plan, so the
 /// dispatch decision is identical at every thread count.
 pub fn plan_fusion(program: &KernelProgram) -> FusedPlan {
-    let u = reg_use(program);
+    let u = summarize(program);
     let mut segments = Vec::new();
     let mut pc = 0;
     while pc < program.ops.len() {
@@ -374,7 +344,7 @@ pub fn plan_fusion(program: &KernelProgram) -> FusedPlan {
 /// Returns a description of the mismatch when the program's instructions
 /// at `fk.pcs` no longer form (exactly) this fused kernel.
 pub fn check_replaces(program: &KernelProgram, fk: &FusedKernel) -> Result<(), String> {
-    let u = reg_use(program);
+    let u = summarize(program);
     match match_at(program, &u, fk.pcs.start) {
         Some(m) if m == *fk => Ok(()),
         Some(m) => Err(format!(

@@ -704,6 +704,49 @@ pub fn run_task_ws(
     sp.arg("flops", tws.work.flops - flops_before);
 }
 
+/// Executes the compiled program for one task's edges exactly like
+/// [`run_task_ws`], additionally recording into `shadow` every accumulator
+/// row the task's `ScatterAdd` stores touch, as `(row, task)` pairs in
+/// store order. The shadow-memory sanitizer (`ExecMode::Sanitize` in
+/// [`crate::engine`]) merges these records into a per-cell last-writer map
+/// after the workers join and cross-checks them against the engine's merge
+/// contract. Every instruction runs through the interpreter's own
+/// [`exec_op`] step, so outputs stay bit-identical to the unshadowed path.
+///
+/// # Panics
+///
+/// Panics under the same conditions as [`run_task_ws`].
+#[allow(clippy::too_many_arguments)]
+pub fn run_task_ws_shadow(
+    program: &KernelProgram,
+    g: &Graph,
+    globals: &HashMap<String, Tensor>,
+    edges: &[usize],
+    out: &mut Tensor,
+    tws: &mut TaskWorkspace,
+    task: usize,
+    shadow: &mut Vec<(u32, u32)>,
+) {
+    let mut sp = span!(
+        "kernel.task.sanitize",
+        edges = edges.len(),
+        ops = program.ops.len()
+    );
+    tws.prepare(program.num_regs);
+    tws.work.tasks += 1;
+    tws.work.edges += edges.len() as u64;
+    let flops_before = tws.work.flops;
+    for op in &program.ops {
+        exec_op(program, op, g, globals, edges, out, tws);
+        if let MicroKernel::ScatterAdd { idx, .. } = op {
+            for &row in reg_stream(&tws.regs, *idx) {
+                shadow.push((row, task as u32));
+            }
+        }
+    }
+    sp.arg("flops", tws.work.flops - flops_before);
+}
+
 /// Executes a single micro-kernel instruction against the task workspace:
 /// the shared interpreter step behind [`run_task_ws`], also used for the
 /// non-fused segments of [`crate::fused::run_task_fused`].
@@ -1017,6 +1060,118 @@ pub fn accesses(op: &MicroKernel) -> (Vec<Reg>, Vec<Reg>) {
         MicroKernel::ScaleRows { x, s, out } => (vec![*x, *s], vec![*out]),
         MicroKernel::ScatterAdd { data, idx } => (vec![*data, *idx], vec![]),
     }
+}
+
+/// Names of the global tensors one instruction reads. Together with
+/// [`accesses`] this is the complete access set of a micro-kernel: named
+/// globals are read-only in task scope, and the only write target outside
+/// the register file is the task's accumulator (via `ScatterAdd`).
+pub fn global_inputs(op: &MicroKernel) -> Vec<&str> {
+    match op {
+        MicroKernel::GatherRows { src, .. }
+        | MicroKernel::Gather2DGlobal { src, .. }
+        | MicroKernel::GatherWeight { src, .. } => vec![src.as_str()],
+        MicroKernel::MatMatGlobal { w, .. }
+        | MicroKernel::PairwiseGlobal { w, .. } => vec![w.as_str()],
+        _ => vec![],
+    }
+}
+
+/// Whole-program access summary: per-register def/use program counters
+/// plus the global-buffer touch points of every instruction, all derived
+/// from [`accesses`] and the operands of the ops themselves.
+///
+/// One derivation serves both consumers — the fusion matcher's
+/// register-confinement checks in [`crate::fused`] and the
+/// schedule-interference pass in `wisegraph-analysis` — so the two can
+/// never drift apart on what a program touches.
+#[derive(Clone, Debug, Default)]
+pub struct AccessSummary {
+    /// Program counters reading each register, ascending.
+    pub reads: Vec<Vec<usize>>,
+    /// Program counters writing each register, ascending.
+    pub writes: Vec<Vec<usize>>,
+    /// `(pc, name)` for every read of a named global tensor.
+    pub global_reads: Vec<(usize, String)>,
+    /// `(pc, data, idx)` for every accumulator store.
+    pub scatter_stores: Vec<(usize, Reg, Reg)>,
+    /// For registers holding index streams, the edge attribute their
+    /// values are drawn from, when that provenance is statically exact:
+    /// `LoadStream` loads the attribute directly and `Unique`'s `values`
+    /// output keeps the value domain of its input stream. Anything else —
+    /// including multiply-written registers — is `None`.
+    pub stream_origin: Vec<Option<AttrKind>>,
+}
+
+impl AccessSummary {
+    /// `true` when register `r` is written exactly once, inside `lo..hi`,
+    /// and read only after that write and before `hi` — i.e. the value
+    /// never escapes the window, so skipping its materialization is
+    /// unobservable.
+    pub fn confined(&self, r: Reg, lo: usize, hi: usize) -> bool {
+        let w = &self.writes[r.0];
+        w.len() == 1
+            && w[0] >= lo
+            && w[0] < hi
+            && self.reads[r.0].iter().all(|&pc| pc > w[0] && pc < hi)
+    }
+}
+
+/// Builds the [`AccessSummary`] of a program. Registers outside the
+/// declared range grow the tables instead of panicking: the summary is
+/// also used to *diagnose* malformed programs.
+pub fn summarize(program: &KernelProgram) -> AccessSummary {
+    let max_reg = program
+        .ops
+        .iter()
+        .flat_map(|op| {
+            let (r, w) = accesses(op);
+            r.into_iter().chain(w)
+        })
+        .map(|Reg(r)| r + 1)
+        .max()
+        .unwrap_or(0)
+        .max(program.num_regs);
+    let mut s = AccessSummary {
+        reads: vec![Vec::new(); max_reg],
+        writes: vec![Vec::new(); max_reg],
+        global_reads: Vec::new(),
+        scatter_stores: Vec::new(),
+        stream_origin: vec![None; max_reg],
+    };
+    for (pc, op) in program.ops.iter().enumerate() {
+        let (reads, writes) = accesses(op);
+        for Reg(r) in reads {
+            s.reads[r].push(pc);
+        }
+        for Reg(w) in writes {
+            s.writes[w].push(pc);
+        }
+        for name in global_inputs(op) {
+            s.global_reads.push((pc, name.to_string()));
+        }
+        match op {
+            MicroKernel::LoadStream { attr, out } => {
+                s.stream_origin[out.0] = Some(*attr);
+            }
+            MicroKernel::Unique { stream, values, map } => {
+                s.stream_origin[values.0] = s.stream_origin[stream.0];
+                s.stream_origin[map.0] = None;
+            }
+            MicroKernel::ScatterAdd { data, idx } => {
+                s.scatter_stores.push((pc, *data, *idx));
+            }
+            _ => {}
+        }
+    }
+    // Provenance is only exact under single assignment; a multiply-written
+    // stream register could hold either origin at a use site.
+    for r in 0..max_reg {
+        if s.writes[r].len() != 1 {
+            s.stream_origin[r] = None;
+        }
+    }
+    s
 }
 
 /// Evaluates the epilogue: the DFG nodes after (or independent of) the

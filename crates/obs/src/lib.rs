@@ -61,6 +61,12 @@ pub mod keys {
     pub const POOL_RESIDENT: &str = "pool.resident_bytes";
     /// High-water mark of parked bytes ([`Resource`](crate::Class::Resource), max).
     pub const POOL_PEAK: &str = "pool.peak_resident_bytes";
+    /// Buffers currently checked out of the pool
+    /// ([`Resource`](crate::Class::Resource), gauge).
+    pub const POOL_OPEN_LEASES: &str = "pool.open_leases";
+    /// High-water mark of simultaneously checked-out buffers
+    /// ([`Resource`](crate::Class::Resource), max).
+    pub const POOL_PEAK_OPEN_LEASES: &str = "pool.peak_open_leases";
 
     /// High-water mark of parked bytes within one size class
     /// ([`Resource`](crate::Class::Resource), max).
@@ -112,6 +118,19 @@ pub mod keys {
 
     /// Engine worker slots used by an execution ([`Resource`](crate::Class::Resource), max).
     pub const ENGINE_THREADS: &str = "engine.threads";
+
+    /// Distinct accumulator cells the shadow sanitizer tracked
+    /// ([`Resource`](crate::Class::Resource), sum).
+    pub const SANITIZE_CELLS: &str = "sanitize.cells_tracked";
+    /// Row-writes the shadow sanitizer recorded and checked
+    /// ([`Resource`](crate::Class::Resource), sum).
+    pub const SANITIZE_WRITES: &str = "sanitize.writes_checked";
+    /// Cells legitimately written by more than one gTask, handled by the
+    /// deterministic merge ([`Resource`](crate::Class::Resource), sum).
+    pub const SANITIZE_SHARED_CELLS: &str = "sanitize.shared_cells";
+    /// Exclusive-ownership violations the sanitizer caught
+    /// ([`Resource`](crate::Class::Resource), sum).
+    pub const SANITIZE_CONFLICTS: &str = "sanitize.conflicts";
 
     /// Planning-cache lookups served from the store
     /// ([`Resource`](crate::Class::Resource), sum).

@@ -43,6 +43,9 @@ pub struct Workspace {
     peak_resident_bytes: u64,
     class_resident: Vec<u64>,
     class_peak: Vec<u64>,
+    leases_opened: u64,
+    leases_closed: u64,
+    peak_open_leases: u64,
 }
 
 /// Size class of a buffer length: index of the smallest power of two that
@@ -78,12 +81,28 @@ impl Workspace {
         self.class_resident[class] = self.class_resident[class].saturating_sub(bytes);
     }
 
+    fn note_lease_opened(&mut self) {
+        self.leases_opened += 1;
+        self.peak_open_leases = self.peak_open_leases.max(self.open_leases());
+    }
+
+    /// Buffers currently checked out: every `take*` opens a lease, every
+    /// `give*`/`recycle` closes one. The dynamic counterpart of the static
+    /// workspace-lifetime pass (analysis code R005): a value that keeps
+    /// growing across steady-state epochs means buffers leak out of the
+    /// pool instead of being returned. Saturates at zero when externally
+    /// allocated buffers are given to a pool that never leased them.
+    pub fn open_leases(&self) -> u64 {
+        self.leases_opened.saturating_sub(self.leases_closed)
+    }
+
     /// Checks out a zero-filled `f32` buffer of exactly `len` elements.
     ///
     /// The buffer's contents are indistinguishable from `vec![0.0; len]`;
     /// only its provenance differs.
     pub fn take(&mut self, len: usize) -> Vec<f32> {
         self.ensure_classes();
+        self.note_lease_opened();
         let class = size_class(len);
         match self.f32_pool[class].pop() {
             Some(mut v) => {
@@ -106,6 +125,7 @@ impl Workspace {
     /// (index streams).
     pub fn take_u32(&mut self, len: usize) -> Vec<u32> {
         self.ensure_classes();
+        self.note_lease_opened();
         let class = size_class(len);
         match self.u32_pool[class].pop() {
             Some(mut v) => {
@@ -126,6 +146,7 @@ impl Workspace {
 
     /// Returns an `f32` buffer to the pool.
     pub fn give(&mut self, v: Vec<f32>) {
+        self.leases_closed += 1;
         if v.capacity() == 0 {
             return;
         }
@@ -137,6 +158,7 @@ impl Workspace {
 
     /// Returns a `u32` buffer to the pool.
     pub fn give_u32(&mut self, v: Vec<u32>) {
+        self.leases_closed += 1;
         if v.capacity() == 0 {
             return;
         }
@@ -172,6 +194,12 @@ impl Workspace {
         c.add_class(keys::POOL_REUSED, self.reused, Class::Resource);
         c.add_class(keys::POOL_RESIDENT, self.resident_bytes, Class::Resource);
         c.record_max(keys::POOL_PEAK, self.peak_resident_bytes, Class::Resource);
+        c.add_class(keys::POOL_OPEN_LEASES, self.open_leases(), Class::Resource);
+        c.record_max(
+            keys::POOL_PEAK_OPEN_LEASES,
+            self.peak_open_leases,
+            Class::Resource,
+        );
         for (class, &peak) in self.class_peak.iter().enumerate() {
             if peak > 0 {
                 c.record_max(keys::pool_class_peak(class), peak, Class::Resource);
@@ -277,6 +305,24 @@ mod tests {
             (st.count(keys::POOL_CREATED), st.count(keys::POOL_REUSED)),
             (1, 1)
         );
+    }
+
+    #[test]
+    fn open_leases_track_checkouts_and_returns() {
+        let mut ws = Workspace::new();
+        assert_eq!(ws.open_leases(), 0);
+        let a = ws.take(8);
+        let b = ws.take_u32(8);
+        assert_eq!(ws.open_leases(), 2);
+        let s = ws.stats();
+        assert_eq!(s.count(keys::POOL_OPEN_LEASES), 2);
+        assert_eq!(s.count(keys::POOL_PEAK_OPEN_LEASES), 2);
+        ws.give(a);
+        ws.give_u32(b);
+        assert_eq!(ws.open_leases(), 0);
+        // The peak remembers the widest simultaneous checkout.
+        assert_eq!(ws.stats().count(keys::POOL_PEAK_OPEN_LEASES), 2);
+        assert_eq!(ws.stats().count(keys::POOL_OPEN_LEASES), 0);
     }
 
     #[test]

@@ -14,9 +14,11 @@
 # with warnings denied,
 # wisegraph-lint (the pre-execution plan/DFG/kernel/instrumentation/
 # fusion verifier, DESIGN.md §8) over every built-in model × partition
-# strategy, and wisegraph-prof --check (the counter-regression gate,
-# DESIGN.md §9: run-to-run and cross-thread determinism plus tolerance
-# bands against results/prof_baseline.json).
+# strategy — once human-readable and once as --json, whose stable machine
+# output is asserted to report zero errors (DESIGN.md §12) — and
+# wisegraph-prof --check (the counter-regression gate, DESIGN.md §9:
+# run-to-run and cross-thread determinism plus tolerance bands against
+# results/prof_baseline.json).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -27,4 +29,7 @@ cargo test --release -q --offline --test fused_parity
 cargo test --release -q --offline --test planning_cache
 cargo clippy --all-targets --offline --workspace -- -D warnings
 cargo run --release --offline --bin wisegraph-lint
+lint_json="$(cargo run --release --offline --bin wisegraph-lint -- --json)"
+grep -q '"tool": "wisegraph-lint"' <<<"$lint_json"
+grep -q '"errors": 0,' <<<"$lint_json"
 cargo run --release --offline --bin wisegraph-prof -- --check

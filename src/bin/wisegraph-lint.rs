@@ -7,8 +7,9 @@
 //!   and every repo rewrite (`cse`, `prune_dead`, each transformation
 //!   candidate) is checked for interface preservation;
 //! * every table from `enumerate_tables` is partitioned with the greedy
-//!   partitioner and the resulting plan, compiled program, and engine
-//!   chunk mapping are verified for several thread counts;
+//!   partitioner and the resulting plan, compiled program, engine chunk
+//!   mapping, and schedule-interference verdict (`R001`–`R005`) are
+//!   verified for several thread counts;
 //! * the span-instrumentation coverage of the execution entry points is
 //!   checked against the shipped sources (`O001`), so `wisegraph-prof`'s
 //!   timeline cannot silently lose its subjects;
@@ -20,11 +21,19 @@
 //! * every cached artifact type must have a registered byte-roundtrip
 //!   test in `tests/cache_roundtrip.rs` (`C002`), and incremental gTask
 //!   repair after a canned delta stream must verify identically to a
-//!   from-scratch partition of the live set (`C001`).
+//!   from-scratch partition of the live set (`C001`);
+//! * every model × table × 1/2/4-thread combination is *executed* under
+//!   the engine's `ExecMode::Sanitize` shadow-memory sanitizer and
+//!   cross-checked against the static interference verdict: a runtime
+//!   conflict the static pass declared safe is a hard error, and the
+//!   sanitized outputs must be bit-identical to `ExecMode::Auto`.
 //!
 //! Exits nonzero if any pass reports an error, printing each diagnostic;
-//! `scripts/verify.sh` runs this after the test suite.
+//! `scripts/verify.sh` runs this after the test suite. With `--json`, all
+//! human-readable output is replaced by a single machine-readable JSON
+//! document on stdout with a stable field order.
 
+use std::collections::HashMap;
 use std::process::ExitCode;
 use wisegraph::analysis::prelude::*;
 use wisegraph::analysis::verify_execution;
@@ -32,18 +41,116 @@ use wisegraph::dfg::passes::{cse, prune_dead};
 use wisegraph::dfg::transform;
 use wisegraph::dfg::Binding;
 use wisegraph::graph::generate::{rmat, RmatParams};
+use wisegraph::graph::Graph;
 use wisegraph::gtask::restriction::enumerate_tables;
 use wisegraph::gtask::{partition, GraphDelta, IncrementalPlan};
+use wisegraph::kernels::engine::{execute_parallel_mode, Engine, ExecMode};
 use wisegraph::kernels::micro::{compile, plan_is_dst_complete};
 use wisegraph::models::ModelKind;
+use wisegraph::tensor::{init, Tensor};
 
 /// Thread counts the chunk-mapping pass is exercised with.
 const THREAD_COUNTS: [usize; 3] = [1, 2, 8];
 
+/// Thread counts the shadow-memory sanitizer pass executes with.
+const SANITIZE_THREADS: [usize; 3] = [1, 2, 4];
+
 /// `Exact(k)` batch sizes for table enumeration.
 const BATCH_SIZES: [u64; 2] = [4, 32];
 
+/// Feature dims for the lint models (matches `wisegraph-prof`).
+const DIMS: (usize, usize) = (8, 6);
+
+/// Collects diagnostics for both output formats: human lines as they
+/// happen (unless `--json`), plus a structured record list rendered once
+/// at the end.
+struct Sink {
+    json: bool,
+    errors: usize,
+    warnings: usize,
+    records: Vec<(String, Diagnostic)>,
+}
+
+impl Sink {
+    fn report(&mut self, ctx: &str, report: &Report) {
+        for d in &report.diagnostics {
+            if !self.json {
+                println!("{ctx}: {d}");
+            }
+            self.records.push((ctx.to_string(), d.clone()));
+        }
+        self.errors += report.error_count();
+        self.warnings += report.warning_count();
+    }
+
+    fn say(&self, line: String) {
+        if !self.json {
+            println!("{line}");
+        }
+    }
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars).
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Every global any model layer reads; engines ignore unused entries.
+/// Mirrors `wisegraph-prof`'s fixture so lint and prof sanitize the same
+/// workloads.
+fn globals_for(g: &Graph, fi: usize, fo: usize) -> HashMap<String, Tensor> {
+    let mut m = HashMap::new();
+    m.insert(
+        "h".to_string(),
+        init::uniform_tensor(&[g.num_vertices(), fi], -1.0, 1.0, 1),
+    );
+    m.insert(
+        "W".to_string(),
+        init::uniform_tensor(&[g.num_edge_types(), fi, fo], -1.0, 1.0, 2),
+    );
+    m.insert("w".to_string(), init::uniform_tensor(&[fi, fo], -1.0, 1.0, 3));
+    m.insert(
+        "w_self".to_string(),
+        init::uniform_tensor(&[fi, fo], -1.0, 1.0, 4),
+    );
+    m.insert(
+        "w_neigh".to_string(),
+        init::uniform_tensor(&[fi, fo], -1.0, 1.0, 5),
+    );
+    m.insert(
+        "a_src".to_string(),
+        init::uniform_tensor(&[fo, 1], -1.0, 1.0, 6),
+    );
+    m.insert(
+        "a_dst".to_string(),
+        init::uniform_tensor(&[fo, 1], -1.0, 1.0, 7),
+    );
+    m
+}
+
 fn main() -> ExitCode {
+    let mut json = false;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--json" => json = true,
+            other => {
+                eprintln!("wisegraph-lint: unknown argument `{other}` (accepted: --json)");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
     let params = RmatParams {
         num_vertices: 300,
         num_edges: 2400,
@@ -55,32 +162,30 @@ fn main() -> ExitCode {
     };
     let g = rmat(&params);
     let binding = Binding::from_graph(&g);
-    println!(
+    let mut sink = Sink {
+        json,
+        errors: 0,
+        warnings: 0,
+        records: Vec::new(),
+    };
+    sink.say(format!(
         "wisegraph-lint: RMAT graph with {} vertices, {} edges, {} edge types",
         g.num_vertices(),
         g.num_edges(),
         g.num_edge_types()
-    );
+    ));
 
-    let mut errors = 0usize;
-    let mut warnings = 0usize;
     let mut combos = 0usize;
     let mut skipped = 0usize;
-    let fail = |ctx: &str, report: &Report, errors: &mut usize, warnings: &mut usize| {
-        for d in &report.diagnostics {
-            println!("{ctx}: {d}");
-        }
-        *errors += report.error_count();
-        *warnings += report.warning_count();
-    };
 
-    for model in [
+    let models = [
         ModelKind::Gcn,
         ModelKind::Rgcn,
         ModelKind::Gat,
         ModelKind::Sage,
-    ] {
-        let dfg = model.layer_dfg(8, 6);
+    ];
+    for model in models {
+        let dfg = model.layer_dfg(DIMS.0, DIMS.1);
 
         // Pass 1: the model DFG itself.
         let mut dfg_report = Report::new();
@@ -93,7 +198,7 @@ fn main() -> ExitCode {
             dfg_report.extend(verify_rewrite(&dfg, cand, &format!("candidate #{ci}")));
             dfg_report.extend(verify_dfg(cand, Some(&binding)));
         }
-        fail(&format!("{model:?}"), &dfg_report, &mut errors, &mut warnings);
+        sink.report(&format!("{model:?}"), &dfg_report);
 
         // Pass 3: every candidate table × thread count.
         let indexing: Vec<_> = effective_indexing_attrs(&dfg).into_iter().collect();
@@ -114,11 +219,9 @@ fn main() -> ExitCode {
                 combos += 1;
                 let report = verify_execution(&dfg, &g, &plan, threads);
                 if !report.is_clean() || report.warning_count() > 0 {
-                    fail(
+                    sink.report(
                         &format!("{model:?} × [{table}] × {threads} threads"),
                         &report,
-                        &mut errors,
-                        &mut warnings,
                     );
                 }
             }
@@ -131,11 +234,11 @@ fn main() -> ExitCode {
     // by reporting the unreadable files.
     let obs_report =
         verify_instrumentation(std::path::Path::new(env!("CARGO_MANIFEST_DIR")));
-    fail("instrumentation", &obs_report, &mut errors, &mut warnings);
-    println!(
+    sink.report("instrumentation", &obs_report);
+    sink.say(format!(
         "wisegraph-lint: instrumentation coverage checked for {} source files",
         wisegraph::analysis::obscheck::REQUIRED.len()
-    );
+    ));
 
     // Pass 5: every fusion pattern must register an interpreter-parity
     // test in the differential harness (K006).
@@ -143,11 +246,11 @@ fn main() -> ExitCode {
     registry_report.extend(verify_fused_parity_registry(std::path::Path::new(env!(
         "CARGO_MANIFEST_DIR"
     ))));
-    fail("fused parity registry", &registry_report, &mut errors, &mut warnings);
-    println!(
+    sink.report("fused parity registry", &registry_report);
+    sink.say(format!(
         "wisegraph-lint: {} fusion patterns checked against tests/fused_parity.rs",
         wisegraph::kernels::fused::FusedPattern::ALL.len()
-    );
+    ));
 
     // Pass 6: every cached artifact type must register a byte-roundtrip
     // test in tests/cache_roundtrip.rs (C002), and incremental repair must
@@ -177,19 +280,159 @@ fn main() -> ExitCode {
         cache_report.extend(verify_repair(&g, &table, &live, &snap));
         repairs += 1;
     }
-    fail("planning cache", &cache_report, &mut errors, &mut warnings);
-    println!(
+    sink.report("planning cache", &cache_report);
+    sink.say(format!(
         "wisegraph-lint: {} cached artifact types checked against \
          tests/cache_roundtrip.rs, {repairs} incremental repairs verified",
         wisegraph::cache::CachedArtifact::ALL.len()
-    );
+    ));
 
-    println!(
+    // Pass 7: shadow-memory sanitizer cross-check. Every model × table ×
+    // 1/2/4-thread combination actually executes under ExecMode::Sanitize;
+    // the dynamic per-cell last-writer records must agree with the static
+    // interference verdict (a runtime conflict the static pass declared
+    // safe is a hard error), and the sanitized outputs must be
+    // bit-identical to ExecMode::Auto.
+    let globals = globals_for(&g, DIMS.0, DIMS.1);
+    let mut sanitized = 0usize;
+    for model in models {
+        let dfg = model.layer_dfg(DIMS.0, DIMS.1);
+        let indexing: Vec<_> = effective_indexing_attrs(&dfg).into_iter().collect();
+        let dst_complete_only = compile(&dfg, &g)
+            .map(|p| p.requires_dst_complete)
+            .unwrap_or(false);
+        for table in enumerate_tables(&indexing, &BATCH_SIZES) {
+            let plan = partition(&g, &table);
+            if dst_complete_only && !plan_is_dst_complete(&g, &plan) {
+                continue;
+            }
+            for threads in SANITIZE_THREADS {
+                sanitized += 1;
+                let ctx = format!(
+                    "sanitize {model:?} × [{table}] × {threads} threads"
+                );
+                let static_report = verify_execution(&dfg, &g, &plan, threads);
+                let mut dyn_report = Report::new();
+                let engine = Engine::with_mode(threads, ExecMode::Sanitize);
+                match engine.execute(&dfg, &g, &plan, &globals) {
+                    Ok(out) => {
+                        let rep = engine
+                            .last_sanitize()
+                            .expect("sanitized run must leave a report");
+                        if !rep.conflicts.is_empty() && static_report.is_clean() {
+                            dyn_report.push(Diagnostic::error(
+                                Code::ScheduleWriteOverlap,
+                                Span::Global,
+                                format!(
+                                    "shadow sanitizer observed {} exclusive-\
+                                     ownership conflict(s) on a schedule the \
+                                     static interference pass declared safe",
+                                    rep.conflicts.len()
+                                ),
+                            ));
+                        }
+                        match execute_parallel_mode(
+                            &dfg, &g, &plan, &globals, threads, ExecMode::Auto,
+                        ) {
+                            Ok(auto) => {
+                                let identical = out.len() == auto.len()
+                                    && out
+                                        .iter()
+                                        .zip(auto.iter())
+                                        .all(|(a, b)| a.data() == b.data());
+                                if !identical {
+                                    dyn_report.push(Diagnostic::error(
+                                        Code::ScheduleFusedDivergence,
+                                        Span::Global,
+                                        "Sanitize-mode outputs are not \
+                                         bit-identical to Auto-mode outputs",
+                                    ));
+                                }
+                            }
+                            Err(e) => dyn_report.push(Diagnostic::error(
+                                Code::ScheduleFusedDivergence,
+                                Span::Global,
+                                format!(
+                                    "Auto mode rejected a combination the \
+                                     sanitizer executed: {e}"
+                                ),
+                            )),
+                        }
+                    }
+                    Err(e) => {
+                        if static_report.is_clean() {
+                            dyn_report.push(Diagnostic::error(
+                                Code::ScheduleWriteOverlap,
+                                Span::Global,
+                                format!(
+                                    "sanitized execution failed on a schedule \
+                                     the static interference pass declared \
+                                     safe: {e}"
+                                ),
+                            ));
+                        }
+                    }
+                }
+                if !dyn_report.is_clean() {
+                    sink.report(&ctx, &dyn_report);
+                }
+            }
+        }
+    }
+    sink.say(format!(
+        "wisegraph-lint: {sanitized} combinations executed under the shadow \
+         sanitizer and cross-checked against the static verdict"
+    ));
+
+    sink.say(format!(
         "wisegraph-lint: {combos} model×strategy×threads combinations verified, \
-         {skipped} dst-incomplete combinations skipped, {errors} error(s), \
-         {warnings} warning(s)"
-    );
-    if errors > 0 {
+         {skipped} dst-incomplete combinations skipped, {} error(s), \
+         {} warning(s)",
+        sink.errors, sink.warnings
+    ));
+
+    if json {
+        // Stable field order: tool, graph, combos, skipped,
+        // sanitize_combos, errors, warnings, diagnostics.
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str("  \"tool\": \"wisegraph-lint\",\n");
+        out.push_str(&format!(
+            "  \"graph\": {{\"vertices\": {}, \"edges\": {}, \"edge_types\": {}}},\n",
+            g.num_vertices(),
+            g.num_edges(),
+            g.num_edge_types()
+        ));
+        out.push_str(&format!("  \"combos\": {combos},\n"));
+        out.push_str(&format!("  \"skipped\": {skipped},\n"));
+        out.push_str(&format!("  \"sanitize_combos\": {sanitized},\n"));
+        out.push_str(&format!("  \"errors\": {},\n", sink.errors));
+        out.push_str(&format!("  \"warnings\": {},\n", sink.warnings));
+        out.push_str("  \"diagnostics\": [");
+        for (i, (ctx, d)) in sink.records.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    {");
+            out.push_str(&format!("\"context\": \"{}\", ", esc(ctx)));
+            out.push_str(&format!("\"severity\": \"{}\", ", d.severity));
+            out.push_str(&format!("\"code\": \"{}\", ", d.code));
+            out.push_str(&format!("\"span\": \"{}\", ", esc(&d.span.to_string())));
+            out.push_str(&format!("\"message\": \"{}\", ", esc(&d.message)));
+            match &d.suggestion {
+                Some(s) => out.push_str(&format!("\"suggestion\": \"{}\"", esc(s))),
+                None => out.push_str("\"suggestion\": null"),
+            }
+            out.push('}');
+        }
+        if !sink.records.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("]\n}");
+        println!("{out}");
+    }
+
+    if sink.errors > 0 {
         ExitCode::FAILURE
     } else {
         ExitCode::SUCCESS

@@ -22,7 +22,12 @@
 //!   `planning_warm`) covering partition + transform + compile, and the
 //!   cache's Resource-class hit/miss/hit-rate counters under
 //!   `planning.<model>.` — deterministic, so the baseline gate holds the
-//!   warm path to a 100% hit rate.
+//!   warm path to a 100% hit rate;
+//! * a shadow-sanitizer accounting section: per model, the first
+//!   compatible table executes once under `ExecMode::Sanitize`, and the
+//!   sanitizer's Resource-class counters (cells tracked, writes checked,
+//!   shared accumulator cells, conflicts) land under `sanitize.<model>.`
+//!   in the baseline (DESIGN.md §12).
 //!
 //! Modes:
 //!
@@ -310,6 +315,32 @@ fn run_suite(threads: usize, time_reps: usize) -> SuiteRun {
                 samples: warm,
             });
         }
+    }
+
+    // Sanitize shadow run: per model, the first compatible table executes
+    // once under `ExecMode::Sanitize`, so the shadow-memory accounting
+    // (cells tracked, writes checked, shared accumulator cells, conflicts)
+    // lands in the baseline under `sanitize.<slug>.`. The sanitize keys
+    // are Resource-class, so gate (b)'s Work-invariance view is
+    // unaffected; at a fixed thread count they are deterministic and
+    // gate (a) holds them bit-exactly.
+    for (model, slug) in models() {
+        let dfg = model.layer_dfg(fi, fo);
+        let dst_complete_only = compile(&dfg, &g)
+            .map(|p| p.requires_dst_complete)
+            .unwrap_or(false);
+        let Some(plan) = tables().into_iter().find_map(|(_, table)| {
+            let plan = partition(&g, &table);
+            (!dst_complete_only || plan_is_dst_complete(&g, &plan)).then_some(plan)
+        }) else {
+            continue;
+        };
+        let engine = Engine::with_mode(threads, ExecMode::Sanitize);
+        engine
+            .execute(&dfg, &g, &plan, &globals)
+            .expect("sanitized combination executes");
+        run.all
+            .merge_prefixed(&format!("sanitize.{slug}"), &engine.stats());
     }
     run
 }

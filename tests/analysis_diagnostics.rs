@@ -1,8 +1,10 @@
 //! Broken-fixture tests for the static verifier: each fixture violates
 //! exactly one invariant and must trigger the documented diagnostic code
 //! (DESIGN.md §8). Together they cover every code the verifier can emit,
-//! P001–P004, D001–D003, K001–K006, O001, and C001–C002, plus a clean
-//! positive control.
+//! P001–P004, D001–D003, K001–K006, O001, C001–C002, and R001–R005, plus
+//! a clean positive control. The R001 fixture additionally runs under the
+//! engine's `ExecMode::Sanitize` shadow-memory sanitizer and asserts the
+//! *same* conflict is caught dynamically (DESIGN.md §12).
 
 use std::collections::BTreeMap;
 use wisegraph::analysis::prelude::*;
@@ -324,6 +326,183 @@ fn c002_missing_roundtrip_harness() {
     assert!(verify_cache_roundtrip_registry(repo).is_empty());
 }
 
+// ------------------------------------------- schedule interference (R)
+
+/// The shared negative fixture for R001: GAT's softmax normalization
+/// demands exclusive ownership of each destination row, but `edge_batch(3)`
+/// splits destinations across tasks, and with 2 worker slots the overlap
+/// lands cross-slot.
+fn gat_split_destination_fixture() -> (Graph, wisegraph::dfg::Dfg, PartitionPlan) {
+    let g = paper_graph();
+    let dfg = ModelKind::Gat.layer_dfg(8, 4);
+    let plan = partition(&g, &PartitionTable::edge_batch(3));
+    assert!(!plan_is_dst_complete(&g, &plan));
+    (g, dfg, plan)
+}
+
+#[test]
+fn r001_cross_slot_write_overlap() {
+    let (g, dfg, plan) = gat_split_destination_fixture();
+    let prog = compile(&dfg, &g).expect("GAT compiles");
+    let diags = verify_interference(&g, &plan, &prog, 2);
+    assert!(
+        has(&diags, Code::ScheduleWriteOverlap, "accumulator row"),
+        "{diags:#?}"
+    );
+    assert_eq!(Code::ScheduleWriteOverlap.as_str(), "R001");
+    // On one worker slot the overlap is sequential: no R001 (K004 covers
+    // the dst-completeness violation separately).
+    assert!(
+        !verify_interference(&g, &plan, &prog, 1)
+            .iter()
+            .any(|d| d.code == Code::ScheduleWriteOverlap)
+    );
+}
+
+#[test]
+fn r001_sanitizer_catches_the_same_conflict_dynamically() {
+    use wisegraph::kernels::engine::{Engine, ExecMode};
+    use wisegraph::tensor::init;
+    let (g, dfg, plan) = gat_split_destination_fixture();
+    let prog = compile(&dfg, &g).expect("GAT compiles");
+    // Static verdict first: the interference pass flags the schedule.
+    assert!(verify_interference(&g, &plan, &prog, 2)
+        .iter()
+        .any(|d| d.code == Code::ScheduleWriteOverlap));
+    // Dynamic cross-check: the shadow-memory sanitizer observes the same
+    // exclusive-ownership conflict at runtime and hard-errors.
+    let mut globals = std::collections::HashMap::new();
+    globals.insert(
+        "h".to_string(),
+        init::uniform_tensor(&[g.num_vertices(), 8], -1.0, 1.0, 1),
+    );
+    globals.insert("w".to_string(), init::uniform_tensor(&[8, 4], -1.0, 1.0, 2));
+    globals.insert("a_src".to_string(), init::uniform_tensor(&[4, 1], -1.0, 1.0, 3));
+    globals.insert("a_dst".to_string(), init::uniform_tensor(&[4, 1], -1.0, 1.0, 4));
+    let engine = Engine::with_mode(2, ExecMode::Sanitize);
+    let err = engine
+        .execute(&dfg, &g, &plan, &globals)
+        .expect_err("sanitizer must reject the split-destination schedule");
+    assert!(err.to_string().contains("sanitizer"), "{err}");
+    let rep = engine.last_sanitize().expect("report survives the error");
+    assert!(!rep.conflicts.is_empty());
+}
+
+#[test]
+fn r002_unresolvable_scatter_provenance() {
+    // The scatter destination stream is an Elementwise output, not a
+    // loaded edge attribute: no task's write rows can be derived.
+    let g = paper_graph();
+    let plan = partition(&g, &PartitionTable::edge_centric());
+    let prog = raw_program(
+        vec![
+            MicroKernel::LoadStream {
+                attr: AttrKind::SrcId,
+                out: Reg(0),
+            },
+            MicroKernel::Elementwise {
+                op: EwOp::Relu,
+                a: Reg(0),
+                b: None,
+                out: Reg(1),
+            },
+            MicroKernel::ScatterAdd {
+                data: Reg(0),
+                idx: Reg(1),
+            },
+        ],
+        2,
+    );
+    let diags = verify_interference(&g, &plan, &prog, 2);
+    assert!(
+        has(&diags, Code::ScheduleReadWrite, "provenance"),
+        "{diags:#?}"
+    );
+    assert_eq!(Code::ScheduleReadWrite.as_str(), "R002");
+}
+
+#[test]
+fn r003_slot_collisions() {
+    // Two chunks mapped onto one worker slot race on its workspace.
+    let diags = verify_slot_assignment(&[0, 0], 2);
+    assert!(
+        has(&diags, Code::ScheduleSlotCollision, "share worker slot"),
+        "{diags:#?}"
+    );
+    // A slot index past the engine's worker count is R003 too.
+    let diags = verify_slot_assignment(&[5], 2);
+    assert!(has(&diags, Code::ScheduleSlotCollision, "only"), "{diags:#?}");
+    assert_eq!(Code::ScheduleSlotCollision.as_str(), "R003");
+    // The engine's identity assignment is clean.
+    assert!(verify_slot_assignment(&[0, 1, 2], 3).is_empty());
+}
+
+#[test]
+fn r004_fused_segment_diverging_from_interpreted_accesses() {
+    use wisegraph::kernels::fused::{plan_fusion, FusedOp, Segment};
+    let g = paper_graph();
+    let dfg = ModelKind::Gcn.layer_dfg(8, 4);
+    let prog = compile(&dfg, &g).expect("GCN compiles");
+    let mut fplan = plan_fusion(&prog);
+    assert!(fplan.num_fused() > 0, "GCN must fuse for this fixture");
+    // The honest plan agrees with the interpreted access sets.
+    assert!(verify_fused_access(&prog, &fplan).is_empty());
+    // Rewire the first fused segment's scatter stream: the fused ExecMode
+    // would now write via a different stream than the interpreter.
+    for seg in &mut fplan.segments {
+        if let Segment::Fused(fk) = seg {
+            match &mut fk.op {
+                FusedOp::SegmentReduce { dst_idx, .. }
+                | FusedOp::EdgeBatchMatmul { dst_idx, .. }
+                | FusedOp::PerTypeBatchedMatmul { dst_idx, .. } => *dst_idx = Reg(97),
+            }
+            break;
+        }
+    }
+    let diags = verify_fused_access(&prog, &fplan);
+    assert!(
+        has(&diags, Code::ScheduleFusedDivergence, "scatters by stream"),
+        "{diags:#?}"
+    );
+    assert_eq!(Code::ScheduleFusedDivergence.as_str(), "R004");
+}
+
+#[test]
+fn r005_workspace_lifetime_violations() {
+    // r0 is leased twice with the first buffer never consumed, then read
+    // after the overwrite released it: both R005 shapes in one program.
+    let prog = raw_program(
+        vec![
+            MicroKernel::LoadStream {
+                attr: AttrKind::SrcId,
+                out: Reg(0),
+            },
+            MicroKernel::LoadStream {
+                attr: AttrKind::DstId,
+                out: Reg(0),
+            },
+            MicroKernel::Elementwise {
+                op: EwOp::Relu,
+                a: Reg(0),
+                b: None,
+                out: Reg(1),
+            },
+        ],
+        2,
+    );
+    let diags = verify_workspace_lifetime(&prog);
+    assert!(has(&diags, Code::WorkspaceLifetime, "double-lease"), "{diags:#?}");
+    assert!(
+        has(&diags, Code::WorkspaceLifetime, "use-after-release"),
+        "{diags:#?}"
+    );
+    assert_eq!(Code::WorkspaceLifetime.as_str(), "R005");
+    // Compiled programs are SSA by construction: clean.
+    let g = paper_graph();
+    let compiled = compile(&ModelKind::Gcn.layer_dfg(8, 4), &g).unwrap();
+    assert!(verify_workspace_lifetime(&compiled).is_empty());
+}
+
 // ------------------------------------------------------------- controls
 
 #[test]
@@ -369,10 +548,15 @@ fn every_documented_code_has_a_triggering_fixture() {
         Code::ObsUncovered,
         Code::RepairDivergence,
         Code::CacheArtifactUntested,
+        Code::ScheduleWriteOverlap,
+        Code::ScheduleReadWrite,
+        Code::ScheduleSlotCollision,
+        Code::ScheduleFusedDivergence,
+        Code::WorkspaceLifetime,
     ];
     let strs: Vec<&str> = covered.iter().map(|c| c.as_str()).collect();
-    for family in ["P", "D", "K", "O", "C"] {
+    for family in ["P", "D", "K", "O", "C", "R"] {
         assert!(strs.iter().any(|s| s.starts_with(family)));
     }
-    assert_eq!(strs.len(), 16);
+    assert_eq!(strs.len(), 21);
 }
