@@ -31,7 +31,11 @@
 //!   worker slots, fused-vs-interpreted access divergence, and workspace
 //!   lifetime (use-after-release / double-lease) over pooled registers
 //!   (codes `R...`); the dynamic counterpart is the engine's
-//!   `ExecMode::Sanitize` shadow-memory sanitizer.
+//!   `ExecMode::Sanitize` shadow-memory sanitizer;
+//! - [`sharding`]: sharded multi-device invariants — vertex-shard tiling
+//!   and exactly-once edge coverage of the per-device filtered plans,
+//!   collective exchange conservation, and placement/program
+//!   compatibility (codes `S...`).
 //!
 //! [`verify_execution`] composes all applicable passes for one
 //! (DFG, graph, plan, engine) combination; the `wisegraph-lint` binary
@@ -44,6 +48,7 @@ pub mod kernel;
 pub mod obscheck;
 pub mod plan;
 pub mod repair;
+pub mod sharding;
 
 use std::fmt;
 use wisegraph_dfg::{Binding, Dfg};
@@ -140,6 +145,16 @@ pub enum Code {
     /// (use-after-release): the single-assignment discipline backing the
     /// workspace pool's recycle-on-overwrite semantics is broken.
     WorkspaceLifetime,
+    /// The vertex shard does not tile the vertex space, or the
+    /// per-device destination-filtered plans do not cover every edge
+    /// exactly once with task slots preserved.
+    ShardCoverage,
+    /// A collective exchange log is not conserved: a sent message has no
+    /// matching receipt (or vice versa).
+    ExchangeConservation,
+    /// A placement schedule was asked to run a program whose access
+    /// structure it cannot partition.
+    PlacementIncompatible,
 }
 
 impl Code {
@@ -167,6 +182,9 @@ impl Code {
             Code::ScheduleSlotCollision => "R003",
             Code::ScheduleFusedDivergence => "R004",
             Code::WorkspaceLifetime => "R005",
+            Code::ShardCoverage => "S001",
+            Code::ExchangeConservation => "S002",
+            Code::PlacementIncompatible => "S003",
         }
     }
 }
@@ -192,6 +210,8 @@ pub enum Span {
     KernelOp(usize),
     /// One engine chunk, by worker-slot index.
     Chunk(usize),
+    /// One simulated device, by index in the cluster.
+    Device(usize),
 }
 
 impl fmt::Display for Span {
@@ -203,6 +223,7 @@ impl fmt::Display for Span {
             Span::Node(n) => write!(f, "node {n}"),
             Span::KernelOp(j) => write!(f, "kernel op {j}"),
             Span::Chunk(c) => write!(f, "chunk {c}"),
+            Span::Device(d) => write!(f, "device {d}"),
         }
     }
 }
@@ -400,6 +421,7 @@ pub mod prelude {
     pub use crate::obscheck::verify_instrumentation;
     pub use crate::plan::verify_plan;
     pub use crate::repair::{verify_cache_roundtrip_registry, verify_repair};
+    pub use crate::sharding::{verify_exchange, verify_placement, verify_shard_coverage};
     pub use crate::{Code, Diagnostic, Report, Severity, Span};
 }
 

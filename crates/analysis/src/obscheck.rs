@@ -32,10 +32,20 @@ pub const REQUIRED: &[(&str, &[&str])] = &[
         &[
             "execute",
             "execute_program",
+            "execute_program_with_prologue",
+            "accumulate_program",
             "execute_parallel",
             "execute_parallel_mode",
             "execute_parallel_alloc",
         ],
+    ),
+    (
+        "crates/kernels/src/cluster.rs",
+        &["execute", "execute_program", "run_devices"],
+    ),
+    (
+        "crates/core/src/sharded.rs",
+        &["select_placement", "execute_sharded"],
     ),
     (
         "crates/kernels/src/micro.rs",

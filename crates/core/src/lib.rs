@@ -25,6 +25,9 @@
 //!   §6.3), producing the final `OptimizedModel` estimate;
 //! - [`multi`]: multi-device operation placement driven by the
 //!   changing-data-volume pattern (Table 2, Figure 20);
+//! - [`sharded`]: real sharded multi-device execution — placement
+//!   selection over the compatible schedules of a compiled layer, run on
+//!   a `wisegraph_kernels::cluster::ClusterEngine`;
 //! - [`sampled`]: sampled-graph training support — plan reuse across
 //!   subgraphs and overlapped partitioning (Figure 21);
 //! - [`trainer`]: full-graph training driver for the accuracy experiments
@@ -36,8 +39,10 @@ pub mod multi;
 pub mod optimizer;
 pub mod plan;
 pub mod sampled;
+pub mod sharded;
 pub mod trainer;
 
 pub use dynamic::{DynamicPlanner, RepairOutcome};
+pub use sharded::{execute_sharded, select_placement, PlacementChoice};
 pub use optimizer::{OptimizedModel, SearchStage, SearchTrace, WiseGraph};
 pub use plan::{ExecutionPlan, PlanEstimate};

@@ -15,6 +15,8 @@
 //!   training experiments (PA-S / FS-S, Figure 21);
 //! - [`reorder`]: lightweight Metis/Rabbit-style vertex reorderings that the
 //!   paper positions as composable with gTask partitioning (§4.3);
+//! - [`shard`]: contiguous vertex-range sharding with halo/remote-unique
+//!   index sets for multi-device execution (§5.4);
 //! - [`io`]: text edge-list and compact binary graph serialization.
 
 pub mod attr;
@@ -26,9 +28,11 @@ pub mod io;
 pub mod multilevel;
 pub mod reorder;
 pub mod sample;
+pub mod shard;
 pub mod stats;
 
 pub use attr::AttrKind;
 pub use csr::Csr;
 pub use datasets::{DatasetKind, DatasetSpec};
 pub use graph::Graph;
+pub use shard::{ShardSpec, SrcGroups};

@@ -1,0 +1,254 @@
+//! Vertex-range sharding for multi-device execution (paper §5.4).
+//!
+//! Devices own contiguous destination-vertex ranges — the same
+//! `ceil(|V| / D)` chunking the multi-device cost model's
+//! `max_remote_unique_src` assumes — so the owner of a vertex (and of its
+//! embedding row, and of its row in every reduction output) is a pure
+//! function of the vertex id. The graph *structure* is replicated on every
+//! device; only embeddings and reduction rows are partitioned. From the
+//! replicated structure each device derives, deterministically, both its
+//! own halo (the remote sources its edges gather from) and every peer's,
+//! which is what lets the push-style collectives in `kernels::cluster` run
+//! without a handshake round.
+
+use crate::graph::Graph;
+use std::ops::Range;
+
+/// A contiguous vertex-range sharding over `num_shards` devices.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ShardSpec {
+    num_vertices: usize,
+    num_shards: usize,
+    chunk: usize,
+}
+
+impl ShardSpec {
+    /// Shards `num_vertices` vertices over `num_shards` devices in
+    /// contiguous ranges of `ceil(num_vertices / num_shards)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_shards == 0`.
+    pub fn new(num_vertices: usize, num_shards: usize) -> Self {
+        assert!(num_shards > 0, "need at least one shard");
+        Self {
+            num_vertices,
+            num_shards,
+            chunk: num_vertices.div_ceil(num_shards).max(1),
+        }
+    }
+
+    /// Number of shards (devices).
+    pub fn num_shards(&self) -> usize {
+        self.num_shards
+    }
+
+    /// Total vertices being sharded.
+    pub fn num_vertices(&self) -> usize {
+        self.num_vertices
+    }
+
+    /// The shard owning vertex `v` — identical to the cost model's
+    /// `(v / chunk).min(d - 1)` convention, so predicted and executed
+    /// remote-unique volumes agree by construction.
+    pub fn owner(&self, v: u32) -> usize {
+        (v as usize / self.chunk).min(self.num_shards - 1)
+    }
+
+    /// The contiguous vertex range shard `d` owns. Trailing shards may own
+    /// an empty range when `num_shards` exceeds the vertex count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d >= num_shards`.
+    pub fn owned_range(&self, d: usize) -> Range<usize> {
+        assert!(d < self.num_shards, "shard {d} out of range");
+        let start = (d * self.chunk).min(self.num_vertices);
+        let end = if d + 1 == self.num_shards {
+            self.num_vertices
+        } else {
+            ((d + 1) * self.chunk).min(self.num_vertices)
+        };
+        start..end
+    }
+
+    /// The sources shard `d`'s edges gather from that live on other
+    /// shards: sorted, deduplicated — the halo rows a data-parallel
+    /// all-to-all must deliver to `d`. Edges are attributed to the shard
+    /// owning their *destination*.
+    pub fn remote_unique_src(&self, g: &Graph, d: usize) -> Vec<u32> {
+        let own = self.owned_range(d);
+        let mut remote: Vec<u32> = g
+            .src()
+            .iter()
+            .zip(g.dst().iter())
+            .filter(|&(&s, &d_)| {
+                self.owner(d_) == d && !(own.start..own.end).contains(&(s as usize))
+            })
+            .map(|(&s, _)| s)
+            .collect();
+        remote.sort_unstable();
+        remote.dedup();
+        remote
+    }
+
+    /// Largest remote-unique-source count over all shards — the quantity
+    /// the all-to-all volume formulas charge for.
+    pub fn max_remote_unique_src(&self, g: &Graph) -> usize {
+        (0..self.num_shards)
+            .map(|d| self.remote_unique_src(g, d).len())
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Edge ids whose destination shard is `d` — the edge subset of `d`'s
+    /// data-parallel plan.
+    pub fn owned_dst_edges(&self, g: &Graph, d: usize) -> Vec<usize> {
+        g.dst()
+            .iter()
+            .enumerate()
+            .filter(|&(_, &v)| self.owner(v) == d)
+            .map(|(e, _)| e)
+            .collect()
+    }
+}
+
+/// A fixed decomposition of the vertex id space into `num_groups`
+/// contiguous source ranges, *independent of the device count*: the
+/// compute-then-reduce schedule partitions edges by source group and sums
+/// the per-group partial aggregates in ascending global group order, so
+/// its float summation sequence — and therefore its output bits — do not
+/// change when the groups are re-distributed over a different number of
+/// devices.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SrcGroups {
+    spec: ShardSpec,
+}
+
+impl SrcGroups {
+    /// The canonical group count. Eight divides evenly over the 1/2/4/8
+    /// device sweeps the determinism suite runs.
+    pub const CANONICAL: usize = 8;
+
+    /// Decomposes `num_vertices` sources into `num_groups` contiguous
+    /// ranges.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_groups == 0`.
+    pub fn new(num_vertices: usize, num_groups: usize) -> Self {
+        Self {
+            spec: ShardSpec::new(num_vertices, num_groups),
+        }
+    }
+
+    /// Number of groups.
+    pub fn num_groups(&self) -> usize {
+        self.spec.num_shards()
+    }
+
+    /// The group owning source vertex `v`.
+    pub fn group_of(&self, v: u32) -> usize {
+        self.spec.owner(v)
+    }
+
+    /// The groups device `d` of `devices` executes: a contiguous range of
+    /// group ids, assigned by the same chunking as vertex ownership.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `devices == 0` or `d >= devices`.
+    pub fn groups_of_device(&self, d: usize, devices: usize) -> Range<usize> {
+        ShardSpec::new(self.num_groups(), devices).owned_range(d)
+    }
+
+    /// Edge ids whose source falls in group `group`.
+    pub fn group_edges(&self, g: &Graph, group: usize) -> Vec<usize> {
+        g.src()
+            .iter()
+            .enumerate()
+            .filter(|&(_, &s)| self.group_of(s) == group)
+            .map(|(e, _)| e)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::{rmat, RmatParams};
+
+    #[test]
+    fn ranges_cover_vertices_exactly_once() {
+        for (v, d) in [(5usize, 1usize), (11, 2), (11, 4), (3, 8), (100, 7)] {
+            let s = ShardSpec::new(v, d);
+            let mut next = 0;
+            for shard in 0..d {
+                let r = s.owned_range(shard);
+                assert_eq!(r.start, next, "{v} vertices / {d} shards");
+                assert!(r.end >= r.start);
+                for vid in r.clone() {
+                    assert_eq!(s.owner(vid as u32), shard);
+                }
+                next = r.end;
+            }
+            assert_eq!(next, v);
+        }
+    }
+
+    #[test]
+    fn halo_is_exactly_the_non_owned_sources() {
+        let g = rmat(&RmatParams::standard(60, 400, 17));
+        let s = ShardSpec::new(g.num_vertices(), 4);
+        let mut total_edges = 0;
+        for d in 0..4 {
+            let own = s.owned_range(d);
+            let halo = s.remote_unique_src(&g, d);
+            // Sorted, deduplicated, disjoint from the owned range.
+            assert!(halo.windows(2).all(|w| w[0] < w[1]));
+            assert!(halo.iter().all(|&v| !own.contains(&(v as usize))));
+            let edges = s.owned_dst_edges(&g, d);
+            for &e in &edges {
+                let src = g.src()[e] as usize;
+                assert!(own.contains(&src) || halo.binary_search(&(src as u32)).is_ok());
+            }
+            total_edges += edges.len();
+        }
+        assert_eq!(total_edges, g.num_edges());
+        assert!(s.max_remote_unique_src(&g) > 0);
+    }
+
+    #[test]
+    fn single_shard_has_no_halo() {
+        let g = rmat(&RmatParams::standard(40, 200, 19));
+        let s = ShardSpec::new(g.num_vertices(), 1);
+        assert!(s.remote_unique_src(&g, 0).is_empty());
+        assert_eq!(s.owned_dst_edges(&g, 0).len(), g.num_edges());
+    }
+
+    #[test]
+    fn src_groups_partition_edges_and_ignore_device_count() {
+        let g = rmat(&RmatParams::standard(50, 300, 23));
+        let groups = SrcGroups::new(g.num_vertices(), SrcGroups::CANONICAL);
+        let mut seen = vec![false; g.num_edges()];
+        for grp in 0..groups.num_groups() {
+            for e in groups.group_edges(&g, grp) {
+                assert!(!seen[e], "edge {e} in two groups");
+                seen[e] = true;
+            }
+        }
+        assert!(seen.iter().all(|&x| x));
+        // The group → device assignment re-chunks, but the groups (and
+        // hence per-group edge sets) are the same for every device count.
+        for devices in 1..=8usize {
+            let mut covered = vec![false; groups.num_groups()];
+            for d in 0..devices {
+                for grp in groups.groups_of_device(d, devices) {
+                    assert!(!covered[grp]);
+                    covered[grp] = true;
+                }
+            }
+            assert!(covered.iter().all(|&x| x), "{devices} devices");
+        }
+    }
+}

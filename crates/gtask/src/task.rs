@@ -165,6 +165,41 @@ impl PartitionPlan {
         }
     }
 
+    /// Restricts the plan to the edges `keep` accepts, preserving every
+    /// task *slot*: a task whose edges are all filtered out stays in the
+    /// plan as a zero-edge task. Slot preservation is what makes sharded
+    /// execution deterministic across device counts — the filtered plan
+    /// has the same task count as the original, so the engine's
+    /// chunk-to-worker mapping (and with it every accumulator's float
+    /// addition order) is identical on every device to the single-device
+    /// run. `uniq` counts are recomputed over the surviving edges for the
+    /// table's restricted attributes.
+    pub fn filtered<F: Fn(usize) -> bool>(&self, g: &Graph, keep: F) -> PartitionPlan {
+        let restricted: Vec<AttrKind> =
+            self.tasks.first().map_or_else(Vec::new, |t| t.uniq.keys().copied().collect());
+        let tasks = self
+            .tasks
+            .iter()
+            .map(|t| {
+                let edges: Vec<usize> =
+                    t.edges.iter().copied().filter(|&e| keep(e)).collect();
+                let mut uniq = BTreeMap::new();
+                for &attr in &restricted {
+                    let mut vals: Vec<u64> =
+                        edges.iter().map(|&e| g.edge_attr(attr, e)).collect();
+                    vals.sort_unstable();
+                    vals.dedup();
+                    uniq.insert(attr, vals.len());
+                }
+                GTask { edges, uniq }
+            })
+            .collect();
+        PartitionPlan {
+            table: self.table.clone(),
+            tasks,
+        }
+    }
+
     /// Task-id assignment per edge (for visualization, Figure 15).
     pub fn task_of_edge(&self, num_edges: usize) -> Vec<u32> {
         let mut out = vec![u32::MAX; num_edges];
@@ -231,6 +266,31 @@ mod tests {
         assert!(plan.median_task_edges() >= 1);
         let assignment = plan.task_of_edge(g.num_edges());
         assert!(assignment.iter().all(|&t| t != u32::MAX));
+    }
+
+    #[test]
+    fn filtered_plan_preserves_task_slots() {
+        let g = paper_graph();
+        let plan = partition(&g, &PartitionTable::src_batch_per_type(2));
+        // Keep only edges into vertices 0..2; every slot must survive,
+        // including slots left with zero edges.
+        let f = plan.filtered(&g, |e| g.dst()[e] < 2);
+        assert_eq!(f.num_tasks(), plan.num_tasks());
+        assert_eq!(f.table, plan.table);
+        let kept: usize = (0..g.num_edges()).filter(|&e| g.dst()[e] < 2).count();
+        assert_eq!(f.total_edges(), kept);
+        assert!(f.tasks.iter().any(|t| t.edges.is_empty()));
+        for (orig, filt) in plan.tasks.iter().zip(f.tasks.iter()) {
+            // Surviving edges keep their original in-task order.
+            let expect: Vec<usize> =
+                orig.edges.iter().copied().filter(|&e| g.dst()[e] < 2).collect();
+            assert_eq!(filt.edges, expect);
+            // uniq recomputed over survivors, never larger than before.
+            for (attr, &u) in &filt.uniq {
+                assert!(u <= orig.uniq[attr]);
+                assert_eq!(u, filt.attr_rows(&g, *attr).len());
+            }
+        }
     }
 
     #[test]

@@ -135,6 +135,7 @@ pub struct Engine {
     slots: Vec<Mutex<WorkerSlot>>,
     mode: ExecMode,
     sanitize: Mutex<SanitizeStats>,
+    lane_base: u32,
 }
 
 impl Engine {
@@ -155,11 +156,25 @@ impl Engine {
     ///
     /// Panics if `threads == 0`.
     pub fn with_mode(threads: usize, mode: ExecMode) -> Self {
+        Self::with_lane_base(threads, mode, 0)
+    }
+
+    /// Creates an engine whose worker slots record observability spans on
+    /// lanes `lane_base + 1 ..= lane_base + threads`. A multi-device
+    /// cluster gives each device engine a disjoint lane range so
+    /// concurrently running devices never interleave their span streams
+    /// on one lane — the `(lane, seq)` merge stays deterministic.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads == 0`.
+    pub fn with_lane_base(threads: usize, mode: ExecMode, lane_base: u32) -> Self {
         assert!(threads > 0, "need at least one worker");
         Self {
             slots: (0..threads).map(|_| Mutex::new(WorkerSlot::default())).collect(),
             mode,
             sanitize: Mutex::new(SanitizeStats::default()),
+            lane_base,
         }
     }
 
@@ -363,7 +378,120 @@ impl Engine {
                 all_globals.insert(prologue_name(*id), v);
             }
         }
+        let acc = self.reduce_tasks(program, g, plan, &all_globals)?;
+        Ok(run_epilogue(dfg, g, globals, program.reduce_node, acc))
+    }
 
+    /// Executes an already compiled program with the prologue tensors
+    /// supplied by the caller instead of evaluated locally — the
+    /// project-then-communicate schedule's entry point (Fig. 11c): each
+    /// device evaluates the edge-independent projections only for the
+    /// vertex rows it owns, exchanges the projected halo rows, and hands
+    /// the assembled tensors in here. Keys are [`prologue_name`] strings;
+    /// every prologue node of the program must be covered.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if a prologue node is missing from `prologue`, or
+    /// the program needs a destination-complete plan and `plan` is not.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a worker thread panics.
+    pub fn execute_program_with_prologue(
+        &self,
+        program: &crate::micro::KernelProgram,
+        dfg: &Dfg,
+        g: &Graph,
+        plan: &PartitionPlan,
+        globals: &HashMap<String, Tensor>,
+        prologue: &HashMap<String, Tensor>,
+    ) -> Result<Vec<Tensor>, CompileError> {
+        let _sp = span!(
+            "engine.execute.injected",
+            tasks = plan.tasks.len(),
+            prologue = program.prologue.len()
+        );
+        if program.requires_dst_complete
+            && self.mode != ExecMode::Sanitize
+            && !plan_is_dst_complete(g, plan)
+        {
+            return Err(CompileError(
+                "per-destination normalization requires a destination-complete plan"
+                    .into(),
+            ));
+        }
+        let mut all_globals = globals.clone();
+        for id in &program.prologue {
+            let name = prologue_name(*id);
+            let v = prologue.get(&name).cloned().ok_or_else(|| {
+                CompileError(format!("prologue node {} not supplied", id.0))
+            })?;
+            all_globals.insert(name, v);
+        }
+        let acc = self.reduce_tasks(program, g, plan, &all_globals)?;
+        Ok(run_epilogue(dfg, g, globals, program.reduce_node, acc))
+    }
+
+    /// Runs the per-task portion of a compiled program and returns the raw
+    /// reduction accumulator, skipping the epilogue — the building block of
+    /// the compute-then-reduce and tensor-parallel schedules, which move
+    /// partial accumulators through collectives before one deterministic
+    /// epilogue finishes the layer. Any prologue pseudo-globals the
+    /// program gathers from must already be present in `all_globals`
+    /// (under their [`prologue_name`] keys).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if a prologue pseudo-global is missing, or the
+    /// program needs a destination-complete plan and `plan` is not.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a worker thread panics.
+    pub fn accumulate_program(
+        &self,
+        program: &crate::micro::KernelProgram,
+        g: &Graph,
+        plan: &PartitionPlan,
+        all_globals: &HashMap<String, Tensor>,
+    ) -> Result<Tensor, CompileError> {
+        let _sp = span!(
+            "engine.accumulate",
+            tasks = plan.tasks.len(),
+            threads = self.threads()
+        );
+        if program.requires_dst_complete
+            && self.mode != ExecMode::Sanitize
+            && !plan_is_dst_complete(g, plan)
+        {
+            return Err(CompileError(
+                "per-destination normalization requires a destination-complete plan"
+                    .into(),
+            ));
+        }
+        for id in &program.prologue {
+            if !all_globals.contains_key(&prologue_name(*id)) {
+                return Err(CompileError(format!(
+                    "prologue node {} not supplied",
+                    id.0
+                )));
+            }
+        }
+        self.reduce_tasks(program, g, plan, all_globals)
+    }
+
+    /// The shared worker phase: distributes the plan's tasks over the
+    /// worker slots, runs them under the engine's dispatch mode, checks
+    /// shadows when sanitizing, and reduces the per-worker partials in
+    /// ascending slot order.
+    fn reduce_tasks(
+        &self,
+        program: &crate::micro::KernelProgram,
+        g: &Graph,
+        plan: &PartitionPlan,
+        all_globals: &HashMap<String, Tensor>,
+    ) -> Result<Tensor, CompileError> {
         // Dispatch decision: per program, before any worker starts, so the
         // same code path runs at every thread count.
         let sanitizing = self.mode == ExecMode::Sanitize;
@@ -383,15 +511,15 @@ impl Engine {
                 .map(|(wi, range)| {
                     let first_task = range.start;
                     let tasks = &plan.tasks[range];
-                    let all_globals = &all_globals;
                     let fplan = fplan.as_ref();
                     let slot = &self.slots[wi];
+                    let lane = self.lane_base + wi as u32 + 1;
                     // Lane 0 belongs to the driver thread; worker slot `wi`
-                    // records on lane `wi + 1`, making the trace's track
-                    // layout a function of the deterministic slot
-                    // assignment rather than of OS thread identity.
+                    // records on lane `lane_base + wi + 1`, making the
+                    // trace's track layout a function of the deterministic
+                    // slot assignment rather than of OS thread identity.
                     scope.spawn(move || {
-                        with_lane(wi as u32 + 1, || {
+                        with_lane(lane, || {
                             let _wsp =
                                 span!("engine.worker", slot = wi, tasks = tasks.len());
                             let mut slot = slot.lock().expect("engine slot poisoned");
@@ -474,7 +602,7 @@ impl Engine {
         for (wi, p) in partials.into_iter().enumerate() {
             self.slots[wi].lock().expect("engine slot poisoned").acc = Some(p);
         }
-        Ok(run_epilogue(dfg, g, globals, program.reduce_node, acc))
+        Ok(acc)
     }
 }
 

@@ -22,8 +22,12 @@
 //! - [`fused`]: pattern-matched fusion of compiled micro-kernel chains
 //!   into specialized, cache-blocked loops, bit-identical to the
 //!   interpreter and dispatched by the cost rule in
-//!   [`oppart::fusion_profitable`].
+//!   [`oppart::fusion_profitable`];
+//! - [`cluster`]: sharded multi-device execution — one real [`engine`]
+//!   per simulated device, deterministic collectives, and the paper's
+//!   placement schedules (§5.4, Figure 11) as executable strategies.
 
+pub mod cluster;
 pub mod engine;
 pub mod exec;
 pub mod fused;
@@ -31,5 +35,6 @@ pub mod generate;
 pub mod micro;
 pub mod oppart;
 
+pub use cluster::{ClusterEngine, ClusterRun, ExchangeLog};
 pub use generate::{generate_kernels, GeneratedKernel, KernelContext};
 pub use oppart::OpPartition;

@@ -150,6 +150,28 @@ pub mod keys {
     /// Hit fraction of all lookups so far, in parts per thousand
     /// ([`Resource`](crate::Class::Resource), gauge).
     pub const CACHE_HIT_RATE_PERMILLE: &str = "cache.hit_rate_permille";
+
+    /// Total bytes moved through cluster collectives, counted once per
+    /// send ([`Work`](crate::Class::Work), sum): a pure function of graph,
+    /// schedule, and device count, independent of per-device thread
+    /// counts.
+    pub const COMM_BYTES_EXCHANGED: &str = "comm.bytes_exchanged";
+    /// Point-to-point messages sent through cluster collectives
+    /// ([`Work`](crate::Class::Work), sum).
+    pub const COMM_MESSAGES: &str = "comm.messages";
+    /// Devices participating in cluster execution
+    /// ([`Resource`](crate::Class::Resource), max).
+    pub const COMM_DEVICES: &str = "comm.devices";
+    /// Bytes sent through one named collective
+    /// ([`Work`](crate::Class::Work), sum).
+    pub fn comm_collective_bytes(collective: &str) -> String {
+        format!("comm.collective.{collective}.bytes")
+    }
+    /// Per-device counter prefix for [`crate::Counters::merge_prefixed`]:
+    /// zero-padded so lexicographic order equals device order.
+    pub fn device_prefix(device: usize) -> String {
+        format!("device.{device:02}")
+    }
 }
 
 #[cfg(test)]
@@ -163,6 +185,11 @@ mod tests {
         assert_eq!(
             super::keys::partition_dedup_ratio("src"),
             "partition.dedup_ratio.src"
+        );
+        assert!(super::keys::device_prefix(2) < super::keys::device_prefix(10));
+        assert_eq!(
+            super::keys::comm_collective_bytes("all_gather"),
+            "comm.collective.all_gather.bytes"
         );
     }
 }

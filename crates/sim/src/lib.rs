@@ -18,7 +18,10 @@
 //!   differentiated priorities (Figure 12, Figure 19);
 //! - [`fabric`]: a PCIe-like interconnect with collective cost formulas
 //!   (all-to-all, all-reduce, reduce-scatter, all-gather) for multi-device
-//!   operation placement (Table 2, Figure 20).
+//!   operation placement (Table 2, Figure 20);
+//! - [`volume`]: the Figure-11 placement-candidate payload arithmetic,
+//!   shared between the closed-form cost model and the sharded executor's
+//!   placement selector so the two can never disagree.
 //!
 //! All estimators are deterministic, pure functions — runs are exactly
 //! reproducible.
@@ -28,7 +31,9 @@ pub mod fabric;
 pub mod memory;
 pub mod pipeline;
 pub mod schedule;
+pub mod volume;
 
 pub use device::{ComputeClass, DeviceSpec, KernelCost};
 pub use fabric::Fabric;
 pub use memory::MemoryTracker;
+pub use volume::{PlacementKind, PlacementVolumes};

@@ -10,7 +10,11 @@
 # bit-identity gate is explicit in the log, not buried in the workspace
 # sweep, and likewise the planning-cache equivalence harness
 # (tests/planning_cache.rs, DESIGN.md §11: warm-cache runs bit-identical
-# to cold across thread counts). After the tests, three gates run: clippy
+# to cold across thread counts), and the sharded multi-device determinism
+# suite (tests/sharded_parity.rs, DESIGN.md §13: cluster runs at 1/2/4/8
+# devices match the single engine bit-for-bit for every compatible
+# placement schedule, and the executor's placement selection equals the
+# shared cost model's prediction). After the tests, three gates run: clippy
 # with warnings denied,
 # wisegraph-lint (the pre-execution plan/DFG/kernel/instrumentation/
 # fusion verifier, DESIGN.md §8) over every built-in model × partition
@@ -27,6 +31,7 @@ cargo test -q --offline --workspace
 cargo test --release -q --offline --workspace
 cargo test --release -q --offline --test fused_parity
 cargo test --release -q --offline --test planning_cache
+cargo test --release -q --offline --test sharded_parity
 cargo clippy --all-targets --offline --workspace -- -D warnings
 cargo run --release --offline --bin wisegraph-lint
 lint_json="$(cargo run --release --offline --bin wisegraph-lint -- --json)"

@@ -26,7 +26,13 @@
 //!   the engine's `ExecMode::Sanitize` shadow-memory sanitizer and
 //!   cross-checked against the static interference verdict: a runtime
 //!   conflict the static pass declared safe is a hard error, and the
-//!   sanitized outputs must be bit-identical to `ExecMode::Auto`.
+//!   sanitized outputs must be bit-identical to `ExecMode::Auto`;
+//! * every model is *executed* on real 2- and 4-device sharded clusters
+//!   with the optimizer-selected placement schedule: shard tiling and
+//!   exactly-once edge coverage (`S001`), collective exchange
+//!   conservation (`S002`), placement/program compatibility of the
+//!   selection (`S003`), and bit-identity of the assembled outputs
+//!   against a plain single-engine run.
 //!
 //! Exits nonzero if any pass reports an error, printing each diagnostic;
 //! `scripts/verify.sh` runs this after the test suite. With `--json`, all
@@ -382,6 +388,78 @@ fn main() -> ExitCode {
     sink.say(format!(
         "wisegraph-lint: {sanitized} combinations executed under the shadow \
          sanitizer and cross-checked against the static verdict"
+    ));
+
+    // Pass 8: sharded multi-device execution (S001–S003). Every model
+    // runs on a real 2- and 4-device cluster with the optimizer-selected
+    // placement; the shard must tile and cover exactly once (S001), the
+    // collective exchange log must be conserved (S002), the selected
+    // placement must be compatible (S003), and the assembled outputs must
+    // be bit-identical to a plain single-engine run.
+    let fabric = wisegraph::sim::Fabric::pcie4_quad();
+    let mut sharded_runs = 0usize;
+    for model in models {
+        let dfg = model.layer_dfg(DIMS.0, DIMS.1);
+        let Ok(program) = compile(&dfg, &g) else { continue };
+        let plan = partition(
+            &g,
+            &wisegraph::gtask::PartitionTable::vertex_centric(),
+        );
+        let reference = execute_parallel_mode(
+            &dfg, &g, &plan, &globals, 2, ExecMode::Auto,
+        );
+        for devices in [2usize, 4] {
+            sharded_runs += 1;
+            let ctx = format!("sharded {model:?} × {devices} devices");
+            let mut shard_report = Report::new();
+            shard_report.extend(verify_shard_coverage(&g, &plan, devices));
+            let cluster = wisegraph::kernels::ClusterEngine::new(devices, 2);
+            match wisegraph::core::sharded::execute_sharded(
+                &cluster, &dfg, &g, &plan, &globals, &fabric, DIMS.0, DIMS.1,
+            ) {
+                Ok((run, choice)) => {
+                    shard_report.extend(verify_placement(
+                        &program, &g, &globals, choice.placement,
+                    ));
+                    shard_report.extend(verify_exchange(&run.exchange));
+                    // Compute-then-reduce reorders the partial-aggregate
+                    // sums (group order instead of worker order), so it is
+                    // numerically close but not bit-identical to the plain
+                    // engine; every other schedule must match exactly.
+                    if choice.placement
+                        != wisegraph::sim::PlacementKind::ComputeThenReduce
+                    {
+                        if let Ok(reference) = &reference {
+                            let identical = reference.len() == run.outputs.len()
+                                && reference
+                                    .iter()
+                                    .zip(run.outputs.iter())
+                                    .all(|(a, b)| a.data() == b.data());
+                            if !identical {
+                                shard_report.push(Diagnostic::error(
+                                    Code::ShardCoverage,
+                                    Span::Global,
+                                    "sharded outputs are not bit-identical to \
+                                     the single-engine reference",
+                                ));
+                            }
+                        }
+                    }
+                }
+                Err(e) => shard_report.push(Diagnostic::error(
+                    Code::PlacementIncompatible,
+                    Span::Global,
+                    format!("sharded execution failed: {e}"),
+                )),
+            }
+            if !shard_report.is_clean() {
+                sink.report(&ctx, &shard_report);
+            }
+        }
+    }
+    sink.say(format!(
+        "wisegraph-lint: {sharded_runs} sharded cluster runs verified \
+         (shard coverage, exchange conservation, placement selection)"
     ));
 
     sink.say(format!(

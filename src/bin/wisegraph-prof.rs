@@ -27,7 +27,16 @@
 //!   compatible table executes once under `ExecMode::Sanitize`, and the
 //!   sanitizer's Resource-class counters (cells tracked, writes checked,
 //!   shared accumulator cells, conflicts) land under `sanitize.<model>.`
-//!   in the baseline (DESIGN.md §12).
+//!   in the baseline (DESIGN.md §12);
+//! * a sharded multi-device section (DESIGN.md §13): per model, the
+//!   vertex-centric plan runs on a [`SHARD_DEVICES`]-device
+//!   [`ClusterEngine`] under every compatible placement schedule; the
+//!   per-device work counters and `comm.*` exchange totals land under
+//!   `sharded.<model>.<placement>.`, stdout gets a device-skew /
+//!   comm-volume table (tensor parallelism balances work where the halo
+//!   schedules inherit the shard's edge imbalance) and an
+//!   optimizer-selected-vs-data-parallel speedup table (the selection is
+//!   asserted never slower).
 //!
 //! Modes:
 //!
@@ -44,6 +53,10 @@ use std::collections::{BTreeMap, HashMap};
 use std::path::Path;
 use std::process::ExitCode;
 use wisegraph::cache::PlanCache;
+use wisegraph::core::sharded::{device_work_skew, select_placement};
+use wisegraph::kernels::cluster::compatible_placements;
+use wisegraph::kernels::ClusterEngine;
+use wisegraph::sim::{Fabric, PlacementKind};
 use wisegraph::graph::generate::{rmat, RmatParams};
 use wisegraph::graph::Graph;
 use wisegraph::gtask::{partition, PartitionPlan, PartitionTable};
@@ -75,6 +88,9 @@ const RESOURCE_BAND: f64 = 0.25;
 
 /// Layer feature sizes (input, output) — same as `wisegraph-lint`.
 const DIMS: (usize, usize) = (8, 6);
+
+/// Simulated device count for the sharded multi-device section.
+const SHARD_DEVICES: usize = 4;
 
 fn models() -> [(ModelKind, &'static str); 4] {
     [
@@ -178,6 +194,22 @@ struct TimingRec {
     samples: Vec<u64>,
 }
 
+/// One sharded cluster run of the multi-device section: a model at
+/// [`SHARD_DEVICES`] devices under one placement schedule.
+struct ShardedRow {
+    model: &'static str,
+    placement: PlacementKind,
+    /// Max-over-mean per-device kernel FLOPs (1.0 = perfectly balanced).
+    device_skew: f64,
+    /// Bytes actually moved through the collectives.
+    comm_bytes: u64,
+    /// Fabric-priced communication time of the placement's predicted
+    /// volume (what the optimizer minimizes).
+    comm_time: f64,
+    /// Whether the joint optimizer selected this schedule.
+    selected: bool,
+}
+
 /// Everything one suite run produces (besides the captured trace).
 struct SuiteRun {
     /// Counters per model slug (keys prefixed `<table>.`).
@@ -185,6 +217,7 @@ struct SuiteRun {
     /// All counters, keys prefixed `<model>.<table>.`.
     all: Counters,
     skew: Vec<SkewRow>,
+    sharded: Vec<ShardedRow>,
     timings: Vec<TimingRec>,
     skipped: usize,
 }
@@ -199,6 +232,7 @@ fn run_suite(threads: usize, time_reps: usize) -> SuiteRun {
         per_model: BTreeMap::new(),
         all: Counters::new(),
         skew: Vec::new(),
+        sharded: Vec::new(),
         timings: Vec::new(),
         skipped: 0,
     };
@@ -341,6 +375,49 @@ fn run_suite(threads: usize, time_reps: usize) -> SuiteRun {
             .expect("sanitized combination executes");
         run.all
             .merge_prefixed(&format!("sanitize.{slug}"), &engine.stats());
+    }
+
+    // Sharded multi-device section: per model, the vertex-centric plan
+    // (destination-complete, so every model can run) executes on a
+    // [`SHARD_DEVICES`]-device cluster under every placement schedule the
+    // compiled program supports. Each run uses a fresh [`ClusterEngine`],
+    // so the merged counters — per-device `device.NN.*` work plus the
+    // `comm.*` exchange totals — describe exactly one execution under
+    // `sharded.<slug>.<placement>.`. The comm/work keys are Work-class
+    // pure functions of (graph, plan, device count, placement): gate (a)
+    // holds them bit-exactly and gate (b)'s thread sweep leaves them
+    // untouched by construction.
+    let fabric = Fabric::pcie4_quad();
+    for (model, slug) in models() {
+        let dfg = model.layer_dfg(fi, fo);
+        let program = compile(&dfg, &g).expect("profiled model compiles");
+        let plan = partition(&g, &PartitionTable::vertex_centric());
+        let choice =
+            select_placement(&program, &g, &globals, SHARD_DEVICES, &fabric, fi, fo);
+        for placement in compatible_placements(&program, &g, &globals) {
+            let cluster = ClusterEngine::new(SHARD_DEVICES, threads);
+            let crun = cluster
+                .execute_program(&program, &dfg, &g, &plan, &globals, placement)
+                .expect("sharded combination executes");
+            run.all.merge_prefixed(
+                &format!("sharded.{slug}.{}", placement.name()),
+                &cluster.stats(),
+            );
+            let comm_time = choice
+                .candidates
+                .iter()
+                .find(|(p, _)| *p == placement)
+                .map(|(_, t)| *t)
+                .unwrap_or(f64::INFINITY);
+            run.sharded.push(ShardedRow {
+                model: slug,
+                placement,
+                device_skew: device_work_skew(&crun.per_device),
+                comm_bytes: crun.exchange.bytes_sent(),
+                comm_time,
+                selected: placement == choice.placement,
+            });
+        }
     }
     run
 }
@@ -519,6 +596,67 @@ fn main() -> ExitCode {
     if worst_plan_speedup.is_finite() {
         println!(
             "\nwisegraph-prof: worst cold/warm planning speedup {worst_plan_speedup:.2}x\n"
+        );
+    }
+
+    // Sharded multi-device tables: per-device work skew and real exchanged
+    // bytes for every placement a model supports at SHARD_DEVICES devices,
+    // then the optimizer's selection against the always-data-parallel
+    // default. Tensor parallelism replicates every vertex's row work and
+    // splits columns, so its device skew sits at 1.00 while the halo
+    // schedules inherit the shard's edge imbalance.
+    println!(
+        "| model | placement | device skew (max/mean) | comm bytes | comm time (µs) | selected |"
+    );
+    println!("|---|---|---|---|---|---|");
+    for r in &run.sharded {
+        println!(
+            "| {} | {} | {:.2} | {} | {:.2} | {} |",
+            r.model,
+            r.placement.name(),
+            r.device_skew,
+            r.comm_bytes,
+            r.comm_time * 1e6,
+            if r.selected { "yes" } else { "" }
+        );
+    }
+    println!();
+    println!("| model | selected placement | selected comm (µs) | data-parallel comm (µs) | speedup |");
+    println!("|---|---|---|---|---|");
+    let mut worst_select_speedup = f64::INFINITY;
+    for (_, slug) in models() {
+        let Some(sel) = run.sharded.iter().find(|r| r.model == slug && r.selected)
+        else {
+            continue;
+        };
+        let Some(dp) = run
+            .sharded
+            .iter()
+            .find(|r| r.model == slug && r.placement == PlacementKind::DataParallel)
+        else {
+            continue;
+        };
+        let speedup = dp.comm_time / sel.comm_time.max(f64::MIN_POSITIVE);
+        worst_select_speedup = worst_select_speedup.min(speedup);
+        println!(
+            "| {} | {} | {:.2} | {:.2} | {:.2}x |",
+            slug,
+            sel.placement.name(),
+            sel.comm_time * 1e6,
+            dp.comm_time * 1e6,
+            speedup
+        );
+    }
+    if worst_select_speedup.is_finite() {
+        println!(
+            "\nwisegraph-prof: optimizer-selected placement is never slower than \
+             data-parallel (worst speedup {worst_select_speedup:.2}x)\n"
+        );
+        // The selector minimizes over a candidate set that contains
+        // data-parallel, so this cannot regress silently.
+        assert!(
+            worst_select_speedup >= 1.0,
+            "selected placement slower than always-data-parallel"
         );
     }
 

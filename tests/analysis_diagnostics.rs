@@ -1,7 +1,8 @@
 //! Broken-fixture tests for the static verifier: each fixture violates
 //! exactly one invariant and must trigger the documented diagnostic code
 //! (DESIGN.md §8). Together they cover every code the verifier can emit,
-//! P001–P004, D001–D003, K001–K006, O001, C001–C002, and R001–R005, plus
+//! P001–P004, D001–D003, K001–K006, O001, C001–C002, R001–R005, and
+//! S001–S003, plus
 //! a clean positive control. The R001 fixture additionally runs under the
 //! engine's `ExecMode::Sanitize` shadow-memory sanitizer and asserts the
 //! *same* conflict is caught dynamically (DESIGN.md §12).
@@ -527,6 +528,80 @@ fn clean_inputs_produce_clean_reports() {
     }
 }
 
+// ------------------------------------------------------------- sharding
+
+#[test]
+fn s001_duplicated_edge_across_device_plans() {
+    let g = paper_graph();
+    // Edge 3 appears twice in the plan; each copy lands on exactly one
+    // device's filtered plan, so the union covers it twice.
+    let plan = PartitionPlan {
+        table: PartitionTable::new(),
+        tasks: vec![task(vec![0, 1, 2, 3]), task(vec![3, 4, 5, 6, 7, 8, 9, 10])],
+    };
+    let diags = verify_shard_coverage(&g, &plan, 2);
+    assert!(has(&diags, Code::ShardCoverage, "instead of exactly one"), "{diags:#?}");
+    assert_eq!(Code::ShardCoverage.as_str(), "S001");
+    // Zero devices is its own S001.
+    assert!(!verify_shard_coverage(&g, &plan, 0).is_empty());
+    // The honest plan at any device count is clean.
+    let good = partition(&g, &PartitionTable::vertex_centric());
+    for devices in [1usize, 2, 3, 5, 8] {
+        assert!(verify_shard_coverage(&g, &good, devices).is_empty());
+    }
+}
+
+#[test]
+fn s002_dropped_message_breaks_conservation() {
+    use wisegraph::kernels::cluster::{Direction, ExchangeEvent, ExchangeLog};
+    let sent = ExchangeEvent {
+        collective: "all_to_all",
+        round: 0,
+        from: 0,
+        to: 1,
+        bytes: 64,
+        direction: Direction::Sent,
+    };
+    let received = ExchangeEvent {
+        direction: Direction::Received,
+        ..sent.clone()
+    };
+    let balanced = ExchangeLog {
+        events: vec![sent.clone(), received],
+    };
+    assert!(verify_exchange(&balanced).is_empty());
+    let dropped = ExchangeLog { events: vec![sent] };
+    let diags = verify_exchange(&dropped);
+    assert!(has(&diags, Code::ExchangeConservation, "not conserved"), "{diags:#?}");
+    assert_eq!(Code::ExchangeConservation.as_str(), "S002");
+}
+
+#[test]
+fn s003_dst_complete_program_under_tensor_parallelism() {
+    use wisegraph::sim::PlacementKind;
+    use wisegraph::tensor::init;
+    let g = paper_graph();
+    // GAT's per-destination softmax needs every in-edge of a destination
+    // on one device; the column split of tensor parallelism cannot
+    // provide that.
+    let dfg = ModelKind::Gat.layer_dfg(4, 3);
+    let program = compile(&dfg, &g).unwrap();
+    let mut globals = std::collections::HashMap::new();
+    globals.insert(
+        "h".to_string(),
+        init::uniform_tensor(&[g.num_vertices(), 4], -1.0, 1.0, 1),
+    );
+    globals.insert("w".to_string(), init::uniform_tensor(&[4, 3], -1.0, 1.0, 2));
+    globals.insert("a_src".to_string(), init::uniform_tensor(&[3, 1], -1.0, 1.0, 3));
+    globals.insert("a_dst".to_string(), init::uniform_tensor(&[3, 1], -1.0, 1.0, 4));
+    let diags = verify_placement(&program, &g, &globals, PlacementKind::TensorParallel);
+    assert!(has(&diags, Code::PlacementIncompatible, "tensor_parallel"), "{diags:#?}");
+    assert_eq!(Code::PlacementIncompatible.as_str(), "S003");
+    assert!(
+        verify_placement(&program, &g, &globals, PlacementKind::DataParallel).is_empty()
+    );
+}
+
 #[test]
 fn every_documented_code_has_a_triggering_fixture() {
     // Meta-check: the codes asserted across this file cover the verifier's
@@ -553,10 +628,13 @@ fn every_documented_code_has_a_triggering_fixture() {
         Code::ScheduleSlotCollision,
         Code::ScheduleFusedDivergence,
         Code::WorkspaceLifetime,
+        Code::ShardCoverage,
+        Code::ExchangeConservation,
+        Code::PlacementIncompatible,
     ];
     let strs: Vec<&str> = covered.iter().map(|c| c.as_str()).collect();
-    for family in ["P", "D", "K", "O", "C", "R"] {
+    for family in ["P", "D", "K", "O", "C", "R", "S"] {
         assert!(strs.iter().any(|s| s.starts_with(family)));
     }
-    assert_eq!(strs.len(), 21);
+    assert_eq!(strs.len(), 24);
 }

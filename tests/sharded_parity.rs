@@ -1,0 +1,228 @@
+//! Differential sharded-cluster / single-engine harness.
+//!
+//! The cluster layer (`wisegraph::kernels::cluster`) runs one real engine
+//! per simulated device and moves embeddings through deterministic
+//! collectives. Its contract: for every model, partition table, device
+//! count, and *compatible* placement schedule, the assembled outputs
+//! match a plain single-engine run — bit-for-bit for the halo schedules
+//! (data-parallel, project-then-communicate) and tensor parallelism,
+//! whose kernels are row- or column-independent and whose exchanged
+//! buffers travel verbatim. Compute-then-reduce re-associates the
+//! partial-aggregate sums (canonical source-group order instead of
+//! worker order), so it is pinned numerically close to the single engine
+//! and *bit-stable across device counts* instead.
+//!
+//! A second suite pins the joint optimizer's placement selection to the
+//! shared Figure-11 volume arithmetic: the schedule the executor selects
+//! is exactly the one an independent recomputation predicts, and the
+//! closed-form `best_placement_comm` prices the same three-candidate
+//! minimum.
+
+use std::collections::HashMap;
+use wisegraph::analysis::prelude::effective_indexing_attrs;
+use wisegraph::baselines::multi::{max_remote_unique_src, MultiStack};
+use wisegraph::core::multi::best_placement_comm;
+use wisegraph::core::sharded::select_placement;
+use wisegraph::graph::generate::{rmat, RmatParams};
+use wisegraph::graph::{Graph, ShardSpec};
+use wisegraph::gtask::restriction::enumerate_tables;
+use wisegraph::gtask::partition;
+use wisegraph::kernels::cluster::compatible_placements;
+use wisegraph::kernels::engine::execute_parallel;
+use wisegraph::kernels::micro::{compile, plan_is_dst_complete};
+use wisegraph::kernels::ClusterEngine;
+use wisegraph::models::ModelKind;
+use wisegraph::sim::{PlacementKind, PlacementVolumes};
+use wisegraph::tensor::{init, Tensor};
+
+/// Device counts the parity sweep runs at (1 pins the degenerate
+/// single-device cluster to the plain engine too).
+const DEVICES: [usize; 4] = [1, 2, 4, 8];
+/// Engine worker threads per device (also the single-engine reference's
+/// thread count — parity holds per thread count only).
+const THREADS: usize = 2;
+const BATCH_SIZES: [u64; 2] = [4, 32];
+const MODELS: [ModelKind; 4] = [
+    ModelKind::Gcn,
+    ModelKind::Rgcn,
+    ModelKind::Gat,
+    ModelKind::Sage,
+];
+
+fn globals_for(g: &Graph, fi: usize, fo: usize) -> HashMap<String, Tensor> {
+    let mut m = HashMap::new();
+    m.insert(
+        "h".to_string(),
+        init::uniform_tensor(&[g.num_vertices(), fi], -1.0, 1.0, 51),
+    );
+    m.insert(
+        "W".to_string(),
+        init::uniform_tensor(&[g.num_edge_types(), fi, fo], -1.0, 1.0, 52),
+    );
+    m.insert("w".to_string(), init::uniform_tensor(&[fi, fo], -1.0, 1.0, 53));
+    m.insert(
+        "w_self".to_string(),
+        init::uniform_tensor(&[fi, fo], -1.0, 1.0, 54),
+    );
+    m.insert(
+        "w_neigh".to_string(),
+        init::uniform_tensor(&[fi, fo], -1.0, 1.0, 55),
+    );
+    m.insert(
+        "a_src".to_string(),
+        init::uniform_tensor(&[fo, 1], -1.0, 1.0, 56),
+    );
+    m.insert(
+        "a_dst".to_string(),
+        init::uniform_tensor(&[fo, 1], -1.0, 1.0, 57),
+    );
+    m
+}
+
+fn allclose(a: &Tensor, b: &Tensor, tol: f32) -> bool {
+    a.dims() == b.dims()
+        && a.data()
+            .iter()
+            .zip(b.data().iter())
+            .all(|(x, y)| (x - y).abs() <= tol * (1.0 + y.abs()))
+}
+
+/// The full sweep: every model × every enumerable table × {2,4,8}
+/// devices × every placement the compiled program supports.
+/// Combinations the program can never legally run under (GAT needs
+/// destination-complete plans) are skipped, mirroring strategy search.
+#[test]
+fn all_models_all_tables_all_devices_match_single_engine() {
+    let (fi, fo) = (6, 5);
+    let g = rmat(&RmatParams::standard(140, 1100, 71).with_edge_types(3));
+    let globals = globals_for(&g, fi, fo);
+    let mut combos = 0usize;
+    for kind in MODELS {
+        let dfg = kind.layer_dfg(fi, fo);
+        let program = compile(&dfg, &g).unwrap();
+        let indexing: Vec<_> = effective_indexing_attrs(&dfg).into_iter().collect();
+        for table in enumerate_tables(&indexing, &BATCH_SIZES) {
+            let plan = partition(&g, &table);
+            if program.requires_dst_complete && !plan_is_dst_complete(&g, &plan) {
+                continue;
+            }
+            let reference = execute_parallel(&dfg, &g, &plan, &globals, THREADS)
+                .unwrap_or_else(|e| panic!("{} × [{table}]: reference: {e}", kind.name()));
+            for placement in compatible_placements(&program, &g, &globals) {
+                // Device-count anchor for the compute-then-reduce
+                // bit-stability claim.
+                let mut anchor: Option<Vec<Tensor>> = None;
+                for devices in DEVICES {
+                    let ctx = format!(
+                        "{} × [{table}] × {} × {devices} devices",
+                        kind.name(),
+                        placement.name()
+                    );
+                    let cluster = ClusterEngine::new(devices, THREADS);
+                    let run = cluster
+                        .execute(&dfg, &g, &plan, &globals, placement)
+                        .unwrap_or_else(|e| panic!("{ctx}: {e}"));
+                    assert!(run.exchange.is_conserved(), "{ctx}: unbalanced exchange");
+                    assert_eq!(reference.len(), run.outputs.len(), "{ctx}");
+                    if placement == PlacementKind::ComputeThenReduce {
+                        for (a, b) in reference.iter().zip(run.outputs.iter()) {
+                            assert!(
+                                allclose(b, a, 1e-3),
+                                "{ctx}: diverged from the single engine"
+                            );
+                        }
+                        match &anchor {
+                            None => anchor = Some(run.outputs),
+                            Some(first) => {
+                                for (a, b) in first.iter().zip(run.outputs.iter()) {
+                                    assert_eq!(
+                                        a.data(),
+                                        b.data(),
+                                        "{ctx}: bits changed with the device count"
+                                    );
+                                }
+                            }
+                        }
+                    } else {
+                        for (a, b) in reference.iter().zip(run.outputs.iter()) {
+                            assert_eq!(
+                                a.data(),
+                                b.data(),
+                                "{ctx}: not bit-identical to the single engine"
+                            );
+                        }
+                    }
+                    combos += 1;
+                }
+            }
+        }
+    }
+    // Every model must have contributed, with multiple placements each.
+    assert!(combos >= 60, "only {combos} combinations exercised");
+}
+
+/// The placement the sharded executor selects is the one the shared
+/// volume model predicts, for every model × table — and the closed-form
+/// cost model (`best_placement_comm`) prices the identical
+/// three-candidate minimum from the same module, so the two multi-device
+/// stories cannot drift apart.
+#[test]
+fn predicted_placement_matches_executed_selection() {
+    let (fi, fo) = (6, 5);
+    let g = rmat(&RmatParams::standard(140, 1100, 71).with_edge_types(3));
+    let globals = globals_for(&g, fi, fo);
+    let stack = MultiStack::paper_quad();
+    let devices = stack.fabric.num_devices;
+    let fabric = &stack.fabric;
+    let mut checked = 0usize;
+    for kind in MODELS {
+        let dfg = kind.layer_dfg(fi, fo);
+        let program = compile(&dfg, &g).unwrap();
+        let indexing: Vec<_> = effective_indexing_attrs(&dfg).into_iter().collect();
+        for table in enumerate_tables(&indexing, &BATCH_SIZES) {
+            let plan = partition(&g, &table);
+            if program.requires_dst_complete && !plan_is_dst_complete(&g, &plan) {
+                continue;
+            }
+            let choice = select_placement(&program, &g, &globals, devices, fabric, fi, fo);
+            // Independent recomputation from the shared module.
+            let remote = ShardSpec::new(g.num_vertices(), devices).max_remote_unique_src(&g);
+            let vols =
+                PlacementVolumes::new(remote, g.num_vertices(), fi, fo, program.out_width);
+            let compat = compatible_placements(&program, &g, &globals);
+            let (expect, expect_t) = vols.best(&compat, fabric);
+            assert_eq!(choice.placement, expect, "{} × [{table}]", kind.name());
+            assert_eq!(choice.comm_time, expect_t, "{} × [{table}]", kind.name());
+            assert_eq!(choice.candidates.len(), compat.len());
+            // The executed run honors the selection.
+            let cluster = ClusterEngine::new(2, THREADS);
+            let run = cluster
+                .execute(&dfg, &g, &plan, &globals, choice.placement)
+                .unwrap_or_else(|e| panic!("{} × [{table}]: {e}", kind.name()));
+            assert_eq!(run.placement, choice.placement);
+            checked += 1;
+        }
+    }
+    assert!(checked >= 20, "only {checked} combinations checked");
+
+    // The closed-form cost model prices the same three-candidate minimum
+    // (its accumulator width is the input width: the closed form predates
+    // compilation and cannot know the program's out_width).
+    let remote = max_remote_unique_src(&g, devices);
+    for (f_in, f_out) in [(1024usize, 8usize), (8, 1024), (64, 64)] {
+        let vols = PlacementVolumes::new(remote, g.num_vertices(), f_in, f_out, f_in);
+        let (_, t) = vols.best(
+            &[
+                PlacementKind::DataParallel,
+                PlacementKind::ProjectThenCommunicate,
+                PlacementKind::ComputeThenReduce,
+            ],
+            fabric,
+        );
+        let closed = best_placement_comm(&g, &stack, f_in, f_out);
+        assert!(
+            (closed - t).abs() <= f64::EPSILON * t.max(1.0),
+            "closed-form {closed} vs shared-module {t} at ({f_in}, {f_out})"
+        );
+    }
+}
