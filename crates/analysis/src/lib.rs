@@ -22,7 +22,8 @@
 //!   engine's deterministic chunk-to-slot mapping (codes `K...`);
 //! - [`obscheck`]: span-instrumentation coverage of the execution entry
 //!   points, so the observability layer cannot silently erode (code
-//!   `O001`);
+//!   `O001`), and phase coverage of the cluster schedules and mailbox
+//!   operations that feed causal tracing (code `O002`);
 //! - [`repair`]: incremental-repair equivalence — a repaired plan must
 //!   verify identically to a from-scratch partition of the same live edge
 //!   set — and the cached-artifact roundtrip-test registry (codes `C...`);
@@ -117,6 +118,10 @@ pub enum Code {
     /// An execution entry point runs without an enclosing observability
     /// span (or the instrumentation-coverage table is stale).
     ObsUncovered,
+    /// A cluster schedule phase or mailbox operation runs without its
+    /// required phase span / phase-recording call, so the causal trace
+    /// and critical-path attribution would silently lose that phase.
+    ObsPhaseUncovered,
     /// An incrementally repaired plan diverges from a from-scratch
     /// partition of the same live edge set: different coverage, a violated
     /// restriction, or a different verification verdict.
@@ -175,6 +180,7 @@ impl Code {
             Code::KernelFusionCoverage => "K005",
             Code::KernelFusionUntested => "K006",
             Code::ObsUncovered => "O001",
+            Code::ObsPhaseUncovered => "O002",
             Code::RepairDivergence => "C001",
             Code::CacheArtifactUntested => "C002",
             Code::ScheduleWriteOverlap => "R001",
@@ -418,7 +424,9 @@ pub mod prelude {
         verify_chunk_mapping, verify_chunk_ranges, verify_fused_parity_registry,
         verify_fusion, verify_plan_compat, verify_program,
     };
-    pub use crate::obscheck::verify_instrumentation;
+    pub use crate::obscheck::{
+        check_phase_sources, verify_instrumentation, verify_phase_instrumentation,
+    };
     pub use crate::plan::verify_plan;
     pub use crate::repair::{verify_cache_roundtrip_registry, verify_repair};
     pub use crate::sharding::{verify_exchange, verify_placement, verify_shard_coverage};

@@ -1,4 +1,5 @@
-//! Span-instrumentation coverage (`O001`).
+//! Span-instrumentation coverage (`O001`) and cluster phase coverage
+//! (`O002`).
 //!
 //! The observability layer only describes what it is told about: a hot
 //! execution path that never opens a `wisegraph_obs::span!` is invisible
@@ -411,6 +412,173 @@ pub fn verify_instrumentation(root: &Path) -> Report {
     report
 }
 
+/// Cluster schedule phases and mailbox operations that must stay
+/// phase-instrumented (`O002`), per file: `(function, required tokens
+/// in its raw body)`. The critical-path analyzer reconstructs device
+/// timelines purely from `cluster.phase.*` spans and the causal edges
+/// the mailbox emits — a schedule that computes outside
+/// `record_compute`, or an exchange that drops its phase span, would
+/// not fail any test; it would just vanish from the attribution report.
+/// This table pins the tokens that keep each phase visible.
+pub const REQUIRED_PHASES: &[PhaseFileSpec] = &[(
+    "crates/kernels/src/cluster.rs",
+    &[
+        // The mailbox operations: every exchange opens the exchange
+        // phase span; every compute runs under the compute phase span.
+        ("exchange", &["cluster.phase.exchange", "span!"]),
+        ("record_compute", &["cluster.phase.compute", "span!"]),
+        // The device driver lane tags itself so traces and lane naming
+        // can attribute spans to a device.
+        ("run_devices", &["cluster.device"]),
+        // Every schedule routes compute through `record_compute` and
+        // communication through `exchange` — no untimed side channels.
+        ("run_halo_schedule", &["record_compute", ".exchange("]),
+        ("run_compute_then_reduce", &["record_compute", ".exchange("]),
+        ("run_tensor_parallel", &["record_compute", ".exchange("]),
+    ],
+)];
+
+/// Finds each definition of `name` in noise-stripped source and returns
+/// its 1-indexed declaration line and body byte range (braces included).
+/// Because [`strip_noise`] is byte-length-preserving, the ranges index
+/// the *raw* source too — which is what `O002` needs, since its phase
+/// tokens (`"cluster.phase.exchange"`) live inside string literals that
+/// stripping blanks out.
+fn fn_body_ranges(clean: &str, name: &str) -> Vec<(usize, std::ops::Range<usize>)> {
+    let bytes = clean.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while let Some(rel) = clean[i..].find("fn ") {
+        let at = i + rel;
+        i = at + 3;
+        if at > 0 && is_ident(clean[..at].chars().next_back().unwrap()) {
+            continue;
+        }
+        let found: String = clean[i..].chars().take_while(|&c| is_ident(c)).collect();
+        if found != name {
+            continue;
+        }
+        let line = clean[..at].matches('\n').count() + 1;
+        // Skip the signature (tracking nesting so `;` inside generics'
+        // arrays doesn't end it); a top-level `;` means no body.
+        let mut j = i + name.len();
+        let mut depth = 0usize;
+        let open = loop {
+            if j >= bytes.len() {
+                break None;
+            }
+            match bytes[j] {
+                b'(' | b'[' => depth += 1,
+                b')' | b']' => depth = depth.saturating_sub(1),
+                b';' if depth == 0 => break None,
+                b'{' if depth == 0 => break Some(j),
+                _ => {}
+            }
+            j += 1;
+        };
+        let Some(open) = open else { continue };
+        let mut braces = 0usize;
+        let mut end = bytes.len();
+        for (k, &c) in bytes.iter().enumerate().skip(open) {
+            match c {
+                b'{' => braces += 1,
+                b'}' => {
+                    braces -= 1;
+                    if braces == 0 {
+                        end = k + 1;
+                        break;
+                    }
+                }
+                _ => {}
+            }
+        }
+        out.push((line, open..end));
+        i = open;
+    }
+    out
+}
+
+/// One phase-check input: `(label, source, [(function, tokens)])`.
+pub type PhaseFile<'a> = (&'a str, &'a str, &'a [(&'a str, &'a [&'a str])]);
+
+/// One [`REQUIRED_PHASES`] row: `(path, [(function, tokens)])`.
+pub type PhaseFileSpec = (&'static str, &'static [(&'static str, &'static [&'static str])]);
+
+/// Checks cluster phase coverage over an in-memory file set:
+/// `(label, source, [(function, required tokens)])` triples. Exposed
+/// separately from [`verify_phase_instrumentation`] so tests can feed
+/// fixtures. A function passes if *some* definition of it contains
+/// every required token in its raw body (comments and literals count —
+/// the tokens are span names inside literals); otherwise the first
+/// definition is reported with its missing tokens.
+pub fn check_phase_sources(files: &[PhaseFile<'_>]) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for (label, src, required) in files {
+        let clean = strip_noise(src);
+        for (name, tokens) in *required {
+            let defs = fn_body_ranges(&clean, name);
+            if defs.is_empty() {
+                out.push(Diagnostic::error(
+                    Code::ObsPhaseUncovered,
+                    Span::Global,
+                    format!("{label}: required phase-instrumented function `{name}` not found"),
+                )
+                .with_suggestion(
+                    "if the function was renamed, update analysis::obscheck::REQUIRED_PHASES",
+                ));
+                continue;
+            }
+            let ok = defs
+                .iter()
+                .any(|(_, r)| tokens.iter().all(|t| src[r.clone()].contains(t)));
+            if !ok {
+                let (line, r) = &defs[0];
+                let missing: Vec<&str> = tokens
+                    .iter()
+                    .copied()
+                    .filter(|t| !src[r.clone()].contains(t))
+                    .collect();
+                out.push(Diagnostic::error(
+                    Code::ObsPhaseUncovered,
+                    Span::Global,
+                    format!(
+                        "{label}:{line}: `{name}` is missing phase instrumentation: {}",
+                        missing.join(", ")
+                    ),
+                )
+                .with_suggestion(
+                    "route the phase through its span (cluster.phase.*) or phase-recording call",
+                ));
+            }
+        }
+    }
+    out
+}
+
+/// Runs the `O002` pass over the shipped sources under `root` (the
+/// workspace directory), per [`REQUIRED_PHASES`]. As with `O001`, an
+/// unreadable file is itself an error.
+pub fn verify_phase_instrumentation(root: &Path) -> Report {
+    let mut report = Report::new();
+    let mut loaded: Vec<(usize, String)> = Vec::new();
+    for (i, (rel, _)) in REQUIRED_PHASES.iter().enumerate() {
+        match std::fs::read_to_string(root.join(rel)) {
+            Ok(src) => loaded.push((i, src)),
+            Err(e) => report.push(Diagnostic::error(
+                Code::ObsPhaseUncovered,
+                Span::Global,
+                format!("{rel}: cannot read source to check phase instrumentation: {e}"),
+            )),
+        }
+    }
+    let files: Vec<PhaseFile<'_>> = loaded
+        .iter()
+        .map(|(i, src)| (REQUIRED_PHASES[*i].0, src.as_str(), REQUIRED_PHASES[*i].1))
+        .collect();
+    report.extend(check_phase_sources(&files));
+    report
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -475,6 +643,45 @@ mod tests {
             .expect("workspace root")
             .to_path_buf();
         let report = verify_instrumentation(&root);
+        assert!(report.is_clean(), "{report}");
+    }
+
+    #[test]
+    fn phase_tokens_inside_literals_satisfy_o002() {
+        let src = "pub fn exchange(&mut self) {\n    let _s = span!(\"cluster.phase.exchange\", round = 0);\n}\n";
+        let req: &[(&str, &[&str])] = &[("exchange", &["cluster.phase.exchange", "span!"])];
+        let ds = check_phase_sources(&[("cluster.rs", src, req)]);
+        assert!(ds.is_empty(), "{ds:?}");
+    }
+
+    #[test]
+    fn missing_phase_token_is_o002_with_the_token_named() {
+        let src = "fn run_halo_schedule(&self) {\n    self.engines.iter().for_each(|e| e.touch());\n}\n";
+        let req: &[(&str, &[&str])] = &[("run_halo_schedule", &["record_compute", ".exchange("])];
+        let ds = check_phase_sources(&[("cluster.rs", src, req)]);
+        assert_eq!(ds.len(), 1, "{ds:?}");
+        assert_eq!(ds[0].code, Code::ObsPhaseUncovered);
+        assert_eq!(ds[0].code.as_str(), "O002");
+        assert!(ds[0].message.contains("record_compute"), "{}", ds[0].message);
+        assert!(ds[0].message.contains("cluster.rs:1"), "{}", ds[0].message);
+    }
+
+    #[test]
+    fn missing_phase_function_is_reported_not_skipped() {
+        let req: &[(&str, &[&str])] = &[("exchange", &["cluster.phase.exchange"])];
+        let ds = check_phase_sources(&[("cluster.rs", "fn other() {}\n", req)]);
+        assert_eq!(ds.len(), 1);
+        assert!(ds[0].message.contains("not found"), "{}", ds[0].message);
+    }
+
+    #[test]
+    fn real_sources_are_fully_phase_covered() {
+        let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+            .ancestors()
+            .nth(2)
+            .expect("workspace root")
+            .to_path_buf();
+        let report = verify_phase_instrumentation(&root);
         assert!(report.is_clean(), "{report}");
     }
 }

@@ -97,6 +97,39 @@ pub fn execute_sharded(
     f_in: usize,
     f_out: usize,
 ) -> Result<(ClusterRun, PlacementChoice), CompileError> {
+    execute_sharded_layer(cluster, dfg, g, plan, globals, fabric, f_in, f_out, 0)
+}
+
+/// [`execute_sharded`] for one layer of a multi-layer model: stamps
+/// `layer` on the cluster's phase spans, timeline segments, and causal
+/// attribution ([`ClusterEngine::set_layer`]) so per-layer overlap
+/// headroom in the [`ClusterRun::attribution`] report names the layer
+/// that could have posted its sends earlier.
+///
+/// # Errors
+///
+/// See [`execute_sharded`].
+///
+/// # Panics
+///
+/// Panics if a device or worker thread panics.
+#[allow(clippy::too_many_arguments)]
+pub fn execute_sharded_layer(
+    cluster: &ClusterEngine,
+    dfg: &Dfg,
+    g: &Graph,
+    plan: &PartitionPlan,
+    globals: &HashMap<String, Tensor>,
+    fabric: &Fabric,
+    f_in: usize,
+    f_out: usize,
+    layer: u32,
+) -> Result<(ClusterRun, PlacementChoice), CompileError> {
+    let mut sp = span!(
+        "sharded.execute",
+        devices = cluster.devices(),
+        layer = layer
+    );
     let program = compile(dfg, g)?;
     let choice = select_placement(
         &program,
@@ -107,7 +140,9 @@ pub fn execute_sharded(
         f_in,
         f_out,
     );
+    cluster.set_layer(layer);
     let run = cluster.execute_program(&program, dfg, g, plan, globals, choice.placement)?;
+    sp.arg("comm_bytes", run.exchange.bytes_sent());
     Ok((run, choice))
 }
 

@@ -51,11 +51,17 @@ use crate::micro::{
     run_epilogue, summarize, CompileError, KernelProgram, MicroKernel,
 };
 use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::Mutex;
 use wisegraph_dfg::Dfg;
 use wisegraph_graph::{AttrKind, Graph, ShardSpec, SrcGroups};
 use wisegraph_gtask::PartitionPlan;
+use wisegraph_obs::causal::{collective_id, CausalEdge, CausalLog, EndpointId};
+use wisegraph_obs::clock::Stopwatch;
+use wisegraph_obs::critical::{
+    analyze, logical_cost, AttributionReport, DeviceTimeline, PhaseKind, Segment,
+};
 use wisegraph_obs::{keys, span, with_lane, Class, Counters};
 use wisegraph_sim::PlacementKind;
 use wisegraph_tensor::Tensor;
@@ -180,6 +186,14 @@ struct Mailbox {
     next_expected: Vec<u64>,
     round: u32,
     log: ExchangeLog,
+    /// Receive-order counter: the `seq` of the next receive endpoint.
+    recv_seq: u64,
+    /// Model layer tag stamped on every phase span and segment.
+    layer: u32,
+    /// Send→receive edges recorded on the receive side.
+    causal: CausalLog,
+    /// The device's phase segments, in execution order.
+    timeline: Vec<Segment>,
 }
 
 impl Mailbox {
@@ -187,6 +201,13 @@ impl Mailbox {
     /// (empty messages included — the round structure is fixed), then
     /// drains exactly one message per peer in ascending device order,
     /// verifying round tags and per-sender sequence numbers.
+    ///
+    /// The round is one `cluster.phase.exchange` span and one exchange
+    /// [`Segment`], and every drained message records a [`CausalEdge`]
+    /// from the sender's wire endpoint `(from, round, seq)` to this
+    /// device's receive endpoint `(me, round, recv_seq)` — both pure
+    /// functions of the schedule, so the merged edge list is
+    /// bit-identical across runs and thread counts.
     fn exchange(
         &mut self,
         collective: &'static str,
@@ -196,12 +217,23 @@ impl Mailbox {
         assert_eq!(outgoing.len(), d, "one outgoing slot per device");
         let round = self.round;
         self.round += 1;
+        let mut sp = span!(
+            "cluster.phase.exchange",
+            device = self.me,
+            layer = self.layer,
+            round = round,
+            coll = collective_id(collective)
+        );
+        let sw = Stopwatch::start();
+        let mut moved = 0u64;
+        let mut idle_ns = 0u64;
         for (p, slot) in outgoing.iter_mut().enumerate() {
             if p == self.me {
                 continue;
             }
             let (rows, payload) = std::mem::take(slot);
             let bytes = 4 * (rows.len() + payload.len()) as u64;
+            moved += bytes;
             self.log.events.push(ExchangeEvent {
                 collective,
                 round,
@@ -221,7 +253,9 @@ impl Mailbox {
             if s == self.me {
                 continue;
             }
+            let blocked = Stopwatch::start();
             let m = self.rxs[s].recv().expect("peer device closed its channels");
+            idle_ns += blocked.elapsed_ns();
             assert_eq!(m.from, s, "message arrived on the wrong channel");
             assert_eq!(
                 m.round, round,
@@ -234,18 +268,86 @@ impl Mailbox {
                 m.seq
             );
             self.next_expected[s] = m.seq + 1;
+            let bytes = 4 * (m.rows.len() + m.payload.len()) as u64;
+            moved += bytes;
             self.log.events.push(ExchangeEvent {
                 collective,
                 round,
                 from: s,
                 to: self.me,
-                bytes: 4 * (m.rows.len() + m.payload.len()) as u64,
+                bytes,
                 direction: Direction::Received,
             });
+            self.causal.edges.push(CausalEdge {
+                collective,
+                from: EndpointId {
+                    device: s as u32,
+                    round,
+                    seq: m.seq,
+                },
+                to: EndpointId {
+                    device: self.me as u32,
+                    round,
+                    seq: self.recv_seq,
+                },
+                bytes,
+            });
+            self.recv_seq += 1;
             got.push(m);
         }
+        let wall_ns = sw.elapsed_ns();
+        let idle_ns = idle_ns.min(wall_ns);
+        sp.arg("cost", moved);
+        sp.arg("wall_ns", wall_ns);
+        sp.arg("idle_ns", idle_ns);
+        self.timeline.push(Segment {
+            kind: PhaseKind::Exchange { collective, round },
+            layer: self.layer,
+            cost: moved,
+            wall_ns,
+            idle_wall_ns: idle_ns,
+        });
         got
     }
+
+    /// Runs `f` as one `cluster.phase.compute` span and compute
+    /// [`Segment`]. The segment's logical cost is the engine's Work-class
+    /// [`logical_cost`] delta across the call plus `extra_cost` of the
+    /// result — the latter covers element work done outside the engine
+    /// (prologue projection, reduce accumulation, epilogue assembly).
+    fn record_compute<R>(
+        &mut self,
+        engine: &Engine,
+        f: impl FnOnce() -> Result<R, CompileError>,
+        extra_cost: impl FnOnce(&R) -> u64,
+    ) -> Result<R, CompileError> {
+        let mut sp = span!("cluster.phase.compute", device = self.me, layer = self.layer);
+        let before = logical_cost(&engine.stats());
+        let sw = Stopwatch::start();
+        let out = f()?;
+        let wall_ns = sw.elapsed_ns();
+        let cost =
+            logical_cost(&engine.stats()).saturating_sub(before) + extra_cost(&out);
+        sp.arg("cost", cost);
+        sp.arg("wall_ns", wall_ns);
+        self.timeline.push(Segment {
+            kind: PhaseKind::Compute,
+            layer: self.layer,
+            cost,
+            wall_ns,
+            idle_wall_ns: 0,
+        });
+        Ok(out)
+    }
+}
+
+/// The per-run observability artifacts [`ClusterEngine::run_devices`]
+/// collects beside the device results: the merged exchange log, the
+/// merged causal edges, and one phase timeline per device.
+struct RunArtifacts {
+    exchange: ExchangeLog,
+    causal: CausalLog,
+    timelines: Vec<DeviceTimeline>,
 }
 
 /// What one cluster execution produced.
@@ -261,6 +363,23 @@ pub struct ClusterRun {
     pub per_device: Vec<Counters>,
     /// The schedule that ran.
     pub placement: PlacementKind,
+    /// Send→receive causal edges, merged in ascending device order.
+    pub causal: CausalLog,
+    /// Per-device phase timelines (compute/exchange segments with
+    /// logical costs and a wall overlay), in device order.
+    pub timelines: Vec<DeviceTimeline>,
+}
+
+impl ClusterRun {
+    /// Replays this run's timelines against its causal edges and returns
+    /// the critical-path / idle-time / straggler attribution report.
+    ///
+    /// # Errors
+    ///
+    /// See [`analyze`].
+    pub fn attribution(&self) -> Result<AttributionReport, String> {
+        analyze(&self.timelines, &self.causal)
+    }
 }
 
 /// Why a placement cannot run a given program.
@@ -502,6 +621,8 @@ pub struct ClusterEngine {
     engines: Vec<Engine>,
     threads_per_device: usize,
     log: Mutex<ExchangeLog>,
+    /// Layer tag stamped on phase spans/segments of subsequent runs.
+    layer: AtomicU32,
 }
 
 impl ClusterEngine {
@@ -539,7 +660,15 @@ impl ClusterEngine {
             engines,
             threads_per_device,
             log: Mutex::new(ExchangeLog::default()),
+            layer: AtomicU32::new(0),
         }
+    }
+
+    /// Sets the model-layer tag stamped on the phase spans, segments, and
+    /// attribution of subsequent runs (multi-layer drivers call this
+    /// before each layer; single-layer runs keep the default 0).
+    pub fn set_layer(&self, layer: u32) {
+        self.layer.store(layer, Ordering::Relaxed);
     }
 
     /// Number of devices.
@@ -640,7 +769,7 @@ impl ClusterEngine {
                     .into(),
             ));
         }
-        let (outputs, exchange) = match placement {
+        let (outputs, art) = match placement {
             PlacementKind::DataParallel => {
                 self.run_halo_schedule(program, dfg, g, plan, globals, false)?
             }
@@ -658,24 +787,29 @@ impl ClusterEngine {
             .lock()
             .expect("cluster log poisoned")
             .events
-            .extend(exchange.events.iter().cloned());
+            .extend(art.exchange.events.iter().cloned());
         Ok(ClusterRun {
             outputs,
-            exchange,
+            exchange: art.exchange,
             per_device: self.engines.iter().map(Engine::stats).collect(),
             placement,
+            causal: art.causal,
+            timelines: art.timelines,
         })
     }
 
     /// Spawns one thread per device, wires the channel grid, runs `f` on
-    /// each, and returns the per-device results plus the merged exchange
-    /// log (ascending device order). Errors propagate in device order.
-    fn run_devices<T, F>(&self, f: F) -> Result<(Vec<T>, ExchangeLog), CompileError>
+    /// each, and returns the per-device results plus the merged
+    /// observability artifacts (exchange log, causal edges, phase
+    /// timelines — all in ascending device order). Errors propagate in
+    /// device order.
+    fn run_devices<T, F>(&self, f: F) -> Result<(Vec<T>, RunArtifacts), CompileError>
     where
         T: Send,
         F: Fn(usize, &mut Mailbox) -> Result<T, CompileError> + Sync,
     {
         let d = self.devices();
+        let layer = self.layer.load(Ordering::Relaxed);
         // Channel grid: tx_grid[s][r] sends s → r; rx_grid[r][s] receives
         // s → r. Dedicated per-pair channels mean a device drains "the
         // message from s" by index, and a crashed peer disconnects
@@ -694,7 +828,8 @@ impl ClusterEngine {
         }
         // Transpose: device dev sends on tx_grid[dev] (its row) and
         // receives on rx_grid[dev] (its column).
-        let results: Vec<Result<(T, ExchangeLog), CompileError>> =
+        type DeviceOut<T> = (T, ExchangeLog, CausalLog, DeviceTimeline);
+        let results: Vec<Result<DeviceOut<T>, CompileError>> =
             std::thread::scope(|scope| {
                 let handles: Vec<_> = tx_grid
                     .into_iter()
@@ -714,8 +849,22 @@ impl ClusterEngine {
                                     next_expected: vec![0; d],
                                     round: 0,
                                     log: ExchangeLog::default(),
+                                    recv_seq: 0,
+                                    layer,
+                                    causal: CausalLog::new(),
+                                    timeline: Vec::new(),
                                 };
-                                f(dev, &mut mb).map(|t| (t, std::mem::take(&mut mb.log)))
+                                f(dev, &mut mb).map(|t| {
+                                    (
+                                        t,
+                                        std::mem::take(&mut mb.log),
+                                        std::mem::take(&mut mb.causal),
+                                        DeviceTimeline {
+                                            device: dev as u32,
+                                            segments: std::mem::take(&mut mb.timeline),
+                                        },
+                                    )
+                                })
                             })
                         })
                     })
@@ -726,13 +875,19 @@ impl ClusterEngine {
                     .collect()
             });
         let mut outs = Vec::with_capacity(d);
-        let mut log = ExchangeLog::default();
+        let mut art = RunArtifacts {
+            exchange: ExchangeLog::default(),
+            causal: CausalLog::new(),
+            timelines: Vec::with_capacity(d),
+        };
         for r in results {
-            let (t, l) = r?;
+            let (t, l, causal, timeline) = r?;
             outs.push(t);
-            log.events.extend(l.events);
+            art.exchange.events.extend(l.events);
+            art.causal.merge(causal);
+            art.timelines.push(timeline);
         }
-        Ok((outs, log))
+        Ok((outs, art))
     }
 
     /// Data-parallel and project-then-communicate: both filter the plan
@@ -748,7 +903,7 @@ impl ClusterEngine {
         plan: &PartitionPlan,
         globals: &HashMap<String, Tensor>,
         project_first: bool,
-    ) -> Result<(Vec<Tensor>, ExchangeLog), CompileError> {
+    ) -> Result<(Vec<Tensor>, RunArtifacts), CompileError> {
         let d = self.devices();
         let v = g.num_vertices();
         let spec = ShardSpec::new(v, d);
@@ -767,25 +922,42 @@ impl ClusterEngine {
         } else {
             vertex_rowed_names(globals, v)
         };
-        let (outs, log) = self.run_devices(|dev, mb| {
+        let (outs, art) = self.run_devices(|dev, mb| {
             let own = spec.owned_range(dev);
             let mut dglobals = masked_globals(globals, v, |r| own.contains(&r));
             let mut prologue_map: HashMap<String, Tensor> = HashMap::new();
             if project_first {
-                let pre = eval_edge_independent_public(dfg, g, &dglobals);
-                for id in &program.prologue {
-                    let t = pre.get(id).cloned().ok_or_else(|| {
-                        CompileError(format!("prologue node {} not evaluable", id.0))
-                    })?;
-                    if t.dims().first() != Some(&v) {
-                        return Err(CompileError(format!(
-                            "project_then_communicate: prologue node {} is not \
-                             vertex-rowed, its rows have no home device",
-                            id.0
-                        )));
-                    }
-                    prologue_map.insert(prologue_name(*id), t);
-                }
+                prologue_map = mb.record_compute(
+                    &self.engines[dev],
+                    || {
+                        let pre = eval_edge_independent_public(dfg, g, &dglobals);
+                        let mut m = HashMap::new();
+                        for id in &program.prologue {
+                            let t = pre.get(id).cloned().ok_or_else(|| {
+                                CompileError(format!(
+                                    "prologue node {} not evaluable",
+                                    id.0
+                                ))
+                            })?;
+                            if t.dims().first() != Some(&v) {
+                                return Err(CompileError(format!(
+                                    "project_then_communicate: prologue node {} is \
+                                     not vertex-rowed, its rows have no home device",
+                                    id.0
+                                )));
+                            }
+                            m.insert(prologue_name(*id), t);
+                        }
+                        Ok(m)
+                    },
+                    |m| {
+                        program
+                            .prologue
+                            .iter()
+                            .map(|id| m[&prologue_name(*id)].numel() as u64)
+                            .sum()
+                    },
+                )?;
             }
             for name in &exchange_names {
                 let local = if let Some(t) = prologue_map.get(name) {
@@ -816,20 +988,31 @@ impl ClusterEngine {
                     scatter_payload(target, &m.rows, &m.payload, w);
                 }
             }
+            let engine = &self.engines[dev];
             if project_first {
-                self.engines[dev].execute_program_with_prologue(
-                    program,
-                    dfg,
-                    g,
-                    &dplans[dev],
-                    &dglobals,
-                    &prologue_map,
+                mb.record_compute(
+                    engine,
+                    || {
+                        engine.execute_program_with_prologue(
+                            program,
+                            dfg,
+                            g,
+                            &dplans[dev],
+                            &dglobals,
+                            &prologue_map,
+                        )
+                    },
+                    |_| 0,
                 )
             } else {
-                self.engines[dev].execute_program(program, dfg, g, &dplans[dev], &dglobals)
+                mb.record_compute(
+                    engine,
+                    || engine.execute_program(program, dfg, g, &dplans[dev], &dglobals),
+                    |_| 0,
+                )
             }
         })?;
-        Ok((merge_vertex_outputs(&spec, v, &outs)?, log))
+        Ok((merge_vertex_outputs(&spec, v, &outs)?, art))
     }
 
     /// Compute-then-reduce: edges partition by source into the canonical
@@ -844,7 +1027,7 @@ impl ClusterEngine {
         g: &Graph,
         plan: &PartitionPlan,
         globals: &HashMap<String, Tensor>,
-    ) -> Result<(Vec<Tensor>, ExchangeLog), CompileError> {
+    ) -> Result<(Vec<Tensor>, RunArtifacts), CompileError> {
         let d = self.devices();
         let v = g.num_vertices();
         let spec = ShardSpec::new(v, d);
@@ -852,7 +1035,7 @@ impl ClusterEngine {
         let ngroups = groups.num_groups();
         let group_owner = ShardSpec::new(ngroups, d);
         let w = program.out_width;
-        let (outs, log) = self.run_devices(|dev, mb| {
+        let (outs, art) = self.run_devices(|dev, mb| {
             let own = spec.owned_range(dev);
             let my_groups = groups.groups_of_device(dev, d);
             // Rows this device reads: its groups' source ranges (per-task
@@ -870,13 +1053,21 @@ impl ClusterEngine {
             let dglobals = masked_globals(globals, v, |r| {
                 src_range.contains(&r) || own.contains(&r)
             });
-            let mut partials: Vec<Tensor> = Vec::with_capacity(my_groups.len());
-            for grp in my_groups.clone() {
-                let gp = plan.filtered(g, |e| groups.group_of(g.src()[e]) == grp);
-                partials.push(self.engines[dev].accumulate_program(
-                    program, g, &gp, &dglobals,
-                )?);
-            }
+            let partials: Vec<Tensor> = mb.record_compute(
+                &self.engines[dev],
+                || {
+                    let mut partials = Vec::with_capacity(my_groups.len());
+                    for grp in my_groups.clone() {
+                        let gp =
+                            plan.filtered(g, |e| groups.group_of(g.src()[e]) == grp);
+                        partials.push(self.engines[dev].accumulate_program(
+                            program, g, &gp, &dglobals,
+                        )?);
+                    }
+                    Ok(partials)
+                },
+                |_| 0,
+            )?;
             let mut acc = Tensor::zeros(&[v, w]);
             for grp in 0..ngroups {
                 let owner = group_owner.owner(grp as u32);
@@ -895,35 +1086,48 @@ impl ClusterEngine {
                 let got = mb.exchange("reduce_scatter", outgoing);
                 // Exactly one contribution per group, added in ascending
                 // global group order — same float sequence at every D.
-                if owner == dev {
-                    let part = &partials[grp - my_groups.start];
-                    for r in own.clone() {
-                        for (a, b) in acc.row_mut(r).iter_mut().zip(part.row(r)) {
-                            *a += *b;
+                mb.record_compute(
+                    &self.engines[dev],
+                    || {
+                        if owner == dev {
+                            let part = &partials[grp - my_groups.start];
+                            for r in own.clone() {
+                                for (a, b) in
+                                    acc.row_mut(r).iter_mut().zip(part.row(r))
+                                {
+                                    *a += *b;
+                                }
+                            }
+                        } else {
+                            let idx = if owner < dev { owner } else { owner - 1 };
+                            let m = &got[idx];
+                            assert_eq!(
+                                m.payload.len(),
+                                own.len() * w,
+                                "reduce-scatter slice width mismatch"
+                            );
+                            for (i, r) in own.clone().enumerate() {
+                                for (a, b) in acc
+                                    .row_mut(r)
+                                    .iter_mut()
+                                    .zip(&m.payload[i * w..(i + 1) * w])
+                                {
+                                    *a += *b;
+                                }
+                            }
                         }
-                    }
-                } else {
-                    let idx = if owner < dev { owner } else { owner - 1 };
-                    let m = &got[idx];
-                    assert_eq!(
-                        m.payload.len(),
-                        own.len() * w,
-                        "reduce-scatter slice width mismatch"
-                    );
-                    for (i, r) in own.clone().enumerate() {
-                        for (a, b) in acc
-                            .row_mut(r)
-                            .iter_mut()
-                            .zip(&m.payload[i * w..(i + 1) * w])
-                        {
-                            *a += *b;
-                        }
-                    }
-                }
+                        Ok(())
+                    },
+                    |()| (own.len() * w) as u64,
+                )?;
             }
-            Ok(run_epilogue(dfg, g, &dglobals, program.reduce_node, acc))
+            mb.record_compute(
+                &self.engines[dev],
+                || Ok(run_epilogue(dfg, g, &dglobals, program.reduce_node, acc)),
+                |outs| outs.iter().map(|t| t.numel() as u64).sum(),
+            )
         })?;
-        Ok((merge_vertex_outputs(&spec, v, &outs)?, log))
+        Ok((merge_vertex_outputs(&spec, v, &outs)?, art))
     }
 
     /// Tensor parallelism: every device runs *all* edges on its column
@@ -939,29 +1143,34 @@ impl ClusterEngine {
         g: &Graph,
         plan: &PartitionPlan,
         globals: &HashMap<String, Tensor>,
-    ) -> Result<(Vec<Tensor>, ExchangeLog), CompileError> {
+    ) -> Result<(Vec<Tensor>, RunArtifacts), CompileError> {
         let d = self.devices();
         let v = g.num_vertices();
         let wtotal = program.out_width;
         let cols = ShardSpec::new(wtotal, d);
         let slice_name = tp_slice_global(program, globals)
             .expect("compatibility check found a slice target");
-        let (mut outs, log) = self.run_devices(|dev, mb| {
+        let (mut outs, art) = self.run_devices(|dev, mb| {
             let my_cols = cols.owned_range(dev);
-            let payload: Vec<f32> = if my_cols.is_empty() {
-                Vec::new()
-            } else {
-                let mut prog = program.clone();
-                prog.out_width = my_cols.len();
-                let mut dglobals = globals.clone();
-                dglobals.insert(
-                    slice_name.clone(),
-                    slice_last_dim(&globals[&slice_name], my_cols.clone()),
-                );
-                let part =
-                    self.engines[dev].accumulate_program(&prog, g, plan, &dglobals)?;
-                part.data().to_vec()
-            };
+            let payload: Vec<f32> = mb.record_compute(
+                &self.engines[dev],
+                || {
+                    if my_cols.is_empty() {
+                        return Ok(Vec::new());
+                    }
+                    let mut prog = program.clone();
+                    prog.out_width = my_cols.len();
+                    let mut dglobals = globals.clone();
+                    dglobals.insert(
+                        slice_name.clone(),
+                        slice_last_dim(&globals[&slice_name], my_cols.clone()),
+                    );
+                    let part =
+                        self.engines[dev].accumulate_program(&prog, g, plan, &dglobals)?;
+                    Ok(part.data().to_vec())
+                },
+                |_| 0,
+            )?;
             let outgoing: Vec<(Vec<u32>, Vec<f32>)> = (0..d)
                 .map(|p| {
                     if p == dev {
@@ -972,29 +1181,41 @@ impl ClusterEngine {
                 })
                 .collect();
             let got = mb.exchange("all_gather", outgoing);
-            let mut acc = Tensor::zeros(&[v, wtotal]);
-            for p in 0..d {
-                let r = cols.owned_range(p);
-                if r.is_empty() {
-                    continue;
-                }
-                let src: &[f32] = if p == dev {
-                    &payload
-                } else {
-                    let idx = if p < dev { p } else { p - 1 };
-                    &got[idx].payload
-                };
-                assert_eq!(src.len(), v * r.len(), "all-gather slice mismatch");
-                for row in 0..v {
-                    acc.data_mut()[row * wtotal + r.start..row * wtotal + r.end]
-                        .copy_from_slice(&src[row * r.len()..(row + 1) * r.len()]);
-                }
-            }
-            Ok(run_epilogue(dfg, g, globals, program.reduce_node, acc))
+            mb.record_compute(
+                &self.engines[dev],
+                || {
+                    let mut acc = Tensor::zeros(&[v, wtotal]);
+                    for p in 0..d {
+                        let r = cols.owned_range(p);
+                        if r.is_empty() {
+                            continue;
+                        }
+                        let src: &[f32] = if p == dev {
+                            &payload
+                        } else {
+                            let idx = if p < dev { p } else { p - 1 };
+                            &got[idx].payload
+                        };
+                        assert_eq!(src.len(), v * r.len(), "all-gather slice mismatch");
+                        for row in 0..v {
+                            acc.data_mut()
+                                [row * wtotal + r.start..row * wtotal + r.end]
+                                .copy_from_slice(
+                                    &src[row * r.len()..(row + 1) * r.len()],
+                                );
+                        }
+                    }
+                    Ok(run_epilogue(dfg, g, globals, program.reduce_node, acc))
+                },
+                |outs| {
+                    (v * wtotal) as u64
+                        + outs.iter().map(|t| t.numel() as u64).sum::<u64>()
+                },
+            )
         })?;
         // Every device assembled the identical full accumulator and ran
         // the identical epilogue; device 0's outputs are the outputs.
-        Ok((outs.swap_remove(0), log))
+        Ok((outs.swap_remove(0), art))
     }
 }
 
@@ -1253,6 +1474,39 @@ mod tests {
         let program = compile(&dfg, &g).unwrap();
         // GCN accumulates raw embeddings at f_in: h carries the width.
         assert_eq!(tp_slice_global(&program, &globals).as_deref(), Some("h"));
+    }
+
+    #[test]
+    fn attribution_reports_cover_every_schedule() {
+        let (g, dfg, globals) = gcn_setup();
+        let plan = partition(&g, &PartitionTable::vertex_centric());
+        let program = compile(&dfg, &g).unwrap();
+        for placement in compatible_placements(&program, &g, &globals) {
+            let cluster = ClusterEngine::new(3, 2);
+            cluster.set_layer(2);
+            let run = cluster.execute(&dfg, &g, &plan, &globals, placement).unwrap();
+            run.causal.check_pairing().expect("paired endpoints");
+            // One causal edge per drained message, bytes conserved
+            // against the exchange log's receive side.
+            assert_eq!(
+                run.causal.total_bytes(),
+                run.exchange.bytes_received(),
+                "{placement:?}"
+            );
+            assert_eq!(run.timelines.len(), 3);
+            assert!(run
+                .timelines
+                .iter()
+                .all(|tl| tl.segments.iter().all(|s| s.layer == 2)));
+            let report = run.attribution().expect("analyzes");
+            assert!(report.makespan > 0, "{placement:?}");
+            assert_eq!(report.devices.len(), 3);
+            assert!(
+                report.devices.iter().map(|a| a.busy).sum::<u64>() > 0,
+                "{placement:?}"
+            );
+            assert!(report.straggler_ranking.len() == 3);
+        }
     }
 
     #[test]

@@ -1,0 +1,256 @@
+//! Causal edges between cluster devices.
+//!
+//! Spans see each device lane in isolation; a causal edge records the
+//! *cross-lane* dependency a collective creates: the send on one device
+//! that a receive on another device blocks on. Endpoint identity is the
+//! deterministic `(device, round, seq)` triple the mailbox protocol
+//! already carries on every message — sender side uses the wire sequence
+//! number, receiver side a per-device receive counter — so the merged
+//! edge list is a pure function of the schedule, bit-identical across
+//! runs and thread counts. The [`crate::critical`] analyzer replays these
+//! edges to find the critical path and attribute idle time.
+
+use crate::json::Json;
+
+/// The collectives a mailbox can run, in stable id order. Span args are
+/// numeric, so exchange spans carry `collective_id`; this table maps the
+/// ids back to names when a trace is folded into timelines.
+pub const COLLECTIVES: [&str; 3] = ["all_to_all", "reduce_scatter", "all_gather"];
+
+/// Stable numeric id for a collective name (for span args).
+///
+/// # Panics
+///
+/// Panics on a name not in [`COLLECTIVES`].
+pub fn collective_id(name: &str) -> u64 {
+    COLLECTIVES
+        .iter()
+        .position(|&c| c == name)
+        .unwrap_or_else(|| panic!("unknown collective {name:?}")) as u64
+}
+
+/// Inverse of [`collective_id`].
+///
+/// # Panics
+///
+/// Panics on an out-of-range id.
+pub fn collective_name(id: u64) -> &'static str {
+    COLLECTIVES[id as usize]
+}
+
+/// One endpoint of a causal edge: a send or receive identified by its
+/// device, exchange round, and per-device sequence number.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct EndpointId {
+    /// Device index.
+    pub device: u32,
+    /// Mailbox exchange round the operation belonged to.
+    pub round: u32,
+    /// Sender: wire sequence number. Receiver: receive-order counter.
+    pub seq: u64,
+}
+
+/// A send→receive dependency recorded by the receiving device.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CausalEdge {
+    /// Which collective produced the edge.
+    pub collective: &'static str,
+    /// The send endpoint (on the peer device).
+    pub from: EndpointId,
+    /// The receive endpoint (on the recording device).
+    pub to: EndpointId,
+    /// Payload bytes carried across the edge.
+    pub bytes: u64,
+}
+
+/// A mergeable log of causal edges.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct CausalLog {
+    /// Edges in receive order per recording device (unmerged order is
+    /// per-device; use [`CausalLog::sorted`] for the canonical view).
+    pub edges: Vec<CausalEdge>,
+}
+
+impl CausalLog {
+    /// An empty log.
+    pub fn new() -> Self {
+        CausalLog::default()
+    }
+
+    /// Appends another device's edges.
+    pub fn merge(&mut self, other: CausalLog) {
+        self.edges.extend(other.edges);
+    }
+
+    /// Edges in canonical order: by receiver `(device, round, seq)`, then
+    /// sender device. Deterministic regardless of merge order because
+    /// receiver endpoints are unique.
+    pub fn sorted(&self) -> Vec<CausalEdge> {
+        let mut v = self.edges.clone();
+        v.sort_by_key(|e| (e.to, e.from));
+        v
+    }
+
+    /// Edges received in a given round, in canonical order.
+    pub fn round_edges(&self, round: u32) -> Vec<CausalEdge> {
+        self.sorted()
+            .into_iter()
+            .filter(|e| e.to.round == round)
+            .collect()
+    }
+
+    /// Total bytes across all edges.
+    pub fn total_bytes(&self) -> u64 {
+        self.edges.iter().map(|e| e.bytes).sum()
+    }
+
+    /// Checks the structural invariants of a merged log: every receive
+    /// endpoint names exactly one edge, every send endpoint names exactly
+    /// one edge, a device never messages itself, and sender wire
+    /// sequence numbers are strictly increasing per sender (the mailbox
+    /// ordering guarantee).
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated invariant.
+    pub fn check_pairing(&self) -> Result<(), String> {
+        let edges = self.sorted();
+        let mut seen_to: Vec<(u32, EndpointId)> = Vec::new();
+        let mut seen_from: Vec<(u32, EndpointId)> = Vec::new();
+        for e in &edges {
+            if e.from.device == e.to.device {
+                return Err(format!("self edge on device {}", e.to.device));
+            }
+            if e.from.round != e.to.round {
+                return Err(format!(
+                    "round mismatch: send round {} vs receive round {}",
+                    e.from.round, e.to.round
+                ));
+            }
+            seen_to.push((e.to.device, e.to));
+            seen_from.push((e.from.device, e.from));
+        }
+        seen_to.sort();
+        seen_from.sort();
+        for w in seen_to.windows(2) {
+            if w[0] == w[1] {
+                return Err(format!("duplicate receive endpoint {:?}", w[0].1));
+            }
+        }
+        for w in seen_from.windows(2) {
+            if w[0] == w[1] {
+                return Err(format!("duplicate send endpoint {:?}", w[0].1));
+            }
+        }
+        // Per-sender wire seqs must be strictly increasing in round order.
+        let mut by_sender: Vec<(u32, u32, u64)> = edges
+            .iter()
+            .map(|e| (e.from.device, e.from.round, e.from.seq))
+            .collect();
+        by_sender.sort();
+        for w in by_sender.windows(2) {
+            if w[0].0 == w[1].0 && w[0].2 >= w[1].2 {
+                return Err(format!(
+                    "sender {} wire seq not increasing: {} then {}",
+                    w[0].0, w[0].2, w[1].2
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Byte-stable JSON for the canonical edge list.
+    pub fn to_json(&self) -> String {
+        let rows: Vec<Json> = self
+            .sorted()
+            .iter()
+            .map(|e| {
+                let mut m = std::collections::BTreeMap::new();
+                m.insert("collective".to_string(), Json::Str(e.collective.to_string()));
+                m.insert("from_device".to_string(), Json::Num(f64::from(e.from.device)));
+                m.insert("from_seq".to_string(), Json::Num(e.from.seq as f64));
+                m.insert("round".to_string(), Json::Num(f64::from(e.to.round)));
+                m.insert("to_device".to_string(), Json::Num(f64::from(e.to.device)));
+                m.insert("to_seq".to_string(), Json::Num(e.to.seq as f64));
+                m.insert("bytes".to_string(), Json::Num(e.bytes as f64));
+                Json::Obj(m)
+            })
+            .collect();
+        Json::Arr(rows).to_string_compact()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn edge(from: u32, to: u32, round: u32, fseq: u64, tseq: u64) -> CausalEdge {
+        CausalEdge {
+            collective: "all_to_all",
+            from: EndpointId {
+                device: from,
+                round,
+                seq: fseq,
+            },
+            to: EndpointId {
+                device: to,
+                round,
+                seq: tseq,
+            },
+            bytes: 16,
+        }
+    }
+
+    #[test]
+    fn collective_ids_roundtrip() {
+        for (i, name) in COLLECTIVES.iter().enumerate() {
+            assert_eq!(collective_id(name), i as u64);
+            assert_eq!(collective_name(i as u64), *name);
+        }
+    }
+
+    #[test]
+    fn sorted_is_merge_order_independent() {
+        let mut a = CausalLog::new();
+        a.edges.push(edge(1, 0, 0, 0, 0));
+        a.edges.push(edge(0, 1, 0, 0, 0));
+        let mut b = CausalLog::new();
+        b.edges.push(edge(0, 1, 0, 0, 0));
+        b.edges.push(edge(1, 0, 0, 0, 0));
+        assert_eq!(a.sorted(), b.sorted());
+        assert_eq!(a.to_json(), b.to_json());
+    }
+
+    #[test]
+    fn pairing_accepts_a_clean_round() {
+        let mut log = CausalLog::new();
+        log.edges.push(edge(1, 0, 0, 0, 0));
+        log.edges.push(edge(0, 1, 0, 0, 0));
+        assert!(log.check_pairing().is_ok());
+    }
+
+    #[test]
+    fn pairing_rejects_duplicate_receive() {
+        let mut log = CausalLog::new();
+        log.edges.push(edge(1, 0, 0, 0, 0));
+        log.edges.push(edge(1, 0, 0, 1, 0));
+        assert!(log.check_pairing().unwrap_err().contains("receive"));
+    }
+
+    #[test]
+    fn pairing_rejects_self_edge() {
+        let mut log = CausalLog::new();
+        log.edges.push(edge(0, 0, 0, 0, 0));
+        assert!(log.check_pairing().unwrap_err().contains("self edge"));
+    }
+
+    #[test]
+    fn pairing_rejects_non_increasing_wire_seq() {
+        let mut log = CausalLog::new();
+        log.edges.push(edge(1, 0, 0, 5, 0));
+        let mut e = edge(1, 2, 1, 5, 0);
+        e.from.seq = 5;
+        log.edges.push(e);
+        assert!(log.check_pairing().unwrap_err().contains("seq"));
+    }
+}

@@ -1,0 +1,856 @@
+//! Critical-path and idle-time attribution over device timelines.
+//!
+//! The cluster records, per device, an alternating sequence of *compute*
+//! and *exchange* phase segments (each carrying a deterministic logical
+//! cost plus a wall-clock overlay), and a [`CausalLog`] of send→receive
+//! edges. This module replays that record on a logical clock: computes
+//! advance a device's clock by their cost, exchange rounds serialize
+//! sends in ascending peer order and make each receive wait for the
+//! matching send to complete. The replay yields exactly the quantities
+//! the overlap ROADMAP item needs — the critical path through the device
+//! DAG, a per-device busy/exchange/idle breakdown, a straggler ranking,
+//! and per-layer *overlap headroom*: idle time a posted-early send could
+//! have reclaimed, bounded by the compute the sender had available to
+//! overlap.
+//!
+//! Everything derived from costs and edges is [`Class::Work`]: a pure
+//! function of graph, schedule, and device count, bit-identical across
+//! runs and thread counts, and therefore gateable. Wall-clock sums and
+//! the wall histogram ride along as a [`Class::Timing`] overlay.
+
+use std::collections::BTreeMap;
+
+use crate::causal::{collective_name, CausalLog};
+use crate::counters::{Class, Counters};
+use crate::hist::Histogram;
+use crate::json::Json;
+use crate::keys;
+use crate::span::{Phase, Trace};
+
+/// Span name cluster devices use for compute phases.
+pub const COMPUTE_SPAN: &str = "cluster.phase.compute";
+/// Span name cluster devices use for exchange phases.
+pub const EXCHANGE_SPAN: &str = "cluster.phase.exchange";
+
+/// The logical cost of the work a counter snapshot describes: FLOPs plus
+/// edges plus moved bytes normalized to element units. Work-class inputs
+/// only, so the result is bit-identical across runs and thread counts.
+pub fn logical_cost(c: &Counters) -> u64 {
+    c.count(keys::KERNEL_FLOPS)
+        + c.count(keys::KERNEL_EDGES)
+        + (c.count(keys::KERNEL_BYTES_GATHERED) + c.count(keys::KERNEL_BYTES_SCATTERED)) / 4
+}
+
+/// What a timeline segment did.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PhaseKind {
+    /// Local computation (engine work, prologue/epilogue evaluation).
+    Compute,
+    /// One collective exchange round.
+    Exchange {
+        /// The collective that ran.
+        collective: &'static str,
+        /// The mailbox round it occupied.
+        round: u32,
+    },
+}
+
+/// One phase on one device: a logical cost plus a wall-clock overlay.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Segment {
+    /// Compute or exchange.
+    pub kind: PhaseKind,
+    /// The model layer the phase belongs to (0 for single-layer runs).
+    pub layer: u32,
+    /// Logical cost: compute = [`logical_cost`] delta (+ any non-engine
+    /// element work); exchange = bytes sent plus bytes received.
+    pub cost: u64,
+    /// Measured wall time of the phase (Timing overlay).
+    pub wall_ns: u64,
+    /// Wall time spent blocked in receives (exchange phases only).
+    pub idle_wall_ns: u64,
+}
+
+/// The ordered phase segments one device executed.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct DeviceTimeline {
+    /// Device index.
+    pub device: u32,
+    /// Segments in execution order.
+    pub segments: Vec<Segment>,
+}
+
+impl DeviceTimeline {
+    /// The Work-class view: wall overlays zeroed, logical fields kept.
+    /// Two timelines of the same execution agree on this view even though
+    /// their wall clocks differ.
+    pub fn logical(&self) -> DeviceTimeline {
+        DeviceTimeline {
+            device: self.device,
+            segments: self
+                .segments
+                .iter()
+                .map(|s| Segment {
+                    wall_ns: 0,
+                    idle_wall_ns: 0,
+                    ..*s
+                })
+                .collect(),
+        }
+    }
+}
+
+/// Per-device totals from the replay, in logical units plus wall overlay.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DeviceAttribution {
+    /// Device index.
+    pub device: u32,
+    /// Logical compute units.
+    pub busy: u64,
+    /// Logical exchange units (bytes sent + received).
+    pub exchange: u64,
+    /// Logical units spent waiting for not-yet-complete sends.
+    pub idle_wait: u64,
+    /// Logical clock when the device finished its last segment.
+    pub finish: u64,
+    /// Measured wall time in compute phases (Timing overlay).
+    pub busy_wall_ns: u64,
+    /// Measured wall time in exchange phases net of blocking (Timing).
+    pub exchange_wall_ns: u64,
+    /// Measured wall time blocked in receives (Timing overlay).
+    pub idle_wall_ns: u64,
+}
+
+/// One hop of the critical path.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CriticalStep {
+    /// Device the step ran on.
+    pub device: u32,
+    /// `"compute"`, `"send"`, `"recv"`, or `"wait"`.
+    pub kind: &'static str,
+    /// Layer of the segment the step belongs to.
+    pub layer: u32,
+    /// Logical length of the step.
+    pub len: u64,
+}
+
+/// The full attribution report for one cluster run.
+#[derive(Clone, Debug, PartialEq)]
+pub struct AttributionReport {
+    /// Per-device totals, in device order.
+    pub devices: Vec<DeviceAttribution>,
+    /// Logical length of the critical path (= cluster makespan).
+    pub makespan: u64,
+    /// The critical path, start to finish; hops devices at waits.
+    pub critical_path: Vec<CriticalStep>,
+    /// Devices most-loaded first (by busy + exchange, ties by index).
+    pub straggler_ranking: Vec<u32>,
+    /// Per-layer overlap headroom: idle a posted-early send could
+    /// reclaim, bounded by the blocking sender's preceding compute.
+    pub headroom_by_layer: BTreeMap<u32, u64>,
+    /// Work-class histogram of per-segment logical costs.
+    pub cost_hist: Histogram,
+    /// Timing histogram of per-segment wall microseconds.
+    pub wall_hist: Histogram,
+}
+
+/// Replay item kinds (internal to the scheduler).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum ItemKind {
+    Compute,
+    Send,
+    Recv,
+    Wait,
+}
+
+impl ItemKind {
+    fn name(self) -> &'static str {
+        match self {
+            ItemKind::Compute => "compute",
+            ItemKind::Send => "send",
+            ItemKind::Recv => "recv",
+            ItemKind::Wait => "wait",
+        }
+    }
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Item {
+    kind: ItemKind,
+    layer: u32,
+    start: u64,
+    end: u64,
+    /// `(device, item index)` of the step this one waited on; `None` at
+    /// the head of a device's chain.
+    pred: Option<(usize, usize)>,
+}
+
+/// Replays the per-device timelines against the causal edges and returns
+/// the attribution report. Deterministic: only logical costs, rounds,
+/// and edge byte counts decide the Work-class fields.
+///
+/// # Errors
+///
+/// Fails if the causal log violates the mailbox pairing invariants, if
+/// device timelines disagree on exchange-round alignment (the schedules
+/// are SPMD, so every device reaches the same rounds in the same order),
+/// or if an edge references a round no timeline is at.
+pub fn analyze(timelines: &[DeviceTimeline], causal: &CausalLog) -> Result<AttributionReport, String> {
+    let d = timelines.len();
+    if d == 0 {
+        return Err("no device timelines".to_string());
+    }
+    causal.check_pairing()?;
+    // (round, from, to) -> bytes. Pairing guarantees uniqueness.
+    let mut edge_bytes: BTreeMap<(u32, u32, u32), u64> = BTreeMap::new();
+    for e in &causal.edges {
+        if e.from.device as usize >= d || e.to.device as usize >= d {
+            return Err(format!(
+                "edge references device {} outside the {} timelines",
+                e.from.device.max(e.to.device),
+                d
+            ));
+        }
+        edge_bytes.insert((e.to.round, e.from.device, e.to.device), e.bytes);
+    }
+
+    let mut pos = vec![0usize; d];
+    let mut clock = vec![0u64; d];
+    let mut busy = vec![0u64; d];
+    let mut exchange = vec![0u64; d];
+    let mut idle_wait = vec![0u64; d];
+    let mut busy_wall = vec![0u64; d];
+    let mut exchange_wall = vec![0u64; d];
+    let mut idle_wall = vec![0u64; d];
+    let mut items: Vec<Vec<Item>> = vec![Vec::new(); d];
+    let mut last_compute = vec![0u64; d];
+    let mut headroom: BTreeMap<u32, u64> = BTreeMap::new();
+    let mut cost_hist = Histogram::new();
+    let mut wall_hist = Histogram::new();
+
+    loop {
+        // Advance every device through its run of compute segments.
+        for i in 0..d {
+            while let Some(seg) = timelines[i].segments.get(pos[i]) {
+                if seg.kind != PhaseKind::Compute {
+                    break;
+                }
+                let pred = items[i].len().checked_sub(1).map(|j| (i, j));
+                items[i].push(Item {
+                    kind: ItemKind::Compute,
+                    layer: seg.layer,
+                    start: clock[i],
+                    end: clock[i] + seg.cost,
+                    pred,
+                });
+                clock[i] += seg.cost;
+                busy[i] += seg.cost;
+                busy_wall[i] += seg.wall_ns;
+                last_compute[i] = seg.cost;
+                cost_hist.record(seg.cost);
+                wall_hist.record(seg.wall_ns / 1000);
+                pos[i] += 1;
+            }
+        }
+        if (0..d).all(|i| pos[i] == timelines[i].segments.len()) {
+            break;
+        }
+        // Every device must now sit at the same exchange round (SPMD).
+        let mut round: Option<u32> = None;
+        for (i, tl) in timelines.iter().enumerate() {
+            let seg = tl.segments.get(pos[i]).ok_or_else(|| {
+                format!("device {i} ran out of segments while others exchange")
+            })?;
+            let PhaseKind::Exchange { round: r, .. } = seg.kind else {
+                unreachable!("computes were advanced above");
+            };
+            match round {
+                None => round = Some(r),
+                Some(r0) if r0 == r => {}
+                Some(r0) => {
+                    return Err(format!(
+                        "misaligned exchange rounds: device 0 at {r0}, device {i} at {r}"
+                    ))
+                }
+            }
+        }
+        let round = round.unwrap();
+        // Sends: each device serializes its outgoing messages in
+        // ascending peer order (the mailbox send loop).
+        let mut send_done: BTreeMap<(usize, usize), (u64, (usize, usize))> = BTreeMap::new();
+        let mut after_send = clock.clone();
+        for s in 0..d {
+            let layer = timelines[s].segments[pos[s]].layer;
+            for r in 0..d {
+                if r == s {
+                    continue;
+                }
+                if let Some(&bytes) = edge_bytes.get(&(round, s as u32, r as u32)) {
+                    let pred = items[s].len().checked_sub(1).map(|j| (s, j));
+                    let start = after_send[s];
+                    after_send[s] = start + bytes;
+                    items[s].push(Item {
+                        kind: ItemKind::Send,
+                        layer,
+                        start,
+                        end: after_send[s],
+                        pred,
+                    });
+                    send_done.insert((s, r), (after_send[s], (s, items[s].len() - 1)));
+                    exchange[s] += bytes;
+                }
+            }
+        }
+        // Receives: ascending peer order (the mailbox drain loop); a
+        // receive whose send is not yet complete blocks the device.
+        for i in 0..d {
+            let seg = timelines[i].segments[pos[i]];
+            let mut ti = after_send[i];
+            for s in 0..d {
+                if s == i {
+                    continue;
+                }
+                if let Some(&bytes) = edge_bytes.get(&(round, s as u32, i as u32)) {
+                    let (arrival, send_item) = send_done[&(s, i)];
+                    if arrival > ti {
+                        let wait = arrival - ti;
+                        idle_wait[i] += wait;
+                        *headroom.entry(seg.layer).or_insert(0) += wait.min(last_compute[s]);
+                        items[i].push(Item {
+                            kind: ItemKind::Wait,
+                            layer: seg.layer,
+                            start: ti,
+                            end: arrival,
+                            pred: Some(send_item),
+                        });
+                        ti = arrival;
+                    }
+                    let pred = items[i].len().checked_sub(1).map(|j| (i, j));
+                    items[i].push(Item {
+                        kind: ItemKind::Recv,
+                        layer: seg.layer,
+                        start: ti,
+                        end: ti + bytes,
+                        pred,
+                    });
+                    ti += bytes;
+                    exchange[i] += bytes;
+                }
+            }
+            clock[i] = ti;
+            let blocked = seg.idle_wall_ns.min(seg.wall_ns);
+            idle_wall[i] += blocked;
+            exchange_wall[i] += seg.wall_ns - blocked;
+            cost_hist.record(seg.cost);
+            wall_hist.record(seg.wall_ns / 1000);
+            pos[i] += 1;
+        }
+    }
+    // Every causal edge must have been consumed by a replayed round.
+    for &(round, from, to) in edge_bytes.keys() {
+        let replayed = timelines.iter().any(|tl| {
+            tl.segments
+                .iter()
+                .any(|s| matches!(s.kind, PhaseKind::Exchange { round: r, .. } if r == round))
+        });
+        if !replayed {
+            return Err(format!(
+                "edge {from}->{to} references round {round} absent from all timelines"
+            ));
+        }
+    }
+    // Critical path: walk predecessor links back from the last item of
+    // the latest-finishing device.
+    let makespan = clock.iter().copied().max().unwrap_or(0);
+    let mut critical_path = Vec::new();
+    // Ties between equal finishers resolve toward the most-blocked
+    // device, so the reported path walks through the cross-device wait
+    // that explains the makespan rather than a local-only chain.
+    let tail_dev = (0..d)
+        .max_by_key(|&i| (clock[i], idle_wait[i], std::cmp::Reverse(i)))
+        .unwrap_or(0);
+    let mut cur = items[tail_dev].len().checked_sub(1).map(|j| (tail_dev, j));
+    while let Some((dev, j)) = cur {
+        let it = items[dev][j];
+        critical_path.push(CriticalStep {
+            device: dev as u32,
+            kind: it.kind.name(),
+            layer: it.layer,
+            len: it.end - it.start,
+        });
+        cur = it.pred;
+    }
+    critical_path.reverse();
+
+    let mut straggler_ranking: Vec<u32> = (0..d as u32).collect();
+    straggler_ranking
+        .sort_by_key(|&i| (std::cmp::Reverse(busy[i as usize] + exchange[i as usize]), i));
+
+    let devices = (0..d)
+        .map(|i| DeviceAttribution {
+            device: timelines[i].device,
+            busy: busy[i],
+            exchange: exchange[i],
+            idle_wait: idle_wait[i],
+            finish: clock[i],
+            busy_wall_ns: busy_wall[i],
+            exchange_wall_ns: exchange_wall[i],
+            idle_wall_ns: idle_wall[i],
+        })
+        .collect();
+
+    Ok(AttributionReport {
+        devices,
+        makespan,
+        critical_path,
+        straggler_ranking,
+        headroom_by_layer: headroom,
+        cost_hist,
+        wall_hist,
+    })
+}
+
+impl AttributionReport {
+    /// The most-loaded device.
+    pub fn straggler(&self) -> u32 {
+        self.straggler_ranking.first().copied().unwrap_or(0)
+    }
+
+    /// Total overlap headroom across layers.
+    pub fn headroom_total(&self) -> u64 {
+        self.headroom_by_layer.values().sum()
+    }
+
+    /// Per-device `(busy, exchange, idle)` fractions of the makespan.
+    /// Idle includes both blocking waits and the tail slack between the
+    /// device finishing and the cluster finishing, so the three fractions
+    /// sum to 1 per device.
+    pub fn fractions(&self, device: usize) -> (f64, f64, f64) {
+        let a = &self.devices[device];
+        if self.makespan == 0 {
+            return (0.0, 0.0, 0.0);
+        }
+        let m = self.makespan as f64;
+        let idle = a.idle_wait + (self.makespan - a.finish);
+        (
+            a.busy as f64 / m,
+            a.exchange as f64 / m,
+            idle as f64 / m,
+        )
+    }
+
+    /// Records the report into a counter registry: logical attribution as
+    /// [`Class::Work`] (gateable), wall sums and the wall histogram as a
+    /// [`Class::Timing`] overlay.
+    pub fn record_counters(&self, c: &mut Counters) {
+        c.record_max("critical.len", self.makespan, Class::Work);
+        c.add_class("critical.steps", self.critical_path.len() as u64, Class::Work);
+        c.record_max(
+            "critical.straggler_device",
+            u64::from(self.straggler()),
+            Class::Work,
+        );
+        c.add_class("critical.headroom", self.headroom_total(), Class::Work);
+        for (&layer, &h) in &self.headroom_by_layer {
+            c.add_class(format!("critical.layer.{layer:02}.headroom"), h, Class::Work);
+        }
+        for a in &self.devices {
+            let p = keys::device_prefix(a.device as usize);
+            c.add_class(format!("{p}.attr_busy"), a.busy, Class::Work);
+            c.add_class(format!("{p}.attr_exchange"), a.exchange, Class::Work);
+            c.add_class(format!("{p}.attr_idle"), a.idle_wait, Class::Work);
+            c.record_max(format!("{p}.attr_finish"), a.finish, Class::Work);
+        }
+        self.cost_hist.to_counters(c, "hist.cost", Class::Work);
+        let busy_wall: u64 = self.devices.iter().map(|a| a.busy_wall_ns).sum();
+        let exch_wall: u64 = self.devices.iter().map(|a| a.exchange_wall_ns).sum();
+        let idle_wall: u64 = self.devices.iter().map(|a| a.idle_wall_ns).sum();
+        c.set_gauge("wall.busy_ns", busy_wall as f64, Class::Timing);
+        c.set_gauge("wall.exchange_ns", exch_wall as f64, Class::Timing);
+        c.set_gauge("wall.idle_ns", idle_wall as f64, Class::Timing);
+        self.wall_hist.to_counters(c, "hist.wall_us", Class::Timing);
+    }
+
+    fn hist_json(h: &Histogram) -> Json {
+        let mut m = BTreeMap::new();
+        m.insert("values".to_string(), Json::Num(h.count() as f64));
+        m.insert("max".to_string(), Json::Num(h.max() as f64));
+        let mut buckets = BTreeMap::new();
+        for i in 0..crate::hist::NUM_BUCKETS {
+            if h.bucket(i) > 0 {
+                buckets.insert(format!("{i:02}"), Json::Num(h.bucket(i) as f64));
+            }
+        }
+        m.insert("buckets".to_string(), Json::Obj(buckets));
+        Json::Obj(m)
+    }
+
+    fn json_value(&self, include_wall: bool) -> Json {
+        let mut root = BTreeMap::new();
+        root.insert(
+            "schema".to_string(),
+            Json::Str("wisegraph-critical/v1".to_string()),
+        );
+        root.insert("makespan".to_string(), Json::Num(self.makespan as f64));
+        root.insert(
+            "straggler".to_string(),
+            Json::Num(f64::from(self.straggler())),
+        );
+        root.insert(
+            "straggler_ranking".to_string(),
+            Json::Arr(
+                self.straggler_ranking
+                    .iter()
+                    .map(|&i| Json::Num(f64::from(i)))
+                    .collect(),
+            ),
+        );
+        root.insert(
+            "headroom_total".to_string(),
+            Json::Num(self.headroom_total() as f64),
+        );
+        let mut hl = BTreeMap::new();
+        for (&layer, &h) in &self.headroom_by_layer {
+            hl.insert(format!("{layer:02}"), Json::Num(h as f64));
+        }
+        root.insert("headroom_by_layer".to_string(), Json::Obj(hl));
+        let devs: Vec<Json> = self
+            .devices
+            .iter()
+            .map(|a| {
+                let mut m = BTreeMap::new();
+                m.insert("device".to_string(), Json::Num(f64::from(a.device)));
+                m.insert("busy".to_string(), Json::Num(a.busy as f64));
+                m.insert("exchange".to_string(), Json::Num(a.exchange as f64));
+                m.insert("idle_wait".to_string(), Json::Num(a.idle_wait as f64));
+                m.insert("finish".to_string(), Json::Num(a.finish as f64));
+                if include_wall {
+                    m.insert(
+                        "busy_wall_ns".to_string(),
+                        Json::Num(a.busy_wall_ns as f64),
+                    );
+                    m.insert(
+                        "exchange_wall_ns".to_string(),
+                        Json::Num(a.exchange_wall_ns as f64),
+                    );
+                    m.insert(
+                        "idle_wall_ns".to_string(),
+                        Json::Num(a.idle_wall_ns as f64),
+                    );
+                }
+                Json::Obj(m)
+            })
+            .collect();
+        root.insert("devices".to_string(), Json::Arr(devs));
+        let path: Vec<Json> = self
+            .critical_path
+            .iter()
+            .map(|s| {
+                let mut m = BTreeMap::new();
+                m.insert("device".to_string(), Json::Num(f64::from(s.device)));
+                m.insert("kind".to_string(), Json::Str(s.kind.to_string()));
+                m.insert("layer".to_string(), Json::Num(f64::from(s.layer)));
+                m.insert("len".to_string(), Json::Num(s.len as f64));
+                Json::Obj(m)
+            })
+            .collect();
+        root.insert("critical_path".to_string(), Json::Arr(path));
+        root.insert("hist_cost".to_string(), Self::hist_json(&self.cost_hist));
+        if include_wall {
+            root.insert("hist_wall_us".to_string(), Self::hist_json(&self.wall_hist));
+        }
+        Json::Obj(root)
+    }
+
+    /// The full report as a JSON value (includes the Timing overlay).
+    pub fn to_json(&self) -> Json {
+        self.json_value(true)
+    }
+
+    /// Byte-stable JSON of the Work-class view only: bit-identical across
+    /// runs and thread counts for the same schedule.
+    pub fn work_json(&self) -> String {
+        self.json_value(false).to_string_compact()
+    }
+}
+
+fn find_arg(args: &[(&'static str, u64)], key: &str) -> Option<u64> {
+    args.iter().find(|(k, _)| *k == key).map(|&(_, v)| v)
+}
+
+/// Folds a captured span stream back into device timelines: pairs the
+/// `cluster.phase.*` Begin/End events per lane and rebuilds each device's
+/// [`Segment`] sequence from the span args. The logical view of the
+/// result is identical to the timelines the cluster recorded directly —
+/// the trace alone is enough to run [`analyze`].
+///
+/// # Errors
+///
+/// Fails on an ill-formed stream: an unmatched or nested phase span.
+pub fn timelines_from_trace(trace: &Trace) -> Result<Vec<DeviceTimeline>, String> {
+    /// An unmatched phase Begin: `(device, begin args, span name)`.
+    type OpenPhase = (u64, Vec<(&'static str, u64)>, &'static str);
+    let mut open: BTreeMap<u32, OpenPhase> = BTreeMap::new();
+    let mut by_device: BTreeMap<u32, Vec<Segment>> = BTreeMap::new();
+    for e in trace.sorted_events() {
+        if e.name != COMPUTE_SPAN && e.name != EXCHANGE_SPAN {
+            continue;
+        }
+        match e.phase {
+            Phase::Begin => {
+                if open.contains_key(&e.lane) {
+                    return Err(format!("nested phase span on lane {}", e.lane));
+                }
+                let device = find_arg(&e.args, "device")
+                    .ok_or_else(|| format!("{} without device arg", e.name))?;
+                open.insert(e.lane, (device, e.args.clone(), e.name));
+            }
+            Phase::End => {
+                let (device, begin_args, name) = open
+                    .remove(&e.lane)
+                    .ok_or_else(|| format!("phase end without begin on lane {}", e.lane))?;
+                if name != e.name {
+                    return Err(format!("phase span mismatch on lane {}", e.lane));
+                }
+                let layer = find_arg(&begin_args, "layer").unwrap_or(0) as u32;
+                let cost = find_arg(&e.args, "cost").unwrap_or(0);
+                let wall_ns = find_arg(&e.args, "wall_ns").unwrap_or(0);
+                let kind = if name == COMPUTE_SPAN {
+                    PhaseKind::Compute
+                } else {
+                    let round = find_arg(&begin_args, "round").unwrap_or(0) as u32;
+                    let coll = find_arg(&begin_args, "coll").unwrap_or(0);
+                    PhaseKind::Exchange {
+                        collective: collective_name(coll),
+                        round,
+                    }
+                };
+                let idle_wall_ns = find_arg(&e.args, "idle_ns").unwrap_or(0);
+                by_device.entry(device as u32).or_default().push(Segment {
+                    kind,
+                    layer,
+                    cost,
+                    wall_ns,
+                    idle_wall_ns,
+                });
+            }
+        }
+    }
+    if let Some((lane, _)) = open.iter().next() {
+        return Err(format!("phase span left open on lane {lane}"));
+    }
+    Ok(by_device
+        .into_iter()
+        .map(|(device, segments)| DeviceTimeline { device, segments })
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::causal::{CausalEdge, EndpointId};
+    use crate::span::SpanEvent;
+
+    fn compute(layer: u32, cost: u64) -> Segment {
+        Segment {
+            kind: PhaseKind::Compute,
+            layer,
+            cost,
+            wall_ns: cost * 10,
+            idle_wall_ns: 0,
+        }
+    }
+
+    fn exchange(layer: u32, round: u32, cost: u64) -> Segment {
+        Segment {
+            kind: PhaseKind::Exchange {
+                collective: "all_to_all",
+                round,
+            },
+            layer,
+            cost,
+            wall_ns: cost * 10,
+            idle_wall_ns: 1,
+        }
+    }
+
+    fn edge(from: u32, to: u32, round: u32, seq: u64, bytes: u64) -> CausalEdge {
+        CausalEdge {
+            collective: "all_to_all",
+            from: EndpointId {
+                device: from,
+                round,
+                seq,
+            },
+            to: EndpointId {
+                device: to,
+                round,
+                seq,
+            },
+            bytes,
+        }
+    }
+
+    /// Two devices, device 0 computes 100 and device 1 computes 10, then
+    /// they swap 8 bytes each.
+    fn skewed_pair() -> (Vec<DeviceTimeline>, CausalLog) {
+        let timelines = vec![
+            DeviceTimeline {
+                device: 0,
+                segments: vec![compute(0, 100), exchange(0, 0, 16)],
+            },
+            DeviceTimeline {
+                device: 1,
+                segments: vec![compute(0, 10), exchange(0, 0, 16)],
+            },
+        ];
+        let mut log = CausalLog::new();
+        log.edges.push(edge(0, 1, 0, 0, 8));
+        log.edges.push(edge(1, 0, 0, 0, 8));
+        (timelines, log)
+    }
+
+    #[test]
+    fn skewed_pair_attributes_idle_to_the_fast_device() {
+        let (timelines, log) = skewed_pair();
+        let r = analyze(&timelines, &log).expect("analyzes");
+        // Device 0: compute 100, send 8 (done 108), recv arrives at 18
+        // (device 1 computed 10, sent 8) — already there. Finish 116.
+        // Device 1: compute 10, send 8 (done 18), wait for device 0's
+        // send at 108, recv 8 → finish 116.
+        assert_eq!(r.makespan, 116);
+        assert_eq!(r.devices[0].idle_wait, 0);
+        assert_eq!(r.devices[1].idle_wait, 108 - 18);
+        assert_eq!(r.straggler(), 0);
+        // Headroom: the 90-unit wait, within the blocking sender's
+        // 100-unit preceding compute bound.
+        assert_eq!(r.headroom_total(), 90);
+        // The critical path crosses from device 1's tail back through
+        // device 0's send and compute.
+        assert!(r.critical_path.iter().any(|s| s.device == 0));
+        assert!(r.critical_path.iter().any(|s| s.device == 1));
+        assert_eq!(r.critical_path.last().unwrap().kind, "recv");
+        let (b0, e0, i0) = r.fractions(0);
+        assert!((b0 + e0 + i0 - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn analysis_ignores_wall_overlay_in_work_view() {
+        let (timelines, log) = skewed_pair();
+        let a = analyze(&timelines, &log).expect("a");
+        let noisy: Vec<DeviceTimeline> = timelines
+            .iter()
+            .map(|tl| DeviceTimeline {
+                device: tl.device,
+                segments: tl
+                    .segments
+                    .iter()
+                    .map(|s| Segment {
+                        wall_ns: s.wall_ns * 3 + 7,
+                        idle_wall_ns: s.idle_wall_ns + 2,
+                        ..*s
+                    })
+                    .collect(),
+            })
+            .collect();
+        let b = analyze(&noisy, &log).expect("b");
+        assert_eq!(a.work_json(), b.work_json());
+        assert_ne!(a.to_json().to_string_compact(), b.to_json().to_string_compact());
+    }
+
+    #[test]
+    fn misaligned_rounds_are_rejected() {
+        let (mut timelines, log) = skewed_pair();
+        timelines[1].segments[1] = exchange(0, 3, 16);
+        assert!(analyze(&timelines, &log).unwrap_err().contains("misaligned"));
+    }
+
+    #[test]
+    fn counters_split_work_and_timing() {
+        let (timelines, log) = skewed_pair();
+        let r = analyze(&timelines, &log).expect("analyzes");
+        let mut c = Counters::new();
+        r.record_counters(&mut c);
+        assert_eq!(c.count("critical.len"), 116);
+        assert_eq!(c.count("device.00.attr_busy"), 100);
+        assert_eq!(c.count("device.01.attr_idle"), 90);
+        let work = c.only(&[Class::Work]);
+        assert_eq!(work.count("critical.len"), 116);
+        assert_eq!(work.count("hist.cost.values"), 4);
+        // Wall overlay is Timing-class: absent from the Work view.
+        assert!(!crate::counters_to_json(&work).contains("wall."));
+    }
+
+    #[test]
+    fn trace_folding_matches_direct_timelines() {
+        let (timelines, _) = skewed_pair();
+        // Fabricate the event stream the cluster would record: one lane
+        // per device, phase spans with the documented args.
+        let mut events = Vec::new();
+        for tl in &timelines {
+            let lane = tl.device + 1;
+            let mut seq = 0u64;
+            for seg in &tl.segments {
+                seq += 1;
+                let (name, begin_args): (&'static str, Vec<(&'static str, u64)>) = match seg.kind {
+                    PhaseKind::Compute => (
+                        COMPUTE_SPAN,
+                        vec![
+                            ("device", u64::from(tl.device)),
+                            ("layer", u64::from(seg.layer)),
+                        ],
+                    ),
+                    PhaseKind::Exchange { round, .. } => (
+                        EXCHANGE_SPAN,
+                        vec![
+                            ("device", u64::from(tl.device)),
+                            ("layer", u64::from(seg.layer)),
+                            ("round", u64::from(round)),
+                            ("coll", 0),
+                        ],
+                    ),
+                };
+                events.push(SpanEvent {
+                    name,
+                    phase: Phase::Begin,
+                    tid: u64::from(lane),
+                    lane,
+                    seq,
+                    ts_ns: 0,
+                    args: begin_args,
+                });
+                seq += 1;
+                let mut end_args = vec![("cost", seg.cost), ("wall_ns", seg.wall_ns)];
+                if matches!(seg.kind, PhaseKind::Exchange { .. }) {
+                    end_args.push(("idle_ns", seg.idle_wall_ns));
+                }
+                events.push(SpanEvent {
+                    name,
+                    phase: Phase::End,
+                    tid: u64::from(lane),
+                    lane,
+                    seq,
+                    ts_ns: 0,
+                    args: end_args,
+                });
+            }
+        }
+        let trace = Trace { events, dropped: 0 };
+        let folded = timelines_from_trace(&trace).expect("folds");
+        let direct: Vec<DeviceTimeline> = timelines.iter().map(DeviceTimeline::logical).collect();
+        let folded: Vec<DeviceTimeline> = folded.iter().map(DeviceTimeline::logical).collect();
+        assert_eq!(folded, direct);
+    }
+
+    #[test]
+    fn single_device_has_no_idle() {
+        let timelines = vec![DeviceTimeline {
+            device: 0,
+            segments: vec![compute(0, 50), exchange(0, 0, 0)],
+        }];
+        let r = analyze(&timelines, &CausalLog::new()).expect("analyzes");
+        assert_eq!(r.makespan, 50);
+        assert_eq!(r.devices[0].idle_wait, 0);
+        assert_eq!(r.headroom_total(), 0);
+    }
+}

@@ -18,15 +18,66 @@ use std::collections::BTreeMap;
 /// Schema tag written into every metrics document.
 pub const METRICS_SCHEMA: &str = "wisegraph-obs/v1";
 
+/// Derives human-readable track names from the lane discipline: lane 0
+/// is the driver, a lane opening `cluster.device` (arg `device`) is that
+/// device's driver lane, and a lane opening `engine.worker` (arg `slot`)
+/// belongs to the engine whose driver lane sits `slot + 1` below it — a
+/// cluster device's worker when that lane is a device lane, the
+/// single-engine driver's worker otherwise.
+fn lane_names(trace: &Trace) -> BTreeMap<u64, String> {
+    let mut names: BTreeMap<u64, String> = BTreeMap::new();
+    names.insert(0, "driver".to_string());
+    let mut device_lanes: BTreeMap<u32, u64> = BTreeMap::new();
+    for e in trace.sorted_events() {
+        if e.phase != Phase::Begin || e.lane == NO_LANE {
+            continue;
+        }
+        if e.name == "cluster.device" {
+            if let Some(&(_, d)) = e.args.iter().find(|(k, _)| *k == "device") {
+                device_lanes.insert(e.lane, d);
+                names.insert(u64::from(e.lane), format!("device {d}"));
+            }
+        }
+    }
+    for e in trace.sorted_events() {
+        if e.phase != Phase::Begin || e.lane == NO_LANE || e.name != "engine.worker" {
+            continue;
+        }
+        if let Some(&(_, slot)) = e.args.iter().find(|(k, _)| *k == "slot") {
+            let driver_lane = u64::from(e.lane).saturating_sub(slot + 1);
+            let name = match device_lanes.get(&(driver_lane as u32)) {
+                Some(d) if driver_lane > 0 => format!("device {d} worker {slot}"),
+                _ => format!("worker {slot}"),
+            };
+            names.entry(u64::from(e.lane)).or_insert(name);
+        }
+    }
+    names
+}
+
 /// Serializes a trace as Chrome trace-event JSON (Perfetto-loadable).
 ///
 /// Events go out in deterministic merge order; `ts` is the wall-clock
 /// overlay in microseconds (the format's unit). Each logical lane becomes
 /// a `tid`, so engine worker slots render as separate tracks; threads
 /// without a lane fall back to their raw thread id offset past the lanes.
+/// Lanes the cluster discipline can identify (driver, `device N`,
+/// `device N worker W`) get `thread_name` metadata events, so cluster
+/// traces render one labeled row per device instead of anonymous tids.
 pub fn trace_to_chrome_json(trace: &Trace) -> String {
     const LANE_TRACK_LIMIT: u64 = 1 << 20;
     let mut events = Vec::new();
+    for (tid, name) in lane_names(trace) {
+        let mut ev = BTreeMap::new();
+        ev.insert("name".to_string(), Json::Str("thread_name".to_string()));
+        ev.insert("ph".to_string(), Json::Str("M".to_string()));
+        ev.insert("pid".to_string(), Json::Num(1.0));
+        ev.insert("tid".to_string(), Json::Num(tid as f64));
+        let mut args = BTreeMap::new();
+        args.insert("name".to_string(), Json::Str(name));
+        ev.insert("args".to_string(), Json::Obj(args));
+        events.push(Json::Obj(ev));
+    }
     for e in trace.sorted_events() {
         let mut ev = BTreeMap::new();
         ev.insert("name".to_string(), Json::Str(e.name.to_string()));
@@ -176,6 +227,50 @@ mod tests {
         let back = counters_from_json(&text).expect("parses");
         assert_eq!(back, c);
         assert_eq!(counters_to_json(&back), text);
+    }
+
+    #[test]
+    fn cluster_lanes_get_thread_name_metadata() {
+        use crate::span::{Phase, SpanEvent};
+        // Device 1 of a 2-thread-per-device cluster: driver lane 4,
+        // worker slot 0 on lane 5; plus the global driver on lane 0.
+        let ev = |name: &'static str, lane: u32, seq: u64, args: Vec<(&'static str, u64)>| SpanEvent {
+            name,
+            phase: Phase::Begin,
+            tid: u64::from(lane) + 1,
+            lane,
+            seq,
+            ts_ns: 0,
+            args,
+        };
+        let trace = Trace {
+            events: vec![
+                ev("cluster.device", 4, 1, vec![("device", 1)]),
+                ev("engine.worker", 5, 1, vec![("slot", 0), ("tasks", 3)]),
+            ],
+            dropped: 0,
+        };
+        let doc = crate::json::parse(&trace_to_chrome_json(&trace)).expect("valid json");
+        let names: Vec<(f64, &str)> = doc
+            .get("traceEvents")
+            .and_then(Json::as_arr)
+            .expect("events")
+            .iter()
+            .filter(|e| e.get("ph").and_then(Json::as_str) == Some("M"))
+            .map(|e| {
+                (
+                    e.get("tid").and_then(Json::as_num).expect("tid"),
+                    e.get("args")
+                        .and_then(|a| a.get("name"))
+                        .and_then(Json::as_str)
+                        .expect("name"),
+                )
+            })
+            .collect();
+        assert_eq!(
+            names,
+            vec![(0.0, "driver"), (4.0, "device 1"), (5.0, "device 1 worker 0")]
+        );
     }
 
     #[test]

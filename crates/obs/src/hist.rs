@@ -1,0 +1,177 @@
+//! Deterministic fixed-bucket histograms.
+//!
+//! The counter registry records totals; a histogram records *shape* — how
+//! a population of per-segment costs or wall times distributes. The
+//! buckets are fixed powers of two, so the mapping from value to bucket
+//! is a pure function with no data-dependent boundaries: feed the same
+//! values in any order and the bucket counts are bit-identical. That
+//! makes a [`Class::Work`] histogram of logical costs gateable by
+//! `wisegraph-prof --check` exactly like a scalar Work counter, while the
+//! same type doubles as a [`Class::Timing`] overlay for wall-clock
+//! durations (exported, never compared).
+
+use crate::counters::{Class, Counters};
+
+/// Number of buckets. Bucket 0 holds zero values; bucket `i >= 1` holds
+/// values in `[2^(i-1), 2^i)`; the last bucket absorbs everything above.
+pub const NUM_BUCKETS: usize = 24;
+
+/// A fixed power-of-two-bucket histogram over `u64` values.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Histogram {
+    buckets: [u64; NUM_BUCKETS],
+    count: u64,
+    sum: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// The bucket index a value lands in (a pure function of the value).
+pub fn bucket_of(v: u64) -> usize {
+    if v == 0 {
+        0
+    } else {
+        ((64 - v.leading_zeros()) as usize).min(NUM_BUCKETS - 1)
+    }
+}
+
+/// The smallest value that lands in bucket `i`.
+pub fn bucket_lower_bound(i: usize) -> u64 {
+    if i == 0 {
+        0
+    } else {
+        1u64 << (i - 1)
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            buckets: [0; NUM_BUCKETS],
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+
+    /// Records one value.
+    pub fn record(&mut self, v: u64) {
+        self.buckets[bucket_of(v)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of recorded values (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Largest recorded value (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Count in bucket `i`.
+    pub fn bucket(&self, i: usize) -> u64 {
+        self.buckets[i]
+    }
+
+    /// Folds another histogram into this one (bucketwise add).
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Exports the histogram into a counter registry under `prefix`:
+    /// `<prefix>.values` / `<prefix>.max` plus one `<prefix>.bucket.NN`
+    /// sum per non-empty bucket (zero-padded, so lexicographic order is
+    /// bucket order). Empty buckets are omitted — for a deterministic
+    /// input population the emitted key set is itself deterministic.
+    pub fn to_counters(&self, c: &mut Counters, prefix: &str, class: Class) {
+        c.add_class(format!("{prefix}.values"), self.count, class);
+        c.record_max(format!("{prefix}.max"), self.max, class);
+        for (i, &n) in self.buckets.iter().enumerate() {
+            if n > 0 {
+                c.add_class(format!("{prefix}.bucket.{i:02}"), n, class);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries_are_powers_of_two() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(u64::MAX), NUM_BUCKETS - 1);
+        for i in 1..NUM_BUCKETS - 1 {
+            assert_eq!(bucket_of(bucket_lower_bound(i)), i);
+            assert_eq!(bucket_of(bucket_lower_bound(i + 1) - 1), i);
+        }
+    }
+
+    #[test]
+    fn shape_is_order_independent() {
+        let vals = [0u64, 1, 7, 7, 130, 4096, 1 << 40];
+        let mut a = Histogram::new();
+        for v in vals {
+            a.record(v);
+        }
+        let mut b = Histogram::new();
+        for v in vals.iter().rev() {
+            b.record(*v);
+        }
+        assert_eq!(a, b);
+        assert_eq!(a.count(), vals.len() as u64);
+        assert_eq!(a.max(), 1 << 40);
+    }
+
+    #[test]
+    fn merge_adds_bucketwise() {
+        let mut a = Histogram::new();
+        a.record(3);
+        let mut b = Histogram::new();
+        b.record(3);
+        b.record(100);
+        a.merge(&b);
+        assert_eq!(a.bucket(bucket_of(3)), 2);
+        assert_eq!(a.bucket(bucket_of(100)), 1);
+        assert_eq!(a.count(), 3);
+    }
+
+    #[test]
+    fn counter_export_is_stable_and_sorted() {
+        let mut h = Histogram::new();
+        h.record(5);
+        h.record(5);
+        h.record(0);
+        let mut c = Counters::new();
+        h.to_counters(&mut c, "hist.cost", Class::Work);
+        assert_eq!(c.count("hist.cost.values"), 3);
+        assert_eq!(c.count("hist.cost.bucket.00"), 1);
+        assert_eq!(c.count(&format!("hist.cost.bucket.{:02}", bucket_of(5))), 2);
+        assert_eq!(c.count("hist.cost.max"), 5);
+    }
+}

@@ -36,14 +36,20 @@
 //! assert!(chrome.contains("traceEvents"));
 //! ```
 
+pub mod causal;
 pub mod clock;
 pub mod counters;
+pub mod critical;
 pub mod export;
+pub mod hist;
 pub mod json;
 pub mod span;
 
+pub use causal::{CausalEdge, CausalLog, EndpointId};
 pub use counters::{pool_reuse_ratio, Class, Counters, MergeKind, Metric, Value};
+pub use critical::{analyze, AttributionReport, DeviceTimeline, PhaseKind, Segment};
 pub use export::{counters_from_json, counters_to_json, trace_to_chrome_json};
+pub use hist::Histogram;
 pub use span::{capture, with_lane, SpanGuard, Trace};
 
 /// The shared metric-name vocabulary.

@@ -14,15 +14,21 @@
 # suite (tests/sharded_parity.rs, DESIGN.md §13: cluster runs at 1/2/4/8
 # devices match the single engine bit-for-bit for every compatible
 # placement schedule, and the executor's placement selection equals the
-# shared cost model's prediction). After the tests, three gates run: clippy
+# shared cost model's prediction), and the causal-trace determinism suite
+# (tests/causal_determinism.rs, DESIGN.md §14: merged causal edge lists
+# and Work-class critical-path reports bit-identical across runs, thread
+# counts, and 2/4/8 devices). After the tests, three gates run: clippy
 # with warnings denied,
 # wisegraph-lint (the pre-execution plan/DFG/kernel/instrumentation/
-# fusion verifier, DESIGN.md §8) over every built-in model × partition
+# fusion verifier, DESIGN.md §8, including the O002 cluster-phase
+# coverage pass) over every built-in model × partition
 # strategy — once human-readable and once as --json, whose stable machine
 # output is asserted to report zero errors (DESIGN.md §12) — and
-# wisegraph-prof --check (the counter-regression gate, DESIGN.md §9:
-# run-to-run and cross-thread determinism plus tolerance bands against
-# results/prof_baseline.json).
+# wisegraph-prof --critical-path --check (the counter-regression gate,
+# DESIGN.md §9: run-to-run and cross-thread determinism plus tolerance
+# bands against results/prof_baseline.json, now covering the Work-class
+# critical-path attribution, with the deterministic report regenerated
+# into results/prof_critical.json).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -32,9 +38,10 @@ cargo test --release -q --offline --workspace
 cargo test --release -q --offline --test fused_parity
 cargo test --release -q --offline --test planning_cache
 cargo test --release -q --offline --test sharded_parity
+cargo test --release -q --offline --test causal_determinism
 cargo clippy --all-targets --offline --workspace -- -D warnings
 cargo run --release --offline --bin wisegraph-lint
 lint_json="$(cargo run --release --offline --bin wisegraph-lint -- --json)"
 grep -q '"tool": "wisegraph-lint"' <<<"$lint_json"
 grep -q '"errors": 0,' <<<"$lint_json"
-cargo run --release --offline --bin wisegraph-prof -- --check
+cargo run --release --offline --bin wisegraph-prof -- --critical-path --check

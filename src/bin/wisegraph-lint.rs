@@ -12,7 +12,9 @@
 //!   verified for several thread counts;
 //! * the span-instrumentation coverage of the execution entry points is
 //!   checked against the shipped sources (`O001`), so `wisegraph-prof`'s
-//!   timeline cannot silently lose its subjects;
+//!   timeline cannot silently lose its subjects; the cluster schedule
+//!   phases and mailbox operations that feed the causal trace and
+//!   critical-path attribution are likewise checked (`O002`);
 //! * every fusion pattern the micro-kernel codegen can emit must have a
 //!   registered interpreter-parity test in `tests/fused_parity.rs`
 //!   (`K006`), so a pattern cannot land without its differential harness
@@ -244,6 +246,20 @@ fn main() -> ExitCode {
     sink.say(format!(
         "wisegraph-lint: instrumentation coverage checked for {} source files",
         wisegraph::analysis::obscheck::REQUIRED.len()
+    ));
+
+    // Pass 4b: cluster phase coverage (O002). Every cluster schedule
+    // phase and mailbox operation must keep the span / phase-recording
+    // call the causal trace and critical-path attribution are built from.
+    let phase_report =
+        verify_phase_instrumentation(std::path::Path::new(env!("CARGO_MANIFEST_DIR")));
+    sink.report("cluster phase instrumentation", &phase_report);
+    sink.say(format!(
+        "wisegraph-lint: cluster phase coverage checked for {} function(s)",
+        wisegraph::analysis::obscheck::REQUIRED_PHASES
+            .iter()
+            .map(|(_, fns)| fns.len())
+            .sum::<usize>()
     ));
 
     // Pass 5: every fusion pattern must register an interpreter-parity

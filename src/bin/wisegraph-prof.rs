@@ -38,6 +38,16 @@
 //!   optimizer-selected-vs-data-parallel speedup table (the selection is
 //!   asserted never slower).
 //!
+//! * a critical-path attribution section (DESIGN.md §14): per model, the
+//!   vertex-centric plan runs at 2 and 4 devices under every compatible
+//!   placement, and the causal replay folds each run's device timelines
+//!   and send→receive edges into a critical path, a per-device
+//!   busy/exchange/idle breakdown, a straggler ranking, and per-layer
+//!   overlap headroom; the Work-class part lands in the baseline under
+//!   `critical.<model>.<placement>.d<devices>.`, and with
+//!   `--critical-path` the tables print and the deterministic report is
+//!   written to `results/prof_critical.json`.
+//!
 //! Modes:
 //!
 //! * `--check` — regression gate for `scripts/verify.sh`: re-runs the
@@ -47,7 +57,9 @@
 //!   `results/prof_baseline.json` within the per-class tolerance bands
 //!   (`Work` exact, `Resource` within [`RESOURCE_BAND`]);
 //! * `--write-baseline` — rewrites `results/prof_baseline.json` from the
-//!   current run (commit the result deliberately).
+//!   current run (commit the result deliberately);
+//! * `--critical-path` — prints the attribution tables and writes
+//!   `results/prof_critical.json` (Work-class view, byte-stable).
 
 use std::collections::{BTreeMap, HashMap};
 use std::path::Path;
@@ -65,9 +77,10 @@ use wisegraph::kernels::micro::compile;
 use wisegraph::kernels::micro::plan_is_dst_complete;
 use wisegraph::models::ModelKind;
 use wisegraph::obs::clock::Stopwatch;
+use wisegraph::obs::json::Json;
 use wisegraph::obs::{
-    capture, counters_from_json, counters_to_json, trace_to_chrome_json, Class,
-    Counters,
+    capture, counters_from_json, counters_to_json, trace_to_chrome_json,
+    AttributionReport, Class, Counters,
 };
 use wisegraph::tensor::{init, Tensor};
 
@@ -91,6 +104,9 @@ const DIMS: (usize, usize) = (8, 6);
 
 /// Simulated device count for the sharded multi-device section.
 const SHARD_DEVICES: usize = 4;
+
+/// Device counts the critical-path attribution section runs at.
+const CRITICAL_DEVICES: [usize; 2] = [2, 4];
 
 fn models() -> [(ModelKind, &'static str); 4] {
     [
@@ -210,6 +226,15 @@ struct ShardedRow {
     selected: bool,
 }
 
+/// One critical-path attribution run: a model's vertex-centric plan on a
+/// cluster at one device count under one placement schedule.
+struct CriticalRow {
+    model: &'static str,
+    placement: PlacementKind,
+    devices: usize,
+    report: AttributionReport,
+}
+
 /// Everything one suite run produces (besides the captured trace).
 struct SuiteRun {
     /// Counters per model slug (keys prefixed `<table>.`).
@@ -218,6 +243,7 @@ struct SuiteRun {
     all: Counters,
     skew: Vec<SkewRow>,
     sharded: Vec<ShardedRow>,
+    critical: Vec<CriticalRow>,
     timings: Vec<TimingRec>,
     skipped: usize,
 }
@@ -233,6 +259,7 @@ fn run_suite(threads: usize, time_reps: usize) -> SuiteRun {
         all: Counters::new(),
         skew: Vec::new(),
         sharded: Vec::new(),
+        critical: Vec::new(),
         timings: Vec::new(),
         skipped: 0,
     };
@@ -419,28 +446,105 @@ fn run_suite(threads: usize, time_reps: usize) -> SuiteRun {
             });
         }
     }
+
+    // Critical-path attribution section: per model, the vertex-centric
+    // plan runs at each [`CRITICAL_DEVICES`] count under every compatible
+    // placement, and the causal replay ([`ClusterRun::attribution`])
+    // folds the device timelines + causal edges into a critical path,
+    // busy/exchange/idle breakdown, straggler ranking, and per-layer
+    // overlap headroom. Only the Work-class part of the report lands in
+    // `run.all` (under `critical.<slug>.<placement>.d<devices>.`): those
+    // keys are pure functions of (graph, plan, placement, device count),
+    // so all three gates hold them bit-exactly, while the wall-clock
+    // overlay stays out of the rerun-identity comparison.
+    for (model, slug) in models() {
+        let dfg = model.layer_dfg(fi, fo);
+        let program = compile(&dfg, &g).expect("profiled model compiles");
+        let plan = partition(&g, &PartitionTable::vertex_centric());
+        for devices in CRITICAL_DEVICES {
+            for placement in compatible_placements(&program, &g, &globals) {
+                let cluster = ClusterEngine::new(devices, threads);
+                let crun = cluster
+                    .execute_program(&program, &dfg, &g, &plan, &globals, placement)
+                    .expect("critical-path combination executes");
+                let report = crun.attribution().expect("attribution analyzes");
+                let mut c = Counters::new();
+                report.record_counters(&mut c);
+                run.all.merge_prefixed(
+                    &format!("critical.{slug}.{}.d{devices}", placement.name()),
+                    &c.only(&[Class::Work]),
+                );
+                run.critical.push(CriticalRow {
+                    model: slug,
+                    placement,
+                    devices,
+                    report,
+                });
+            }
+        }
+    }
     run
 }
 
-/// Serializes the wall-clock records in the `testkit::bench` report shape.
+/// Serializes the critical-path rows as a deterministic JSON document:
+/// each row embeds the report's Work-class view only, so regenerating the
+/// file on another machine (or thread count) is byte-identical.
+fn critical_to_json(rows: &[CriticalRow]) -> String {
+    let rows_json: Vec<Json> = rows
+        .iter()
+        .map(|r| {
+            let mut m = std::collections::BTreeMap::new();
+            m.insert("model".to_string(), Json::Str(r.model.to_string()));
+            m.insert(
+                "placement".to_string(),
+                Json::Str(r.placement.name().to_string()),
+            );
+            m.insert("devices".to_string(), Json::Num(r.devices as f64));
+            let report = wisegraph::obs::json::parse(&r.report.work_json())
+                .expect("work_json round-trips");
+            m.insert("report".to_string(), report);
+            Json::Obj(m)
+        })
+        .collect();
+    let mut doc = std::collections::BTreeMap::new();
+    doc.insert(
+        "schema".to_string(),
+        Json::Str("wisegraph-prof-critical/v1".to_string()),
+    );
+    doc.insert("rows".to_string(), Json::Arr(rows_json));
+    Json::Obj(doc).to_string_compact()
+}
+
+/// Rounds to two significant decimal digits (half-up), so regenerated
+/// medians only change when the timing moves by more than a few percent.
+fn round_sig2(v: u64) -> u64 {
+    if v < 100 {
+        return v;
+    }
+    let pow = 10u64.pow(v.ilog10() - 1);
+    (v + pow / 2) / pow * pow
+}
+
+/// Serializes the wall-clock records in the `testkit::bench` report shape:
+/// one record per line with `group`, `case`, `samples`, and `median_ns`
+/// (the fields `multi.rs` parses). The median of the fixed
+/// [`TIMING_REPS`]-sample run is rounded to two significant digits —
+/// regenerating the file produces a stable diff instead of full-file
+/// timing noise, while still tracking real (>few-percent) shifts.
 fn timings_to_bench_json(suite: &str, recs: &[TimingRec]) -> String {
     let mut out = String::new();
     out.push_str(&format!("{{\n  \"suite\": \"{suite}\",\n  \"results\": [\n"));
     for (i, r) in recs.iter().enumerate() {
         let mut s = r.samples.clone();
         s.sort_unstable();
-        let median = s[s.len() / 2];
-        let min = s[0];
-        let mean = s.iter().sum::<u64>() / s.len() as u64;
+        let median = round_sig2(s[s.len() / 2]);
         out.push_str(&format!(
             "    {{\"group\": \"{}\", \"case\": \"{}\", \"samples\": {}, \
-             \"median_ns\": {}, \"min_ns\": {}, \"mean_ns\": {}}}{}\n",
+             \"median_ns\": {}}}{}\n",
             r.group,
             r.case,
             s.len(),
             median,
-            min,
-            mean,
             if i + 1 < recs.len() { "," } else { "" }
         ));
     }
@@ -493,12 +597,13 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let check = args.iter().any(|a| a == "--check");
     let write_baseline = args.iter().any(|a| a == "--write-baseline");
+    let critical = args.iter().any(|a| a == "--critical-path");
     if let Some(a) = args
         .iter()
-        .find(|a| *a != "--check" && *a != "--write-baseline")
+        .find(|a| *a != "--check" && *a != "--write-baseline" && *a != "--critical-path")
     {
         eprintln!("wisegraph-prof: unknown argument {a}");
-        eprintln!("usage: wisegraph-prof [--check] [--write-baseline]");
+        eprintln!("usage: wisegraph-prof [--check] [--write-baseline] [--critical-path]");
         return ExitCode::FAILURE;
     }
     let results = Path::new("results");
@@ -657,6 +762,68 @@ fn main() -> ExitCode {
         assert!(
             worst_select_speedup >= 1.0,
             "selected placement slower than always-data-parallel"
+        );
+    }
+
+    // Critical-path attribution tables (opt-in: `--critical-path`). The
+    // percentages are logical fractions of the makespan — deterministic,
+    // not wall clock — and the headroom column is the idle a posted-early
+    // send could have reclaimed (bounded by the sender's prior compute).
+    if critical {
+        println!(
+            "| model | placement | devices | critical len | steps | busy % | exch % | idle % | straggler | headroom |"
+        );
+        println!("|---|---|---|---|---|---|---|---|---|---|");
+        for r in &run.critical {
+            let d = r.report.devices.len();
+            let mut busy = 0.0;
+            let mut exch = 0.0;
+            let mut idle = 0.0;
+            for i in 0..d {
+                let (b, e, w) = r.report.fractions(i);
+                busy += b;
+                exch += e;
+                idle += w;
+            }
+            let n = d.max(1) as f64;
+            println!(
+                "| {} | {} | {} | {} | {} | {:.1} | {:.1} | {:.1} | {} | {} |",
+                r.model,
+                r.placement.name(),
+                r.devices,
+                r.report.makespan,
+                r.report.critical_path.len(),
+                100.0 * busy / n,
+                100.0 * exch / n,
+                100.0 * idle / n,
+                r.report.straggler(),
+                r.report.headroom_total(),
+            );
+        }
+        println!();
+        println!("| model | placement | device | busy | exchange | idle wait | finish |");
+        println!("|---|---|---|---|---|---|---|");
+        for r in &run.critical {
+            if r.devices != SHARD_DEVICES {
+                continue;
+            }
+            for a in &r.report.devices {
+                println!(
+                    "| {} | {} | {} | {} | {} | {} | {} |",
+                    r.model,
+                    r.placement.name(),
+                    a.device,
+                    a.busy,
+                    a.exchange,
+                    a.idle_wait,
+                    a.finish,
+                );
+            }
+        }
+        println!();
+        write(
+            &results.join("prof_critical.json"),
+            &critical_to_json(&run.critical),
         );
     }
 

@@ -1,7 +1,7 @@
 //! Broken-fixture tests for the static verifier: each fixture violates
 //! exactly one invariant and must trigger the documented diagnostic code
 //! (DESIGN.md §8). Together they cover every code the verifier can emit,
-//! P001–P004, D001–D003, K001–K006, O001, C001–C002, R001–R005, and
+//! P001–P004, D001–D003, K001–K006, O001–O002, C001–C002, R001–R005, and
 //! S001–S003, plus
 //! a clean positive control. The R001 fixture additionally runs under the
 //! engine's `ExecMode::Sanitize` shadow-memory sanitizer and asserts the
@@ -278,6 +278,42 @@ fn o001_shipped_sources_are_covered() {
     use wisegraph::analysis::obscheck::verify_instrumentation;
     let report =
         verify_instrumentation(std::path::Path::new(env!("CARGO_MANIFEST_DIR")));
+    assert!(report.is_clean(), "{report}");
+}
+
+#[test]
+fn o002_schedule_phase_not_span_covered() {
+    use wisegraph::analysis::obscheck::check_phase_sources;
+    // A halo schedule that runs its engines directly, bypassing the
+    // phase-recording mailbox calls: the attribution report would never
+    // see its compute or exchange.
+    let src = "fn run_halo_schedule(&self) -> Vec<u32> {\n    self.engines.iter().map(|e| e.run()).collect()\n}\nfn exchange(&mut self, round: u32) {\n    self.drain(round)\n}\n";
+    let req: &[(&str, &[&str])] = &[
+        ("run_halo_schedule", &["record_compute", ".exchange("]),
+        ("exchange", &["cluster.phase.exchange", "span!"]),
+    ];
+    let diags = check_phase_sources(&[("cluster.rs", src, req)]);
+    assert_eq!(diags.len(), 2, "{diags:#?}");
+    assert!(
+        has(&diags, Code::ObsPhaseUncovered, "missing phase instrumentation"),
+        "{diags:#?}"
+    );
+    assert_eq!(Code::ObsPhaseUncovered.as_str(), "O002");
+    // The fix — routing the phases through their spans / recording
+    // calls — clears both.
+    let fixed = "fn run_halo_schedule(&self, mb: &mut Mailbox) -> Vec<u32> {\n    let outs = mb.record_compute(|| self.run());\n    mb.exchange(0);\n    outs\n}\nfn exchange(&mut self, round: u32) {\n    let _s = span!(\"cluster.phase.exchange\", round = round);\n    self.drain(round)\n}\n";
+    assert!(check_phase_sources(&[("cluster.rs", fixed, req)]).is_empty());
+    // A renamed (missing) function is reported, not skipped.
+    let gone: &[(&str, &[&str])] = &[("run_devices", &["cluster.device"])];
+    let diags = check_phase_sources(&[("cluster.rs", src, gone)]);
+    assert!(has(&diags, Code::ObsPhaseUncovered, "not found"), "{diags:#?}");
+}
+
+#[test]
+fn o002_shipped_sources_are_phase_covered() {
+    use wisegraph::analysis::obscheck::verify_phase_instrumentation;
+    let report =
+        verify_phase_instrumentation(std::path::Path::new(env!("CARGO_MANIFEST_DIR")));
     assert!(report.is_clean(), "{report}");
 }
 

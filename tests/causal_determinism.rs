@@ -1,0 +1,168 @@
+//! Determinism harness for the causal trace and critical-path report.
+//!
+//! The cluster stamps every collective message with deterministic
+//! `(device, round, seq)` endpoint ids and records per-device phase
+//! timelines whose logical costs are pure functions of (graph, plan,
+//! placement, device count). This suite pins that contract the same way
+//! `obs_determinism.rs` pins the counter layer:
+//!
+//! * the merged causal edge list (`CausalLog::to_json`) and the
+//!   Work-class attribution report (`AttributionReport::work_json`) are
+//!   byte-identical across repeated runs AND across per-device engine
+//!   thread counts 1/2/4, at each of 2/4/8 devices — the wall-clock
+//!   overlay may differ, the gateable view may not;
+//! * folding a captured span stream back into device timelines
+//!   (`timelines_from_trace`) reproduces the logical view of the
+//!   timelines the cluster recorded directly, and analyzing the folded
+//!   timelines yields the same Work-class report — the trace alone is
+//!   enough to re-derive the attribution.
+
+use std::collections::HashMap;
+use wisegraph::graph::generate::{rmat, RmatParams};
+use wisegraph::graph::Graph;
+use wisegraph::gtask::{partition, PartitionTable};
+use wisegraph::kernels::cluster::compatible_placements;
+use wisegraph::kernels::micro::compile;
+use wisegraph::kernels::ClusterEngine;
+use wisegraph::models::ModelKind;
+use wisegraph::obs::critical::{analyze, timelines_from_trace};
+use wisegraph::obs::{capture, DeviceTimeline};
+use wisegraph::tensor::{init, Tensor};
+
+/// Device counts the stability sweep runs at.
+const DEVICES: [usize; 3] = [2, 4, 8];
+/// Per-device engine worker threads the Work view must be invariant to.
+const THREAD_SWEEP: [usize; 3] = [1, 2, 4];
+const MODELS: [ModelKind; 4] = [
+    ModelKind::Gcn,
+    ModelKind::Rgcn,
+    ModelKind::Gat,
+    ModelKind::Sage,
+];
+
+fn globals_for(g: &Graph, fi: usize, fo: usize) -> HashMap<String, Tensor> {
+    let mut m = HashMap::new();
+    m.insert(
+        "h".to_string(),
+        init::uniform_tensor(&[g.num_vertices(), fi], -1.0, 1.0, 61),
+    );
+    m.insert(
+        "W".to_string(),
+        init::uniform_tensor(&[g.num_edge_types(), fi, fo], -1.0, 1.0, 62),
+    );
+    m.insert("w".to_string(), init::uniform_tensor(&[fi, fo], -1.0, 1.0, 63));
+    m.insert(
+        "w_self".to_string(),
+        init::uniform_tensor(&[fi, fo], -1.0, 1.0, 64),
+    );
+    m.insert(
+        "w_neigh".to_string(),
+        init::uniform_tensor(&[fi, fo], -1.0, 1.0, 65),
+    );
+    m.insert(
+        "a_src".to_string(),
+        init::uniform_tensor(&[fo, 1], -1.0, 1.0, 66),
+    );
+    m.insert(
+        "a_dst".to_string(),
+        init::uniform_tensor(&[fo, 1], -1.0, 1.0, 67),
+    );
+    m
+}
+
+/// Every model × compatible placement × {2,4,8} devices: the causal edge
+/// list and the Work-class attribution report are byte-identical across
+/// a repeated run and across the 1/2/4 per-device thread sweep.
+#[test]
+fn causal_edges_and_work_report_are_bit_stable() {
+    let (fi, fo) = (6, 5);
+    let g = rmat(&RmatParams::standard(140, 1100, 71).with_edge_types(3));
+    let globals = globals_for(&g, fi, fo);
+    let plan = partition(&g, &PartitionTable::vertex_centric());
+    for kind in MODELS {
+        let dfg = kind.layer_dfg(fi, fo);
+        let program = compile(&dfg, &g).unwrap();
+        for placement in compatible_placements(&program, &g, &globals) {
+            for devices in DEVICES {
+                let ctx = format!(
+                    "{} × {} × {devices} devices",
+                    kind.name(),
+                    placement.name()
+                );
+                let mut edges_ref: Option<String> = None;
+                let mut work_ref: Option<String> = None;
+                // Thread sweep plus one repeat of the middle count: the
+                // repeat pins run-to-run identity, the sweep pins
+                // thread-count invariance.
+                for threads in [1usize, 2, 2, 4] {
+                    assert!(THREAD_SWEEP.contains(&threads));
+                    let cluster = ClusterEngine::new(devices, threads);
+                    let run = cluster
+                        .execute_program(&program, &dfg, &g, &plan, &globals, placement)
+                        .unwrap_or_else(|e| panic!("{ctx}: {e}"));
+                    let edges = run.causal.to_json();
+                    let work = run
+                        .attribution()
+                        .unwrap_or_else(|e| panic!("{ctx}: attribution: {e}"))
+                        .work_json();
+                    match &edges_ref {
+                        None => edges_ref = Some(edges),
+                        Some(first) => assert_eq!(
+                            first, &edges,
+                            "{ctx}: causal edge list varies ({threads} threads)"
+                        ),
+                    }
+                    match &work_ref {
+                        None => work_ref = Some(work),
+                        Some(first) => assert_eq!(
+                            first, &work,
+                            "{ctx}: Work-class report varies ({threads} threads)"
+                        ),
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Folding a captured span stream reproduces the directly recorded
+/// timelines (logical view) and the same Work-class report: the Chrome
+/// trace is not a lossy rendering of the attribution inputs.
+#[test]
+fn trace_folding_reproduces_the_recorded_timelines() {
+    let (fi, fo) = (6, 5);
+    let g = rmat(&RmatParams::standard(140, 1100, 71).with_edge_types(3));
+    let globals = globals_for(&g, fi, fo);
+    let plan = partition(&g, &PartitionTable::vertex_centric());
+    for kind in [ModelKind::Gcn, ModelKind::Rgcn] {
+        let dfg = kind.layer_dfg(fi, fo);
+        let program = compile(&dfg, &g).unwrap();
+        for placement in compatible_placements(&program, &g, &globals) {
+            let ctx = format!("{} × {}", kind.name(), placement.name());
+            let (run, trace) = capture(|| {
+                let cluster = ClusterEngine::new(4, 2);
+                cluster
+                    .execute_program(&program, &dfg, &g, &plan, &globals, placement)
+                    .unwrap_or_else(|e| panic!("{ctx}: {e}"))
+            });
+            let mut folded = timelines_from_trace(&trace)
+                .unwrap_or_else(|e| panic!("{ctx}: fold: {e}"));
+            folded.sort_by_key(|tl| tl.device);
+            let folded: Vec<DeviceTimeline> =
+                folded.iter().map(DeviceTimeline::logical).collect();
+            let direct: Vec<DeviceTimeline> =
+                run.timelines.iter().map(DeviceTimeline::logical).collect();
+            assert_eq!(folded, direct, "{ctx}: folded timelines diverge");
+            let from_trace = analyze(&folded, &run.causal)
+                .unwrap_or_else(|e| panic!("{ctx}: analyze folded: {e}"));
+            let from_run = run
+                .attribution()
+                .unwrap_or_else(|e| panic!("{ctx}: attribution: {e}"));
+            assert_eq!(
+                from_trace.work_json(),
+                from_run.work_json(),
+                "{ctx}: trace-derived report diverges"
+            );
+        }
+    }
+}
